@@ -1,0 +1,66 @@
+/**
+ * Figure 13 / Exp #6 — Knowledge-graph training throughput: DGL-KE
+ * (no cache), DGL-KE-cached, and Frugal on FB15k / Freebase / WikiKG at
+ * cache ratios 5 % and 10 % (§4.4). TransE recipe: dim 400, shared
+ * negative sampling, batch 1200/2000 (§4.1).
+ */
+#include <cstdio>
+
+#include "bench_workloads.h"
+#include "metrics/reporter.h"
+
+int
+main()
+{
+    using namespace frugal;
+    using namespace frugal::bench;
+
+    PrintBanner("Figure 13 (Exp #6)", "knowledge-graph models (KG)");
+
+    double vs_nocache_min = 1e18, vs_nocache_max = 0;
+    double vs_cached_min = 1e18, vs_cached_max = 0;
+
+    TablePrinter table("Fig 13 — KG training throughput (samples/s, "
+                       "8x RTX 3090)",
+                       {"Dataset", "Cache", "DGL-KE", "DGL-KE-cached",
+                        "Frugal", "vs DGL-KE", "vs cached"});
+    for (const char *dataset : {"FB15k", "Freebase", "WikiKG"}) {
+        const DatasetSpec &spec = DatasetByName(dataset);
+        const std::size_t batch_per_gpu = spec.default_batch / 8;
+        for (double ratio : {0.05, 0.10}) {
+            SimWorkload workload =
+                MakeKgWorkload(dataset, 8, batch_per_gpu, /*steps=*/25);
+            SimSystem system;
+            system.gpu = RTX3090();
+            system.n_gpus = 8;
+            system.cache_ratio = ratio;
+            const double nocache =
+                SimulateEngine(SimEngine::kNoCache, workload, system)
+                    .throughput;
+            const double cached =
+                SimulateEngine(SimEngine::kCached, workload, system)
+                    .throughput;
+            const double frugal =
+                SimulateEngine(SimEngine::kFrugal, workload, system)
+                    .throughput;
+            vs_nocache_min = std::min(vs_nocache_min, frugal / nocache);
+            vs_nocache_max = std::max(vs_nocache_max, frugal / nocache);
+            vs_cached_min = std::min(vs_cached_min, frugal / cached);
+            vs_cached_max = std::max(vs_cached_max, frugal / cached);
+            table.AddRow({dataset, FormatDouble(ratio * 100, 0) + "%",
+                          FormatCount(nocache), FormatCount(cached),
+                          FormatCount(frugal),
+                          FormatSpeedup(frugal / nocache),
+                          FormatSpeedup(frugal / cached)});
+        }
+    }
+    table.Print();
+    std::printf("Frugal vs DGL-KE: %.1f-%.1fx (paper: 1.2-1.5x); "
+                "vs DGL-KE-cached: %.1f-%.1fx (paper: 4.1-7.1x, with "
+                "the caveat that Fig. 13's bars show cached within ~15%% "
+                "of vanilla — the paper's two statements are in tension; "
+                "we reproduce the bar relationship).\n",
+                vs_nocache_min, vs_nocache_max, vs_cached_min,
+                vs_cached_max);
+    return 0;
+}

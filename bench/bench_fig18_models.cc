@@ -1,0 +1,107 @@
+/**
+ * Figure 18 / Exp #11 — Sensitivity to the embedding model:
+ *  (a) four graph-embedding scorers (ComplEx, DistMult, SimplE, TransE);
+ *  (b) DLRM with 2–6 DNN layers.
+ * Frugal's techniques only touch the embedding layer, so its advantage
+ * persists across models; deeper DNNs only dilute the gain (§4.6).
+ */
+#include <cstdio>
+
+#include "bench_workloads.h"
+#include "metrics/reporter.h"
+#include "models/kg_scorers.h"
+
+namespace {
+
+/** Relative per-triple flops factor of each scorer (ComplEx/SimplE do
+ *  ~2x the multiplies of DistMult; TransE is subtraction+norm). */
+double
+ScorerFlopsFactor(frugal::KgScorerKind kind)
+{
+    switch (kind) {
+      case frugal::KgScorerKind::kTransE: return 1.0;
+      case frugal::KgScorerKind::kDistMult: return 1.0;
+      case frugal::KgScorerKind::kComplEx: return 2.0;
+      case frugal::KgScorerKind::kSimplE: return 1.5;
+    }
+    return 1.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace frugal;
+    using namespace frugal::bench;
+
+    PrintBanner("Figure 18 (Exp #11)", "sensitivity to embedding models");
+
+    // --- (a) KG scorers --------------------------------------------------
+    TablePrinter kg("Fig 18a — KG scorers (Freebase, 8 GPUs; samples/s)",
+                    {"Model", "DGL-KE", "DGL-KE-cached", "Frugal",
+                     "Frugal gain"});
+    for (KgScorerKind kind :
+         {KgScorerKind::kComplEx, KgScorerKind::kDistMult,
+          KgScorerKind::kSimplE, KgScorerKind::kTransE}) {
+        SimWorkload workload = MakeKgWorkload("Freebase", 8, 250, 25);
+        const double factor = ScorerFlopsFactor(kind);
+        workload.flops_per_sample *= factor;
+        // Heavier scorers also pay more per-triple CPU in sampling and
+        // loss assembly.
+        workload.fixed_step_seconds *= 0.8 + 0.2 * factor;
+        SimSystem system;
+        system.gpu = RTX3090();
+        system.n_gpus = 8;
+        system.cache_ratio = 0.05;
+        const double nocache =
+            SimulateEngine(SimEngine::kNoCache, workload, system)
+                .throughput;
+        const double cached =
+            SimulateEngine(SimEngine::kCached, workload, system)
+                .throughput;
+        const double frugal =
+            SimulateEngine(SimEngine::kFrugal, workload, system)
+                .throughput;
+        kg.AddRow({KgScorerName(kind), FormatCount(nocache),
+                   FormatCount(cached), FormatCount(frugal),
+                   FormatSpeedup(frugal / nocache)});
+    }
+    kg.Print();
+
+    // --- (b) DLRM depth ---------------------------------------------------
+    TablePrinter rec("Fig 18b — DLRM DNN depth (Avazu, 8 GPUs; "
+                     "samples/s)",
+                     {"#NN layers", "PyTorch", "HugeCTR", "Frugal",
+                      "Frugal gain"});
+    const DatasetSpec &avazu = DatasetByName("Avazu");
+    for (std::size_t layers : {2u, 3u, 4u, 5u, 6u}) {
+        SimWorkload workload = MakeRecWorkload("Avazu", 8, 1024 / 8, 30);
+        workload.flops_per_sample = DlrmFlopsPerSample(
+            avazu.n_features, avazu.embedding_dim,
+            /*extra_layers=*/layers > 3 ? layers - 3 : 0);
+        if (layers < 3)
+            workload.flops_per_sample *= 0.7;  // shallower top MLP
+        SimSystem system;
+        system.gpu = RTX3090();
+        system.n_gpus = 8;
+        system.cache_ratio = 0.05;
+        const double nocache =
+            SimulateEngine(SimEngine::kNoCache, workload, system)
+                .throughput;
+        const double cached =
+            SimulateEngine(SimEngine::kCached, workload, system)
+                .throughput;
+        const double frugal =
+            SimulateEngine(SimEngine::kFrugal, workload, system)
+                .throughput;
+        rec.AddRow({std::to_string(layers), FormatCount(nocache),
+                    FormatCount(cached), FormatCount(frugal),
+                    FormatSpeedup(frugal / nocache)});
+    }
+    rec.Print();
+    std::printf("Frugal stays ahead for every model; the DNN only "
+                "changes how much of the iteration the embedding layer "
+                "occupies (§4.6).\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * Table 1 — "Main characteristics comparison between commodity GPUs and
+ * datacenter GPUs", plus the evaluation-testbed GPUs and the
+ * cost-performance claims of §1/§2.2 derived from them.
+ */
+#include <cstdio>
+
+#include "metrics/reporter.h"
+#include "sim/gpu_spec.h"
+
+int
+main()
+{
+    using namespace frugal;
+
+    PrintBanner("Table 1", "GPU characteristics and cost-effectiveness");
+
+    TablePrinter table(
+        "GPU characteristics (published figures; prices from §1/§4.5)",
+        {"GPU", "Class", "FP16 TFLOPS", "FP32 TFLOPS", "Memory (GB)",
+         "Link", "Link BW (GB/s)", "PCIe P2P", "Price ($)",
+         "$/FP32-TFLOPS"});
+    for (const GpuSpec &gpu : AllGpuSpecs()) {
+        table.AddRow({gpu.name,
+                      gpu.datacenter ? "datacenter" : "commodity",
+                      FormatDouble(gpu.tensor_fp16_tflops, 0),
+                      FormatDouble(gpu.tensor_fp32_tflops, 1),
+                      FormatDouble(gpu.memory_gb, 0), gpu.link_kind,
+                      FormatDouble(gpu.link_bandwidth_gbps, 0),
+                      gpu.supports_p2p ? "yes" : "no",
+                      FormatDouble(gpu.price_usd, 0),
+                      FormatDouble(gpu.DollarPerFp32Tflops(), 0)});
+    }
+    table.Print();
+
+    const double a100_ratio = A100().DollarPerFp32Tflops();
+    const double rtx4090_ratio = RTX4090().DollarPerFp32Tflops();
+    std::printf("RTX 4090 $/TFLOPS is %.1f%% of A100's (paper: 18.4%%); "
+                "cost-performance ratio %.1fx (paper: 5.4x).\n",
+                100.0 * rtx4090_ratio / a100_ratio,
+                a100_ratio / rtx4090_ratio);
+    std::printf("A30 vs RTX 3090 price ratio: %.2fx (paper Exp #9 uses "
+                "$5,885 vs $1,310 = 4.49x).\n",
+                A30().price_usd / RTX3090().price_usd);
+    return 0;
+}

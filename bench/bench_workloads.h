@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared workload builders for the figure-reproduction benches: the
+ * evaluation workloads of §4.1 expressed as SimWorkloads.
+ *
+ * REC workloads come from the synthetic CTR generator at the published
+ * dataset shapes (feature count, ID space, skew); DLRM's dense cost is
+ * the 512-512-256-1 top MLP. KG workloads follow the DGL-KE recipe:
+ * Zipf-skewed positive triples with a *shared* uniform negative set per
+ * step (DGL-KE shares one corruption set across a chunk, which is why a
+ * 200-negative batch does not multiply embedding traffic by 200).
+ */
+#ifndef FRUGAL_BENCH_BENCH_WORKLOADS_H_
+#define FRUGAL_BENCH_BENCH_WORKLOADS_H_
+
+#include <string>
+
+#include "common/distribution.h"
+#include "common/rng.h"
+#include "data/dataset_spec.h"
+#include "data/rec_dataset.h"
+#include "data/trace.h"
+#include "sim/engine_sim.h"
+
+namespace frugal {
+namespace bench {
+
+/** DLRM forward+backward flops per sample (26-ish features, dim 32,
+ *  512-512-256-1 top MLP; 2 flops/MAC, ~3× for fwd+bwd). */
+inline double
+DlrmFlopsPerSample(std::uint32_t n_features, std::size_t dim,
+                   std::size_t extra_layers = 0)
+{
+    const double input = static_cast<double>(n_features) * dim;
+    double macs = input * 512 + 512.0 * 512 + 512.0 * 256 + 256;
+    macs += static_cast<double>(extra_layers) * 512.0 * 512;
+    return macs * 2.0 * 3.0;
+}
+
+/** KG scorer forward+backward flops per positive sample with shared
+ *  negatives amortised per triple. */
+inline double
+KgFlopsPerSample(std::size_t dim, std::size_t negatives_per_triple)
+{
+    return static_cast<double>(1 + negatives_per_triple) *
+           static_cast<double>(dim) * 6.0 * 3.0;
+}
+
+/**
+ * REC workload at the published dataset shape.
+ * @param batch_per_gpu samples per GPU per step (paper default: global
+ *        batch 1024)
+ */
+inline SimWorkload
+MakeRecWorkload(const std::string &dataset, std::uint32_t n_gpus,
+                std::size_t batch_per_gpu, std::size_t steps,
+                std::uint64_t seed = 7)
+{
+    const DatasetSpec &spec = DatasetByName(dataset);
+    RecDatasetGenerator gen(spec, seed);
+    SimWorkload workload;
+    workload.name = dataset;
+    workload.trace = Trace::FromRec(gen, steps, n_gpus, batch_per_gpu);
+    workload.dim = spec.embedding_dim;
+    workload.samples_per_step =
+        static_cast<std::uint64_t>(batch_per_gpu) * n_gpus;
+    workload.flops_per_sample =
+        DlrmFlopsPerSample(spec.n_features, spec.embedding_dim);
+    workload.fixed_step_seconds = 2.0e-3;  // feature preprocessing
+    // Multi-feature exchanges go out in fused feature groups.
+    workload.a2a_chunks = static_cast<int>(spec.n_features / 6);
+    return workload;
+}
+
+/**
+ * KG workload at the published dataset shape, with DGL-KE-style shared
+ * negative sampling: each step each GPU reads `batch` positive triples
+ * (Zipf entities + relations) plus `shared_negatives` uniform entities.
+ */
+inline SimWorkload
+MakeKgWorkload(const std::string &dataset, std::uint32_t n_gpus,
+               std::size_t batch_per_gpu, std::size_t steps,
+               std::size_t shared_negatives = 200,
+               std::uint64_t seed = 11)
+{
+    const DatasetSpec &spec = DatasetByName(dataset);
+    Rng rng(seed);
+    ZipfDistribution entities(spec.n_vertices, spec.zipf_theta);
+    UniformDistribution negatives(spec.n_vertices);
+    std::unique_ptr<KeyDistribution> relations;
+    if (spec.n_relations > 1) {
+        relations = std::make_unique<ZipfDistribution>(spec.n_relations,
+                                                       spec.zipf_theta);
+    } else {
+        relations =
+            std::make_unique<UniformDistribution>(spec.n_relations);
+    }
+
+    std::vector<StepKeys> trace_steps(steps);
+    for (std::size_t s = 0; s < steps; ++s) {
+        trace_steps[s].per_gpu.resize(n_gpus);
+        for (std::uint32_t g = 0; g < n_gpus; ++g) {
+            auto &keys = trace_steps[s].per_gpu[g];
+            for (std::size_t i = 0; i < batch_per_gpu; ++i) {
+                keys.push_back(entities.Sample(rng));           // head
+                keys.push_back(entities.Sample(rng));           // tail
+                keys.push_back(spec.n_vertices +
+                               relations->Sample(rng));         // rel
+            }
+            for (std::size_t i = 0; i < shared_negatives; ++i)
+                keys.push_back(negatives.Sample(rng));
+            DedupeKeys(keys);
+        }
+    }
+
+    SimWorkload workload;
+    workload.name = dataset;
+    workload.trace = Trace(std::move(trace_steps), spec.KeySpace(),
+                           n_gpus);
+    workload.dim = spec.embedding_dim;
+    workload.samples_per_step =
+        static_cast<std::uint64_t>(batch_per_gpu) * n_gpus;
+    workload.flops_per_sample =
+        KgFlopsPerSample(spec.embedding_dim, shared_negatives);
+    workload.fixed_step_seconds = 18.0e-3;  // graph sampling (CPU)
+    return workload;
+}
+
+/** The four-system competitor matrix of §4.1. */
+inline const std::vector<SimEngine> &
+AllSimEngines()
+{
+    static const std::vector<SimEngine> engines = {
+        SimEngine::kNoCache, SimEngine::kCached, SimEngine::kFrugalSync,
+        SimEngine::kFrugal};
+    return engines;
+}
+
+/** Paper's name for an engine within an application family. */
+inline std::string
+PaperName(SimEngine engine, bool kg)
+{
+    switch (engine) {
+      case SimEngine::kNoCache: return kg ? "DGL-KE" : "PyTorch";
+      case SimEngine::kCached: return kg ? "DGL-KE-cached" : "HugeCTR";
+      case SimEngine::kFrugalSync: return "Frugal-Sync";
+      case SimEngine::kFrugal: return "Frugal";
+    }
+    return "?";
+}
+
+}  // namespace bench
+}  // namespace frugal
+
+#endif  // FRUGAL_BENCH_BENCH_WORKLOADS_H_

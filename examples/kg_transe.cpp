@@ -1,0 +1,73 @@
+/**
+ * Knowledge-graph example — TransE training on a synthetic FB15k-shaped
+ * dataset with negative sampling, the paper's KG application (§4.1;
+ * DGL-KE recipe). Demonstrates the swappable scorers of Exp #11.
+ *
+ *   $ ./kg_transe [scorer]      scorer ∈ TransE|DistMult|ComplEx|SimplE
+ */
+#include <cstdio>
+#include <string>
+
+#include "data/dataset_spec.h"
+#include "models/kg_model.h"
+#include "runtime/frugal_engine.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace frugal;
+    const std::string scorer_name = argc > 1 ? argv[1] : "TransE";
+    const KgScorerKind scorer = KgScorerByName(scorer_name);
+
+    const DatasetSpec spec = DatasetByName("FB15k").Scaled(30.0);
+    KgDatasetGenerator gen(spec, /*negative_samples=*/8, /*seed=*/321);
+    const std::uint32_t n_gpus = 2;
+    const KgWorkload workload =
+        KgWorkload::Build(gen, /*steps=*/200, n_gpus,
+                          /*samples_per_gpu=*/16);
+
+    EngineConfig config;
+    config.n_gpus = n_gpus;
+    config.dim = 32;  // scaled from the paper's 400
+    config.key_space = gen.key_space();
+    config.cache_ratio = 0.05;
+    config.flush_threads = 4;
+    config.learning_rate =
+        scorer == KgScorerKind::kTransE ? 0.02f : 0.5f;
+    config.init_scale = 0.5f;
+    config.audit_consistency = true;
+
+    KgModelConfig model_config;
+    model_config.kind = scorer;
+    model_config.dim = config.dim;
+    model_config.n_gpus = n_gpus;
+    KgModel model(model_config);
+
+    std::printf("%s on synthetic FB15k (%llu entities, %llu relations, "
+                "dim %zu)\n",
+                scorer_name.c_str(),
+                static_cast<unsigned long long>(gen.n_entities()),
+                static_cast<unsigned long long>(gen.n_relations()),
+                config.dim);
+
+    FrugalEngine engine(config);
+    const RunReport report =
+        engine.Run(workload.trace, model.BindGradFn(workload),
+                   model.BindStepHook());
+
+    std::printf("\nloss curve (every 25 steps):\n");
+    for (std::size_t s = 0; s < model.loss_history().size(); s += 25)
+        std::printf("  step %4zu  loss %.4f\n", s,
+                    model.loss_history()[s]);
+    std::printf("\nmean loss, first 10 steps: %.4f\n",
+                model.MeanLossOverFirst(10));
+    std::printf("mean loss, last 10 steps : %.4f\n",
+                model.MeanLossOverLast(10));
+    std::printf("cache hit ratio          : %.1f%%\n",
+                100.0 * report.cache.HitRatio());
+    std::printf("updates flushed          : %llu\n",
+                static_cast<unsigned long long>(report.updates_applied));
+    std::printf("audit violations         : %llu (must be 0)\n",
+                static_cast<unsigned long long>(report.audit_violations));
+    return report.audit_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+/**
+ * Recommendation example — DLRM click-through-rate training on a
+ * synthetic Avazu-shaped dataset (Table 2), the paper's REC application
+ * (§4.1). Trains the same workload through Frugal and the three
+ * baseline engines, showing identical learning curves (synchronous
+ * consistency) with different system behaviour.
+ *
+ *   $ ./rec_dlrm [steps]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "data/dataset_spec.h"
+#include "models/dlrm.h"
+#include "runtime/baseline_engines.h"
+#include "runtime/frugal_engine.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace frugal;
+    const std::size_t steps =
+        argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200;
+
+    // Avazu at 1/10000 scale: 22 feature fields over ~4.9k IDs.
+    const DatasetSpec spec = DatasetByName("Avazu").Scaled(10000.0);
+    RecDatasetGenerator gen(spec, /*seed=*/123);
+    const std::uint32_t n_gpus = 2;
+    const DlrmWorkload workload =
+        DlrmWorkload::Build(gen, steps, n_gpus, /*samples_per_gpu=*/32);
+
+    EngineConfig config;
+    config.n_gpus = n_gpus;
+    config.dim = spec.embedding_dim;
+    config.key_space = gen.key_space();
+    config.cache_ratio = 0.05;
+    config.flush_threads = 4;
+    config.learning_rate = 0.2f;
+    config.audit_consistency = true;
+
+    DlrmConfig model_config;
+    model_config.n_features = gen.n_features();
+    model_config.dim = spec.embedding_dim;
+    model_config.hidden = {64, 32};  // scaled-down 512-512-256 top MLP
+    model_config.n_gpus = n_gpus;
+    model_config.dense_learning_rate = 0.2f;
+
+    std::printf("DLRM on synthetic Avazu (%u fields, %llu IDs, dim %zu, "
+                "%zu steps x %u GPUs)\n\n",
+                gen.n_features(),
+                static_cast<unsigned long long>(gen.key_space()),
+                spec.embedding_dim, steps, n_gpus);
+    std::printf("%-12s %10s %10s %10s %10s %12s %10s\n", "engine",
+                "loss@start", "loss@end", "AUC(held)", "hit-ratio",
+                "host-reads", "audit");
+
+    for (const char *name : {"frugal", "frugal-sync", "cached",
+                             "nocache"}) {
+        DlrmModel model(model_config);
+        auto engine = MakeEngine(name, config);
+        const RunReport report =
+            engine->Run(workload.trace, model.BindGradFn(workload),
+                        model.BindStepHook());
+        RecDatasetGenerator held_out(spec, /*seed=*/999);
+        const double auc =
+            model.EvaluateAuc(engine->table(), held_out, 2000);
+        std::printf("%-12s %10.4f %10.4f %10.4f %9.1f%% %12llu %10llu\n",
+                    name, model.MeanLossOverFirst(10),
+                    model.MeanLossOverLast(10), auc,
+                    100.0 * report.cache.HitRatio(),
+                    static_cast<unsigned long long>(report.host_reads),
+                    static_cast<unsigned long long>(
+                        report.audit_violations));
+    }
+
+    std::printf("\nAll engines train the identical model (same losses); "
+                "they differ only in how parameters move — which is the "
+                "point of Frugal.\n");
+    return 0;
+}

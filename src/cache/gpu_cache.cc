@@ -1,0 +1,95 @@
+#include "cache/gpu_cache.h"
+
+#include <mutex>
+
+namespace frugal {
+
+GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
+    : capacity_(capacity_rows),
+      dim_(dim),
+      storage_(capacity_rows * dim)
+{
+    FRUGAL_CHECK_MSG(capacity_rows > 0, "cache capacity must be positive");
+    FRUGAL_CHECK_MSG(dim > 0, "embedding dimension must be positive");
+    free_slots_.reserve(capacity_rows);
+    for (std::size_t i = 0; i < capacity_rows; ++i)
+        free_slots_.push_back(capacity_rows - 1 - i);
+    map_.reserve(capacity_rows * 2);
+}
+
+bool
+GpuCache::TryGet(Key key, float *out)
+{
+    std::lock_guard<Spinlock> guard(lock_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    const float *row = storage_.data() + it->second.slot * dim_;
+    for (std::size_t j = 0; j < dim_; ++j)
+        out[j] = row[j];
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh to MRU
+    return true;
+}
+
+Key
+GpuCache::Put(Key key, const float *row)
+{
+    std::lock_guard<Spinlock> guard(lock_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        float *dst = storage_.data() + it->second.slot * dim_;
+        for (std::size_t j = 0; j < dim_; ++j)
+            dst[j] = row[j];
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return kInvalidKey;
+    }
+
+    Key evicted = kInvalidKey;
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        evicted = lru_.back();
+        lru_.pop_back();
+        auto victim = map_.find(evicted);
+        FRUGAL_CHECK(victim != map_.end());
+        slot = victim->second.slot;
+        map_.erase(victim);
+        ++stats_.evictions;
+    }
+
+    lru_.push_front(key);
+    map_.emplace(key, Entry{slot, lru_.begin()});
+    float *dst = storage_.data() + slot * dim_;
+    for (std::size_t j = 0; j < dim_; ++j)
+        dst[j] = row[j];
+    ++stats_.insertions;
+    return evicted;
+}
+
+bool
+GpuCache::UpdateIfPresent(Key key, const float *row)
+{
+    std::lock_guard<Spinlock> guard(lock_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    float *dst = storage_.data() + it->second.slot * dim_;
+    for (std::size_t j = 0; j < dim_; ++j)
+        dst[j] = row[j];
+    ++stats_.flush_writes;
+    return true;
+}
+
+bool
+GpuCache::Contains(Key key) const
+{
+    std::lock_guard<Spinlock> guard(lock_);
+    return map_.find(key) != map_.end();
+}
+
+}  // namespace frugal

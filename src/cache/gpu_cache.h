@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The per-GPU embedding cache.
+ *
+ * Every trainer holds a private cache of hot parameters (Fig. 5). Frugal
+ * "pertains to a sharding policy in essence" (§5): the global key space is
+ * partitioned by ownership (`owner(k) = hash(k) % n_gpus`), and GPU *i*
+ * caches only keys it owns, so no two caches ever replicate a parameter
+ * and no replica-synchronisation traffic exists.
+ *
+ * The replacement policy is LRU over whole rows, mirroring the HugeCTR
+ * cache strategy all competitor systems share (§4.1, so hit ratios are
+ * comparable across engines).
+ *
+ * Concurrency: the owning trainer reads and refills; Frugal's flush
+ * threads write committed values into cached rows ("H2D" in the real
+ * system). A single cache lock arbitrates — adequate because each cache
+ * has exactly one reader thread and writers touch disjoint keys.
+ */
+#ifndef FRUGAL_CACHE_GPU_CACHE_H_
+#define FRUGAL_CACHE_GPU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+
+namespace frugal {
+
+/** Statistics counters of one cache. */
+struct GpuCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t flush_writes = 0;  ///< rows updated by flush threads
+
+    double
+    HitRatio() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Fixed-capacity LRU cache of embedding rows. */
+class GpuCache
+{
+  public:
+    /**
+     * @param capacity_rows maximum number of cached rows (> 0)
+     * @param dim embedding dimension
+     */
+    GpuCache(std::size_t capacity_rows, std::size_t dim);
+
+    GpuCache(const GpuCache &) = delete;
+    GpuCache &operator=(const GpuCache &) = delete;
+
+    /**
+     * Looks up `key`; on hit copies the row into `out` and refreshes LRU.
+     * @return true on hit.
+     */
+    bool TryGet(Key key, float *out);
+
+    /**
+     * Inserts (or overwrites) `key` with `row`, evicting the LRU row if
+     * full. Returns the evicted key or kInvalidKey.
+     */
+    Key Put(Key key, const float *row);
+
+    /**
+     * Overwrites the cached row for `key` with `row` if present (used by
+     * flush threads to keep the owner's copy coherent with host memory).
+     * Does not touch LRU order. @return true if the key was cached.
+     */
+    bool UpdateIfPresent(Key key, const float *row);
+
+    /** Whether `key` is currently cached (no LRU effect). */
+    bool Contains(Key key) const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t dim() const { return dim_; }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<Spinlock> guard(lock_);
+        return map_.size();
+    }
+
+    /** Snapshot of the counters. */
+    GpuCacheStats
+    stats() const
+    {
+        std::lock_guard<Spinlock> guard(lock_);
+        return stats_;
+    }
+
+    void
+    ResetStats()
+    {
+        std::lock_guard<Spinlock> guard(lock_);
+        stats_ = GpuCacheStats{};
+    }
+
+  private:
+    struct Entry
+    {
+        std::size_t slot;              ///< row index into storage_
+        std::list<Key>::iterator lru;  ///< position in lru_ (front = MRU)
+    };
+
+    const std::size_t capacity_;
+    const std::size_t dim_;
+    mutable Spinlock lock_;
+    std::vector<float> storage_;
+    std::vector<std::size_t> free_slots_;
+    std::unordered_map<Key, Entry> map_;
+    std::list<Key> lru_;
+    GpuCacheStats stats_;
+};
+
+/** Key-ownership partition across GPUs (sharding policy). */
+class KeyOwnership
+{
+  public:
+    explicit KeyOwnership(std::uint32_t n_gpus) : n_gpus_(n_gpus)
+    {
+        FRUGAL_CHECK(n_gpus > 0);
+    }
+
+    GpuId
+    OwnerOf(Key key) const
+    {
+        return static_cast<GpuId>(MixHash64(key) % n_gpus_);
+    }
+
+    std::uint32_t n_gpus() const { return n_gpus_; }
+
+  private:
+    std::uint32_t n_gpus_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_CACHE_GPU_CACHE_H_

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A bounded multi-producer multi-consumer blocking queue. Backs the
+ * controller's *update staging queue* and *sample queue* (Fig. 5): trainers
+ * push parameter updates, the drain thread pops them; the prefetcher pushes
+ * future batches, the controller pops them.
+ */
+#ifndef FRUGAL_COMMON_BLOCKING_QUEUE_H_
+#define FRUGAL_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+/**
+ * Bounded FIFO with blocking push/pop and a close() signal that wakes all
+ * waiters; after close, pushes are rejected and pops drain then return
+ * nullopt.
+ */
+template <typename T>
+class BlockingQueue
+{
+  public:
+    explicit BlockingQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        FRUGAL_CHECK_MSG(capacity > 0, "queue capacity must be positive");
+    }
+
+    /** Blocks while full. Returns false iff the queue was closed. */
+    bool
+    Push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock,
+                       [&] { return items_.size() < capacity_ || closed_; });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push; returns false when full or closed. */
+    bool
+    TryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Blocks while empty. Returns nullopt iff closed and drained. */
+    std::optional<T>
+    Pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Non-blocking pop. */
+    std::optional<T>
+    TryPop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Pops up to `max_items` elements in one critical section; blocks for
+     * at least one unless closed. Batching keeps the staging-drain thread
+     * from paying one lock round-trip per parameter update.
+     */
+    std::vector<T>
+    PopBatch(std::size_t max_items)
+    {
+        std::vector<T> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        while (!items_.empty() && batch.size() < max_items) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        not_full_.notify_all();
+        return batch;
+    }
+
+    /** Marks the queue closed and wakes every waiter. */
+    void
+    Close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_BLOCKING_QUEUE_H_

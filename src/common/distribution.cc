@@ -1,0 +1,126 @@
+#include "common/distribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+UniformDistribution::UniformDistribution(std::uint64_t key_space)
+    : key_space_(key_space)
+{
+    FRUGAL_CHECK_MSG(key_space > 0, "key space must be non-empty");
+}
+
+Key
+UniformDistribution::Sample(Rng &rng)
+{
+    return rng.NextBounded(key_space_);
+}
+
+namespace {
+
+/** Generalized harmonic number H_{n,theta} = sum_{i=1..n} 1/i^theta. */
+double
+Zeta(std::uint64_t n, double theta)
+{
+    // Exact for small n; Euler–Maclaurin style integral approximation for
+    // large n keeps construction O(1)-ish while staying within ~1e-4
+    // relative error, which is ample for workload generation.
+    constexpr std::uint64_t kExactLimit = 1'000'000;
+    double sum = 0.0;
+    const std::uint64_t exact = n < kExactLimit ? n : kExactLimit;
+    for (std::uint64_t i = 1; i <= exact; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > exact) {
+        // integral of x^-theta from exact to n
+        const double a = static_cast<double>(exact);
+        const double b = static_cast<double>(n);
+        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+               (1.0 - theta);
+    }
+    return sum;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t key_space, double theta,
+                                   bool scramble)
+    : key_space_(key_space), theta_(theta), scramble_(scramble)
+{
+    FRUGAL_CHECK_MSG(key_space > 0, "key space must be non-empty");
+    FRUGAL_CHECK_MSG(theta > 0.0 && theta < 1.0,
+                     "zipf theta must be in (0,1), got " << theta);
+    zetan_ = Zeta(key_space_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(key_space_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+Key
+ZipfDistribution::Sample(Rng &rng)
+{
+    // Gray et al. "Quickly generating billion-record synthetic databases".
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    std::uint64_t rank;
+    if (uz < 1.0) {
+        rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+        rank = 1;
+    } else {
+        rank = static_cast<std::uint64_t>(
+            static_cast<double>(key_space_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        if (rank >= key_space_)
+            rank = key_space_ - 1;
+    }
+    if (!scramble_)
+        return rank;
+    return MixHash64(rank) % key_space_;
+}
+
+std::string
+ZipfDistribution::Name() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "zipf-%.2g", theta_);
+    return buf;
+}
+
+double
+ZipfDistribution::RankProbability(std::uint64_t rank) const
+{
+    FRUGAL_CHECK(rank < key_space_);
+    return 1.0 /
+           (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+std::unique_ptr<KeyDistribution>
+MakeDistribution(DistributionKind kind, std::uint64_t key_space, double theta,
+                 bool scramble)
+{
+    switch (kind) {
+      case DistributionKind::kUniform:
+        return std::make_unique<UniformDistribution>(key_space);
+      case DistributionKind::kZipf:
+        return std::make_unique<ZipfDistribution>(key_space, theta, scramble);
+    }
+    FRUGAL_PANIC("unknown distribution kind");
+}
+
+std::unique_ptr<KeyDistribution>
+MakeDistributionByName(const std::string &name, std::uint64_t key_space)
+{
+    if (name == "uniform")
+        return std::make_unique<UniformDistribution>(key_space);
+    if (name.rfind("zipf-", 0) == 0) {
+        const double theta = std::stod(name.substr(5));
+        return std::make_unique<ZipfDistribution>(key_space, theta);
+    }
+    FRUGAL_FATAL("unknown distribution name: " << name);
+}
+
+}  // namespace frugal

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Key distributions used by the synthetic workloads (§4.1 of the paper):
+ * uniform and Zipfian with skew 0.9 / 0.99 over a configurable key space.
+ *
+ * The Zipf sampler uses Gray's approximation (the classic YCSB
+ * "ScrambledZipfian" construction): an O(1)-per-sample inverse-CDF
+ * approximation of the Zipf(θ) distribution, optionally scrambled with a
+ * 64-bit hash so that popular keys are spread across the key space the way
+ * real embedding IDs are.
+ */
+#ifndef FRUGAL_COMMON_DISTRIBUTION_H_
+#define FRUGAL_COMMON_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace frugal {
+
+/** Kind of key distribution; mirrors the paper's workload axis. */
+enum class DistributionKind { kUniform, kZipf };
+
+/** Abstract source of embedding keys. */
+class KeyDistribution
+{
+  public:
+    virtual ~KeyDistribution() = default;
+
+    /** Draws the next key in `[0, KeySpace())`. */
+    virtual Key Sample(Rng &rng) = 0;
+
+    /** Size of the key domain. */
+    virtual std::uint64_t KeySpace() const = 0;
+
+    /** Human-readable name, e.g. "zipf-0.99". */
+    virtual std::string Name() const = 0;
+};
+
+/** Uniform distribution over `[0, key_space)`. */
+class UniformDistribution final : public KeyDistribution
+{
+  public:
+    explicit UniformDistribution(std::uint64_t key_space);
+
+    Key Sample(Rng &rng) override;
+    std::uint64_t KeySpace() const override { return key_space_; }
+    std::string Name() const override { return "uniform"; }
+
+  private:
+    std::uint64_t key_space_;
+};
+
+/**
+ * Zipfian distribution over `[0, key_space)` with parameter `theta`
+ * (0 < theta < 1; the paper uses 0.9 and 0.99).
+ *
+ * When `scramble` is true, ranks are hashed into the key space so hot keys
+ * are not clustered at small IDs.
+ */
+class ZipfDistribution final : public KeyDistribution
+{
+  public:
+    ZipfDistribution(std::uint64_t key_space, double theta,
+                     bool scramble = true);
+
+    Key Sample(Rng &rng) override;
+    std::uint64_t KeySpace() const override { return key_space_; }
+    std::string Name() const override;
+
+    double theta() const { return theta_; }
+
+    /** Probability mass of the rank-`r` item (0-indexed); for tests. */
+    double RankProbability(std::uint64_t rank) const;
+
+  private:
+    std::uint64_t key_space_;
+    double theta_;
+    bool scramble_;
+    double zetan_;   // generalized harmonic number H_{N,theta}
+    double zeta2_;   // H_{2,theta}
+    double alpha_;
+    double eta_;
+};
+
+/** Factory keyed by (kind, theta); used by workload configs. */
+std::unique_ptr<KeyDistribution>
+MakeDistribution(DistributionKind kind, std::uint64_t key_space,
+                 double theta = 0.0, bool scramble = true);
+
+/** Parses "uniform" / "zipf-0.9" / "zipf-0.99" style names. */
+std::unique_ptr<KeyDistribution>
+MakeDistributionByName(const std::string &name, std::uint64_t key_space);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_DISTRIBUTION_H_

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace frugal {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char *
+LevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+    return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+void
+Emit(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(g_emit_mutex);
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+                 msg.c_str());
+}
+
+void
+Panic(const char *file, int line, const std::string &msg)
+{
+    Emit(LogLevel::kError, file, line, "PANIC: " + msg);
+    std::abort();
+}
+
+void
+Fatal(const char *file, int line, const std::string &msg)
+{
+    Emit(LogLevel::kError, file, line, "FATAL: " + msg);
+    std::exit(1);
+}
+
+}  // namespace log_internal
+
+}  // namespace frugal

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal logging and invariant-checking facilities.
+ *
+ * Semantics follow the gem5 convention:
+ *  - FRUGAL_PANIC: an internal bug — something that should never happen
+ *    regardless of user input. Aborts.
+ *  - FRUGAL_FATAL: the program cannot continue due to a user-level error
+ *    (bad configuration, invalid arguments). Exits with status 1.
+ *  - FRUGAL_CHECK: invariant assertion, enabled in all build types.
+ */
+#ifndef FRUGAL_COMMON_LOGGING_H_
+#define FRUGAL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace frugal {
+
+/** Severity of a log record. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log_internal {
+
+/** Emits one formatted record to stderr; thread-safe. */
+void Emit(LogLevel level, const char *file, int line, const std::string &msg);
+
+/** Aborts after emitting a panic record. */
+[[noreturn]] void Panic(const char *file, int line, const std::string &msg);
+
+/** Exits(1) after emitting a fatal record. */
+[[noreturn]] void Fatal(const char *file, int line, const std::string &msg);
+
+/** Stream-building helper so call sites can use `<<` chains. */
+class MessageBuilder
+{
+  public:
+    template <typename T>
+    MessageBuilder &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+/** Returns / sets the minimum level that will actually be emitted. */
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace frugal
+
+#define FRUGAL_LOG(level, expr)                                             \
+    do {                                                                    \
+        if (static_cast<int>(level) >=                                      \
+            static_cast<int>(::frugal::GetLogLevel())) {                    \
+            ::frugal::log_internal::MessageBuilder fr_mb__;                 \
+            fr_mb__ << expr;                                                \
+            ::frugal::log_internal::Emit(level, __FILE__, __LINE__,         \
+                                         fr_mb__.str());                    \
+        }                                                                   \
+    } while (0)
+
+#define FRUGAL_DEBUG(expr) FRUGAL_LOG(::frugal::LogLevel::kDebug, expr)
+#define FRUGAL_INFO(expr) FRUGAL_LOG(::frugal::LogLevel::kInfo, expr)
+#define FRUGAL_WARN(expr) FRUGAL_LOG(::frugal::LogLevel::kWarn, expr)
+#define FRUGAL_ERROR(expr) FRUGAL_LOG(::frugal::LogLevel::kError, expr)
+
+/** Internal-bug assertion; active in every build type. */
+#define FRUGAL_CHECK(cond)                                                  \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::frugal::log_internal::Panic(__FILE__, __LINE__,               \
+                                          "check failed: " #cond);          \
+        }                                                                   \
+    } while (0)
+
+/** Internal-bug assertion with a message payload. */
+#define FRUGAL_CHECK_MSG(cond, expr)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::frugal::log_internal::MessageBuilder fr_mb__;                 \
+            fr_mb__ << "check failed: " #cond " — " << expr;                \
+            ::frugal::log_internal::Panic(__FILE__, __LINE__,               \
+                                          fr_mb__.str());                   \
+        }                                                                   \
+    } while (0)
+
+#define FRUGAL_PANIC(expr)                                                  \
+    do {                                                                    \
+        ::frugal::log_internal::MessageBuilder fr_mb__;                     \
+        fr_mb__ << expr;                                                    \
+        ::frugal::log_internal::Panic(__FILE__, __LINE__, fr_mb__.str());   \
+    } while (0)
+
+#define FRUGAL_FATAL(expr)                                                  \
+    do {                                                                    \
+        ::frugal::log_internal::MessageBuilder fr_mb__;                     \
+        fr_mb__ << expr;                                                    \
+        ::frugal::log_internal::Fatal(__FILE__, __LINE__, fr_mb__.str());   \
+    } while (0)
+
+#endif  // FRUGAL_COMMON_LOGGING_H_

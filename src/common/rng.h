@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic, fast pseudo-random number generation.
+ *
+ * All stochastic components in Frugal (key distributions, dataset
+ * generators, model initialisation) draw from @ref Rng so that every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256**, seeded via SplitMix64, which is the standard pairing
+ * recommended by the xoshiro authors.
+ */
+#ifndef FRUGAL_COMMON_RNG_H_
+#define FRUGAL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace frugal {
+
+/** SplitMix64 step; used for seeding and as a cheap hash. */
+inline std::uint64_t
+SplitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix usable as a hash function for keys. */
+inline std::uint64_t
+MixHash64(std::uint64_t x)
+{
+    std::uint64_t s = x;
+    return SplitMix64(s);
+}
+
+/**
+ * xoshiro256** generator. Satisfies the essentials of
+ * UniformRandomBitGenerator so it can also feed `std::` distributions.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Constructs a generator whose whole state derives from `seed`. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = SplitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next 64 uniformly distributed bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    NextDouble()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); `bound` must be > 0. */
+    std::uint64_t
+    NextBounded(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (-bound) % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Gaussian sample (Box–Muller; one value per call, no caching). */
+    double
+    NextGaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        double u1 = NextDouble();
+        double u2 = NextDouble();
+        while (u1 <= 1e-300)
+            u1 = NextDouble();
+        const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+        const double theta = 6.283185307179586476925 * u2;
+        return mean + stddev * r * __builtin_cos(theta);
+    }
+
+  private:
+    static std::uint64_t
+    Rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_RNG_H_

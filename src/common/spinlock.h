@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small synchronisation primitives used throughout the runtime: a TTAS
+ * spinlock (also the per-node lock of the TreeHeap baseline, §3.4) and a
+ * striped-lock array for sharded structures.
+ */
+#ifndef FRUGAL_COMMON_SPINLOCK_H_
+#define FRUGAL_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace frugal {
+
+/**
+ * Test-and-test-and-set spinlock; satisfies Lockable.
+ *
+ * After a short pause-spin burst the waiter yields to the scheduler:
+ * critical sections here are tiny, so a contended lock usually means the
+ * holder was preempted (certain on low-core-count machines), and burning
+ * the timeslice would only delay its release.
+ */
+class Spinlock
+{
+  public:
+    Spinlock() = default;
+    Spinlock(const Spinlock &) = delete;
+    Spinlock &operator=(const Spinlock &) = delete;
+
+    void
+    lock()
+    {
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            int spins = 0;
+            while (flag_.load(std::memory_order_relaxed)) {
+                if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+                    __builtin_ia32_pause();
+#endif
+                } else {
+                    spins = 0;
+                    std::this_thread::yield();
+                }
+            }
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * A power-of-two array of spinlocks; a sharded structure maps an element
+ * to `locks[hash & mask]` so unrelated elements rarely contend.
+ */
+class StripedLocks
+{
+  public:
+    /** `stripes` is rounded up to a power of two (min 1). */
+    explicit StripedLocks(std::size_t stripes)
+    {
+        std::size_t n = 1;
+        while (n < stripes)
+            n <<= 1;
+        locks_ = std::vector<Spinlock>(n);
+        mask_ = n - 1;
+    }
+
+    Spinlock &For(std::size_t hash) { return locks_[hash & mask_]; }
+    std::size_t size() const { return locks_.size(); }
+
+  private:
+    std::vector<Spinlock> locks_;
+    std::size_t mask_ = 0;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_SPINLOCK_H_

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Frugal module.
+ *
+ * The vocabulary follows the paper: an embedding table maps a @ref Key
+ * (an ID-type feature value) to a dense row of @c float of length `dim`;
+ * training proceeds in globally numbered synchronous steps (@ref Step).
+ */
+#ifndef FRUGAL_COMMON_TYPES_H_
+#define FRUGAL_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace frugal {
+
+/** An embedding key (row index into an embedding table). */
+using Key = std::uint64_t;
+
+/** A synchronous training step number. Steps are dense and start at 0. */
+using Step = std::uint64_t;
+
+/** A GPU (trainer) ordinal in `[0, n_gpus)`. */
+using GpuId = std::uint32_t;
+
+/** Sentinel used where "no step" / "infinite priority" is meant. */
+inline constexpr Step kInfiniteStep = std::numeric_limits<Step>::max();
+
+/** Sentinel for an invalid key. */
+inline constexpr Key kInvalidKey = std::numeric_limits<Key>::max();
+
+/**
+ * Priority of a g-entry, as defined by Equation (1) of the paper:
+ * the smallest step at which the parameter will next be read while it
+ * has pending (unflushed) updates, or @ref kInfiniteStep.
+ */
+using Priority = Step;
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_TYPES_H_

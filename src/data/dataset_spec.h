@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Registry of the datasets used in the paper's evaluation (Table 2) and
+ * the scaling rule that turns a published spec into a runnable synthetic
+ * instance.
+ *
+ * This environment has no access to the original data (Kaggle dumps,
+ * Freebase/WikiKG snapshots), so the generators in rec_dataset.h /
+ * kg_dataset.h synthesise workloads that match each dataset's *shape*:
+ * number of categorical features (REC) or relations (KG), total ID space,
+ * and access skew — the properties Frugal's results actually depend on.
+ * The published statistics are reproduced verbatim for the Table 2 bench.
+ */
+#ifndef FRUGAL_DATA_DATASET_SPEC_H_
+#define FRUGAL_DATA_DATASET_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace frugal {
+
+/** Application family of a dataset. */
+enum class DatasetKind { kKnowledgeGraph, kRecommendation };
+
+/** Published statistics of one evaluation dataset (Table 2). */
+struct DatasetSpec
+{
+    std::string name;
+    DatasetKind kind = DatasetKind::kRecommendation;
+
+    // --- knowledge-graph fields (Table 2, top half) ---
+    std::uint64_t n_vertices = 0;
+    std::uint64_t n_edges = 0;
+    std::uint64_t n_relations = 0;
+
+    // --- recommendation fields (Table 2, bottom half) ---
+    std::uint32_t n_features = 0;
+    std::uint64_t n_ids = 0;      ///< total categorical ID space
+    std::uint64_t n_samples = 0;  ///< training samples
+
+    /** Published model size in bytes. */
+    std::uint64_t model_size_bytes = 0;
+
+    /** Embedding dimension used in the paper's experiments (§4.1). */
+    std::size_t embedding_dim = 32;
+
+    /** Default training batch size (§4.1). */
+    std::size_t default_batch = 1024;
+
+    /** Access skew used when synthesising the workload (0 = uniform). */
+    double zipf_theta = 0.9;
+
+    /** Total embedding key space (entities+relations for KG, IDs for
+     *  REC). */
+    std::uint64_t
+    KeySpace() const
+    {
+        return kind == DatasetKind::kKnowledgeGraph
+                   ? n_vertices + n_relations
+                   : n_ids;
+    }
+
+    /**
+     * Returns a copy whose ID space is scaled down by `factor` (> 1
+     * shrinks) so the synthetic instance fits in memory; structural
+     * counts (features, relations) are preserved.
+     */
+    DatasetSpec Scaled(double factor) const;
+};
+
+/** The six evaluation datasets of Table 2, published statistics intact. */
+const std::vector<DatasetSpec> &AllDatasetSpecs();
+
+/** Lookup by name ("FB15k", "Freebase", "WikiKG", "Avazu", "Criteo",
+ *  "CriteoTB"); fatal on unknown names. */
+const DatasetSpec &DatasetByName(const std::string &name);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_DATA_DATASET_SPEC_H_

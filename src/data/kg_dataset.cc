@@ -1,0 +1,83 @@
+#include "data/kg_dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+KgDatasetGenerator::KgDatasetGenerator(const DatasetSpec &spec,
+                                       std::size_t negative_samples,
+                                       std::uint64_t seed)
+    : n_entities_(spec.n_vertices),
+      n_relations_(spec.n_relations),
+      negative_samples_(negative_samples),
+      rng_(seed)
+{
+    FRUGAL_CHECK_MSG(spec.kind == DatasetKind::kKnowledgeGraph,
+                     "KgDatasetGenerator needs a KG spec");
+    FRUGAL_CHECK(n_entities_ > 1);
+    FRUGAL_CHECK(n_relations_ > 0);
+    if (spec.zipf_theta > 0.0) {
+        entity_dist_ =
+            std::make_unique<ZipfDistribution>(n_entities_,
+                                               spec.zipf_theta);
+    } else {
+        entity_dist_ = std::make_unique<UniformDistribution>(n_entities_);
+    }
+    if (n_relations_ > 1 && spec.zipf_theta > 0.0) {
+        relation_dist_ =
+            std::make_unique<ZipfDistribution>(n_relations_,
+                                               spec.zipf_theta);
+    } else {
+        relation_dist_ =
+            std::make_unique<UniformDistribution>(n_relations_);
+    }
+}
+
+KgSample
+KgDatasetGenerator::Next()
+{
+    KgSample sample;
+    sample.positive.head = entity_dist_->Sample(rng_);
+    sample.positive.relation = relation_dist_->Sample(rng_);
+    do {
+        sample.positive.tail = entity_dist_->Sample(rng_);
+    } while (sample.positive.tail == sample.positive.head);
+
+    sample.negatives.reserve(negative_samples_);
+    sample.corrupt_head.reserve(negative_samples_);
+    for (std::size_t i = 0; i < negative_samples_; ++i) {
+        // DGL-KE style: uniform corruption of head or tail.
+        sample.negatives.push_back(rng_.NextBounded(n_entities_));
+        sample.corrupt_head.push_back(rng_.NextBounded(2) == 0);
+    }
+    return sample;
+}
+
+std::vector<KgSample>
+KgDatasetGenerator::NextBatch(std::size_t batch_size)
+{
+    std::vector<KgSample> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i)
+        batch.push_back(Next());
+    return batch;
+}
+
+std::vector<Key>
+KgDatasetGenerator::KeysOf(const KgSample &sample) const
+{
+    std::vector<Key> keys;
+    keys.reserve(3 + sample.negatives.size());
+    keys.push_back(EntityKey(sample.positive.head));
+    keys.push_back(EntityKey(sample.positive.tail));
+    keys.push_back(RelationKey(sample.positive.relation));
+    for (std::uint64_t e : sample.negatives)
+        keys.push_back(EntityKey(e));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+}
+
+}  // namespace frugal

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic knowledge-graph dataset generator.
+ *
+ * Substitutes for FB15k/Freebase/WikiKG (Table 2): a stream of
+ * ⟨head, relation, tail⟩ triples plus negative samples produced by
+ * corrupting heads or tails, matching the DGL-KE training recipe the
+ * paper follows (§4.1: TransE, dim 400, negative sample size 200).
+ *
+ * Entity and relation popularity are Zipf-skewed (real KGs have heavy
+ * hubs). Embedding keys are laid out as [entities | relations]: entity e
+ * maps to key e, relation r to key n_entities + r.
+ */
+#ifndef FRUGAL_DATA_KG_DATASET_H_
+#define FRUGAL_DATA_KG_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distribution.h"
+#include "common/rng.h"
+#include "data/dataset_spec.h"
+
+namespace frugal {
+
+/** One knowledge-graph triple (entity/relation indices, not keys). */
+struct KgTriple
+{
+    std::uint64_t head = 0;
+    std::uint64_t relation = 0;
+    std::uint64_t tail = 0;
+};
+
+/** A positive triple with its negative corruption set. */
+struct KgSample
+{
+    KgTriple positive;
+    /** Corrupted entities; `corrupt_head[i]` says whether negatives[i]
+     *  replaces the head (true) or the tail (false). */
+    std::vector<std::uint64_t> negatives;
+    std::vector<bool> corrupt_head;
+};
+
+/** Streaming generator of synthetic KG training samples. */
+class KgDatasetGenerator
+{
+  public:
+    /**
+     * @param spec a (scaled) knowledge-graph DatasetSpec
+     * @param negative_samples corruptions per positive (paper: 200)
+     * @param seed generator seed
+     */
+    KgDatasetGenerator(const DatasetSpec &spec,
+                       std::size_t negative_samples, std::uint64_t seed);
+
+    KgSample Next();
+    std::vector<KgSample> NextBatch(std::size_t batch_size);
+
+    std::uint64_t n_entities() const { return n_entities_; }
+    std::uint64_t n_relations() const { return n_relations_; }
+    std::size_t negative_samples() const { return negative_samples_; }
+
+    /** Total embedding key space: entities then relations. */
+    std::uint64_t key_space() const { return n_entities_ + n_relations_; }
+
+    Key EntityKey(std::uint64_t entity) const { return entity; }
+    Key RelationKey(std::uint64_t rel) const { return n_entities_ + rel; }
+
+    /** All distinct embedding keys touched by a sample (head, tail,
+     *  relation, and every negative entity). */
+    std::vector<Key> KeysOf(const KgSample &sample) const;
+
+  private:
+    std::uint64_t n_entities_;
+    std::uint64_t n_relations_;
+    std::size_t negative_samples_;
+    Rng rng_;
+    std::unique_ptr<KeyDistribution> entity_dist_;
+    std::unique_ptr<KeyDistribution> relation_dist_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_DATA_KG_DATASET_H_

@@ -1,0 +1,98 @@
+#include "data/rec_dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+RecDatasetGenerator::RecDatasetGenerator(const DatasetSpec &spec,
+                                         std::uint64_t seed)
+    : rng_(seed)
+{
+    FRUGAL_CHECK_MSG(spec.kind == DatasetKind::kRecommendation,
+                     "RecDatasetGenerator needs a REC spec");
+    FRUGAL_CHECK_MSG(spec.n_features > 0, "spec has no feature fields");
+    FRUGAL_CHECK_MSG(spec.n_ids >= spec.n_features,
+                     "fewer IDs than fields");
+
+    // Split the ID space into geometrically decreasing vocabularies:
+    // field f receives ~ratio^f of the remaining IDs (min 1). Mirrors the
+    // published datasets, where 2-3 fields hold most of the ID space.
+    const std::uint32_t f_count = spec.n_features;
+    constexpr double kRatio = 0.5;
+    std::uint64_t remaining = spec.n_ids;
+    double weight_total = 0.0;
+    for (std::uint32_t f = 0; f < f_count; ++f)
+        weight_total += std::pow(kRatio, f);
+    std::uint64_t offset = 0;
+    for (std::uint32_t f = 0; f < f_count; ++f) {
+        std::uint64_t size;
+        if (f + 1 == f_count) {
+            size = remaining;
+        } else {
+            size = static_cast<std::uint64_t>(
+                static_cast<double>(spec.n_ids) * std::pow(kRatio, f) /
+                weight_total);
+            size = std::max<std::uint64_t>(1, std::min(size, remaining -
+                                                                 (f_count -
+                                                                  f - 1)));
+        }
+        field_sizes_.push_back(size);
+        field_offsets_.push_back(offset);
+        offset += size;
+        remaining -= size;
+        if (spec.zipf_theta > 0.0 && size > 1) {
+            field_dists_.push_back(std::make_unique<ZipfDistribution>(
+                size, spec.zipf_theta));
+        } else {
+            field_dists_.push_back(
+                std::make_unique<UniformDistribution>(size));
+        }
+    }
+    key_space_ = offset;
+}
+
+float
+RecDatasetGenerator::TruthWeight(Key key) const
+{
+    // Deterministic hidden weight in [-1, 1] derived from the key only:
+    // the ground-truth concept is a property of the *dataset*, not of
+    // the sampling seed, so differently-seeded generators (train vs
+    // held-out streams) label consistently.
+    std::uint64_t s = 0x5742'7455'7254'48aaULL ^
+                      (key * 0xd1342543de82ef95ULL);
+    const std::uint64_t bits = SplitMix64(s);
+    return static_cast<float>(
+        2.0 * (static_cast<double>(bits >> 11) * 0x1.0p-53) - 1.0);
+}
+
+RecSample
+RecDatasetGenerator::Next()
+{
+    RecSample sample;
+    sample.keys.reserve(field_sizes_.size());
+    double logit = 0.0;
+    for (std::size_t f = 0; f < field_sizes_.size(); ++f) {
+        const Key local = field_dists_[f]->Sample(rng_);
+        const Key global = field_offsets_[f] + local;
+        sample.keys.push_back(global);
+        logit += TruthWeight(global);
+    }
+    logit /= std::sqrt(static_cast<double>(field_sizes_.size()));
+    const double p = 1.0 / (1.0 + std::exp(-2.0 * logit));
+    sample.label = rng_.NextDouble() < p ? 1.0f : 0.0f;
+    return sample;
+}
+
+std::vector<RecSample>
+RecDatasetGenerator::NextBatch(std::size_t batch_size)
+{
+    std::vector<RecSample> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i)
+        batch.push_back(Next());
+    return batch;
+}
+
+}  // namespace frugal

@@ -1,0 +1,105 @@
+#include "data/trace.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+void
+DedupeKeys(std::vector<Key> &keys)
+{
+    std::unordered_set<Key> seen;
+    seen.reserve(keys.size());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < keys.size(); ++r) {
+        if (seen.insert(keys[r]).second)
+            keys[w++] = keys[r];
+    }
+    keys.resize(w);
+}
+
+Trace
+Trace::Synthetic(KeyDistribution &dist, Rng &rng, std::size_t steps,
+                 std::uint32_t n_gpus, std::size_t keys_per_gpu)
+{
+    FRUGAL_CHECK(n_gpus > 0);
+    std::vector<StepKeys> all(steps);
+    for (std::size_t s = 0; s < steps; ++s) {
+        all[s].per_gpu.resize(n_gpus);
+        for (std::uint32_t g = 0; g < n_gpus; ++g) {
+            auto &keys = all[s].per_gpu[g];
+            keys.reserve(keys_per_gpu);
+            for (std::size_t i = 0; i < keys_per_gpu; ++i)
+                keys.push_back(dist.Sample(rng));
+            DedupeKeys(keys);
+        }
+    }
+    return Trace(std::move(all), dist.KeySpace(), n_gpus);
+}
+
+Trace
+Trace::FromRec(RecDatasetGenerator &gen, std::size_t steps,
+               std::uint32_t n_gpus, std::size_t samples_per_gpu)
+{
+    FRUGAL_CHECK(n_gpus > 0);
+    std::vector<StepKeys> all(steps);
+    for (std::size_t s = 0; s < steps; ++s) {
+        all[s].per_gpu.resize(n_gpus);
+        for (std::uint32_t g = 0; g < n_gpus; ++g) {
+            auto &keys = all[s].per_gpu[g];
+            for (std::size_t i = 0; i < samples_per_gpu; ++i) {
+                const RecSample sample = gen.Next();
+                keys.insert(keys.end(), sample.keys.begin(),
+                            sample.keys.end());
+            }
+            DedupeKeys(keys);
+        }
+    }
+    return Trace(std::move(all), gen.key_space(), n_gpus);
+}
+
+Trace
+Trace::FromKg(KgDatasetGenerator &gen, std::size_t steps,
+              std::uint32_t n_gpus, std::size_t samples_per_gpu)
+{
+    FRUGAL_CHECK(n_gpus > 0);
+    std::vector<StepKeys> all(steps);
+    for (std::size_t s = 0; s < steps; ++s) {
+        all[s].per_gpu.resize(n_gpus);
+        for (std::uint32_t g = 0; g < n_gpus; ++g) {
+            auto &keys = all[s].per_gpu[g];
+            for (std::size_t i = 0; i < samples_per_gpu; ++i) {
+                const KgSample sample = gen.Next();
+                const auto sample_keys = gen.KeysOf(sample);
+                keys.insert(keys.end(), sample_keys.begin(),
+                            sample_keys.end());
+            }
+            DedupeKeys(keys);
+        }
+    }
+    return Trace(std::move(all), gen.key_space(), n_gpus);
+}
+
+TraceStats
+Trace::Stats() const
+{
+    TraceStats stats;
+    stats.steps = steps_.size();
+    stats.n_gpus = n_gpus_;
+    std::unordered_set<Key> distinct;
+    for (const StepKeys &step : steps_) {
+        for (const auto &keys : step.per_gpu) {
+            stats.total_key_accesses += keys.size();
+            distinct.insert(keys.begin(), keys.end());
+        }
+    }
+    stats.distinct_keys = distinct.size();
+    stats.mean_keys_per_step =
+        stats.steps == 0 ? 0.0
+                         : static_cast<double>(stats.total_key_accesses) /
+                               static_cast<double>(stats.steps);
+    return stats;
+}
+
+}  // namespace frugal

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Umbrella header: the public API of the Frugal library.
+ *
+ * Most applications need only this header:
+ *   - engines and configuration      (runtime/engine.h, …)
+ *   - workload construction          (data/…)
+ *   - models                         (models/…)
+ *   - persistence                    (table/checkpoint.h, data/trace_io.h)
+ *   - capacity/what-if planning      (sim/…)
+ */
+#ifndef FRUGAL_FRUGAL_H_
+#define FRUGAL_FRUGAL_H_
+
+#include "common/distribution.h"
+#include "common/rng.h"
+#include "data/dataset_spec.h"
+#include "data/kg_dataset.h"
+#include "data/rec_dataset.h"
+#include "data/trace.h"
+#include "data/trace_io.h"
+#include "models/auc.h"
+#include "models/dlrm.h"
+#include "models/kg_model.h"
+#include "models/kg_scorers.h"
+#include "models/mlp.h"
+#include "runtime/baseline_engines.h"
+#include "runtime/engine.h"
+#include "runtime/frugal_engine.h"
+#include "runtime/microtask.h"
+#include "runtime/oracle.h"
+#include "sim/cost_model.h"
+#include "sim/engine_sim.h"
+#include "sim/gpu_spec.h"
+#include "table/checkpoint.h"
+#include "table/embedding_table.h"
+#include "table/optimizer.h"
+
+#endif  // FRUGAL_FRUGAL_H_

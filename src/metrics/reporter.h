@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper-style result reporting: aligned ASCII tables (one per figure or
+ * table being reproduced) with optional CSV output so results can be
+ * re-plotted. Every bench binary prints through this so outputs share
+ * one format.
+ */
+#ifndef FRUGAL_METRICS_REPORTER_H_
+#define FRUGAL_METRICS_REPORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frugal {
+
+/** An aligned text table with a caption. */
+class TablePrinter
+{
+  public:
+    TablePrinter(std::string caption, std::vector<std::string> headers);
+
+    /** Appends one row; cell count must match the header count. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Renders to stdout. */
+    void Print() const;
+
+    /** Writes caption-less CSV to `path` (overwrites). */
+    void WriteCsv(const std::string &path) const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "1.23M", "456k", "789" style magnitude formatting. */
+std::string FormatCount(double value);
+
+/** Seconds with an auto-chosen unit ("12.3 ms", "45 µs"). */
+std::string FormatSeconds(double seconds);
+
+/** Fixed-precision double. */
+std::string FormatDouble(double value, int precision = 2);
+
+/** Ratio as "N.NNx". */
+std::string FormatSpeedup(double ratio);
+
+/** Bytes/s as GB/s. */
+std::string FormatBandwidthGbps(double bytes_per_second);
+
+/** Prints a section banner for a figure/table reproduction. */
+void PrintBanner(const std::string &experiment_id,
+                 const std::string &description);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_METRICS_REPORTER_H_

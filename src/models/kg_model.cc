@@ -1,0 +1,185 @@
+#include "models/kg_model.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+namespace {
+
+double
+Softplus(double z)
+{
+    // Numerically stable log(1 + e^z).
+    return z > 30.0 ? z : std::log1p(std::exp(z));
+}
+
+double
+Sigmoid(double z)
+{
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace
+
+KgWorkload
+KgWorkload::Build(KgDatasetGenerator &gen, std::size_t steps,
+                  std::uint32_t n_gpus, std::size_t samples_per_gpu)
+{
+    KgWorkload workload;
+    workload.samples.resize(steps);
+    workload.idx.resize(steps);
+    std::vector<StepKeys> trace_steps(steps);
+    for (std::size_t s = 0; s < steps; ++s) {
+        workload.samples[s].resize(n_gpus);
+        workload.idx[s].resize(n_gpus);
+        trace_steps[s].per_gpu.resize(n_gpus);
+        for (std::uint32_t g = 0; g < n_gpus; ++g) {
+            auto &samples = workload.samples[s][g];
+            auto &indices = workload.idx[s][g];
+            auto &keys = trace_steps[s].per_gpu[g];
+            std::unordered_map<Key, std::uint32_t> key_to_idx;
+            auto index_of = [&](Key key) {
+                auto [it, inserted] = key_to_idx.try_emplace(
+                    key, static_cast<std::uint32_t>(keys.size()));
+                if (inserted)
+                    keys.push_back(key);
+                return it->second;
+            };
+            samples = gen.NextBatch(samples_per_gpu);
+            indices.resize(samples.size());
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                const KgSample &sample = samples[i];
+                KgWorkload::SampleIdx &si = indices[i];
+                si.head = index_of(gen.EntityKey(sample.positive.head));
+                si.tail = index_of(gen.EntityKey(sample.positive.tail));
+                si.relation =
+                    index_of(gen.RelationKey(sample.positive.relation));
+                si.negatives.reserve(sample.negatives.size());
+                for (std::uint64_t e : sample.negatives)
+                    si.negatives.push_back(
+                        index_of(gen.EntityKey(e)));
+            }
+        }
+    }
+    workload.trace =
+        Trace(std::move(trace_steps), gen.key_space(), n_gpus);
+    return workload;
+}
+
+KgModel::KgModel(const KgModelConfig &config)
+    : config_(config),
+      loss_accum_(config.n_gpus, 0.0),
+      triples_(config.n_gpus, 0)
+{
+    FRUGAL_CHECK(config.dim > 0);
+}
+
+GradFn
+KgModel::BindGradFn(const KgWorkload &workload)
+{
+    return [this, &workload](GpuId gpu, Step step,
+                             const std::vector<Key> &keys,
+                             const std::vector<float> &values,
+                             std::vector<float> *grads) {
+        (void)keys;
+        const std::size_t dim = config_.dim;
+        const auto &indices = workload.idx[step][gpu];
+        const auto &samples = workload.samples[step][gpu];
+        auto row = [&](std::uint32_t i) {
+            return values.data() + static_cast<std::size_t>(i) * dim;
+        };
+        auto grow = [&](std::uint32_t i) {
+            return grads->data() + static_cast<std::size_t>(i) * dim;
+        };
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            const KgWorkload::SampleIdx &si = indices[i];
+            const float *h = row(si.head);
+            const float *t = row(si.tail);
+            const float *r = row(si.relation);
+
+            // Positive triple: label +1.
+            const double s_pos = ScoreTriple(config_.kind, h, r, t, dim,
+                                             config_.gamma);
+            loss_accum_[gpu] += Softplus(-s_pos);
+            const float d_pos = static_cast<float>(-Sigmoid(-s_pos));
+            AccumulateTripleGrad(config_.kind, h, r, t, dim, d_pos,
+                                 grow(si.head), grow(si.relation),
+                                 grow(si.tail));
+
+            // Negatives: label −1, averaged.
+            const std::size_t n_neg = si.negatives.size();
+            const float neg_scale =
+                n_neg == 0 ? 0.0f : 1.0f / static_cast<float>(n_neg);
+            for (std::size_t n = 0; n < n_neg; ++n) {
+                const std::uint32_t corrupt = si.negatives[n];
+                const bool corrupt_head = samples[i].corrupt_head[n];
+                const float *ch = corrupt_head ? row(corrupt) : h;
+                const float *ct = corrupt_head ? t : row(corrupt);
+                const double s_neg = ScoreTriple(config_.kind, ch, r, ct,
+                                                 dim, config_.gamma);
+                loss_accum_[gpu] +=
+                    static_cast<double>(neg_scale) * Softplus(s_neg);
+                const float d_neg = static_cast<float>(Sigmoid(s_neg)) *
+                                    neg_scale;
+                AccumulateTripleGrad(
+                    config_.kind, ch, r, ct, dim, d_neg,
+                    corrupt_head ? grow(corrupt) : grow(si.head),
+                    grow(si.relation),
+                    corrupt_head ? grow(si.tail) : grow(corrupt));
+            }
+            triples_[gpu] += 1;
+        }
+    };
+}
+
+StepHook
+KgModel::BindStepHook()
+{
+    return [this](Step) {
+        double total_loss = 0.0;
+        std::size_t total_triples = 0;
+        for (std::uint32_t g = 0; g < config_.n_gpus; ++g) {
+            total_loss += loss_accum_[g];
+            total_triples += triples_[g];
+            loss_accum_[g] = 0.0;
+            triples_[g] = 0;
+        }
+        losses_.push_back(total_triples == 0
+                              ? 0.0
+                              : total_loss /
+                                    static_cast<double>(total_triples));
+    };
+}
+
+double
+KgModel::MeanLossOverFirst(std::size_t window) const
+{
+    window = std::min(window, losses_.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i)
+        sum += losses_[i];
+    return window == 0 ? 0.0 : sum / static_cast<double>(window);
+}
+
+double
+KgModel::MeanLossOverLast(std::size_t window) const
+{
+    window = std::min(window, losses_.size());
+    double sum = 0.0;
+    for (std::size_t i = losses_.size() - window; i < losses_.size(); ++i)
+        sum += losses_[i];
+    return window == 0 ? 0.0 : sum / static_cast<double>(window);
+}
+
+void
+KgModel::Reset()
+{
+    losses_.clear();
+    loss_accum_.assign(config_.n_gpus, 0.0);
+    triples_.assign(config_.n_gpus, 0);
+}
+
+}  // namespace frugal

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Knowledge-graph embedding training (the paper's KG application, §4.1):
+ * positive triples scored against corrupted negatives with a logistic
+ * loss, following the DGL-KE recipe (TransE, dim 400, 200 negatives; the
+ * scorer is swappable for Exp #11's ComplEx/DistMult/SimplE sweep).
+ *
+ * Unlike DLRM there are no dense parameters — every trainable weight is
+ * an embedding row (entities and relations), which is why KG workloads
+ * stress the embedding system hardest.
+ */
+#ifndef FRUGAL_MODELS_KG_MODEL_H_
+#define FRUGAL_MODELS_KG_MODEL_H_
+
+#include <vector>
+
+#include "data/kg_dataset.h"
+#include "data/trace.h"
+#include "models/kg_scorers.h"
+#include "runtime/engine.h"
+
+namespace frugal {
+
+/** A fixed KG training workload: samples + their key-trace view. */
+struct KgWorkload
+{
+    /** Positions of one sample's keys in trace.KeysFor(step, gpu). */
+    struct SampleIdx
+    {
+        std::uint32_t head = 0;
+        std::uint32_t tail = 0;
+        std::uint32_t relation = 0;
+        std::vector<std::uint32_t> negatives;
+    };
+
+    Trace trace{{}, 0, 1};
+    std::vector<std::vector<std::vector<KgSample>>> samples;
+    std::vector<std::vector<std::vector<SampleIdx>>> idx;
+
+    static KgWorkload Build(KgDatasetGenerator &gen, std::size_t steps,
+                            std::uint32_t n_gpus,
+                            std::size_t samples_per_gpu);
+};
+
+/** Configuration of a KG embedding model. */
+struct KgModelConfig
+{
+    KgScorerKind kind = KgScorerKind::kTransE;
+    std::size_t dim = 400;
+    double gamma = 12.0;  ///< TransE margin
+    std::uint32_t n_gpus = 1;
+};
+
+/** Scorer + loss glue feeding the engines. */
+class KgModel
+{
+  public:
+    explicit KgModel(const KgModelConfig &config);
+
+    /** Gradient callback; `workload` must outlive it. */
+    GradFn BindGradFn(const KgWorkload &workload);
+
+    /** Step hook: loss bookkeeping (no dense parameters to sync). */
+    StepHook BindStepHook();
+
+    const std::vector<double> &loss_history() const { return losses_; }
+    double MeanLossOverFirst(std::size_t window) const;
+    double MeanLossOverLast(std::size_t window) const;
+
+    void Reset();
+
+  private:
+    KgModelConfig config_;
+    std::vector<double> loss_accum_;
+    std::vector<std::size_t> triples_;
+    std::vector<double> losses_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_MODELS_KG_MODEL_H_

@@ -1,0 +1,145 @@
+#include "models/kg_scorers.h"
+
+#include "common/logging.h"
+
+namespace frugal {
+
+KgScorerKind
+KgScorerByName(const std::string &name)
+{
+    if (name == "TransE")
+        return KgScorerKind::kTransE;
+    if (name == "DistMult")
+        return KgScorerKind::kDistMult;
+    if (name == "ComplEx")
+        return KgScorerKind::kComplEx;
+    if (name == "SimplE")
+        return KgScorerKind::kSimplE;
+    FRUGAL_FATAL("unknown KG scorer: " << name);
+}
+
+std::string
+KgScorerName(KgScorerKind kind)
+{
+    switch (kind) {
+      case KgScorerKind::kTransE: return "TransE";
+      case KgScorerKind::kDistMult: return "DistMult";
+      case KgScorerKind::kComplEx: return "ComplEx";
+      case KgScorerKind::kSimplE: return "SimplE";
+    }
+    return "?";
+}
+
+double
+ScoreTriple(KgScorerKind kind, const float *h, const float *r,
+            const float *t, std::size_t dim, double gamma)
+{
+    switch (kind) {
+      case KgScorerKind::kTransE: {
+        // γ − ‖h + r − t‖²  (squared L2 keeps the gradient smooth)
+        double dist = 0.0;
+        for (std::size_t j = 0; j < dim; ++j) {
+            const double e = static_cast<double>(h[j]) + r[j] - t[j];
+            dist += e * e;
+        }
+        return gamma - dist;
+      }
+      case KgScorerKind::kDistMult: {
+        double s = 0.0;
+        for (std::size_t j = 0; j < dim; ++j)
+            s += static_cast<double>(h[j]) * r[j] * t[j];
+        return s;
+      }
+      case KgScorerKind::kComplEx: {
+        FRUGAL_CHECK_MSG(dim % 2 == 0, "ComplEx needs an even dim");
+        const std::size_t half = dim / 2;
+        const float *a = h, *b = h + half;        // Re(h), Im(h)
+        const float *c = r, *d = r + half;        // Re(r), Im(r)
+        const float *e = t, *f = t + half;        // Re(t), Im(t)
+        double s = 0.0;
+        for (std::size_t j = 0; j < half; ++j) {
+            s += static_cast<double>(a[j]) * c[j] * e[j] +
+                 static_cast<double>(b[j]) * c[j] * f[j] +
+                 static_cast<double>(a[j]) * d[j] * f[j] -
+                 static_cast<double>(b[j]) * d[j] * e[j];
+        }
+        return s;
+      }
+      case KgScorerKind::kSimplE: {
+        FRUGAL_CHECK_MSG(dim % 2 == 0, "SimplE needs an even dim");
+        const std::size_t half = dim / 2;
+        const float *h1 = h, *h2 = h + half;
+        const float *r1 = r, *r2 = r + half;
+        const float *t1 = t, *t2 = t + half;
+        double s = 0.0;
+        for (std::size_t j = 0; j < half; ++j) {
+            s += 0.5 * (static_cast<double>(h1[j]) * r1[j] * t2[j] +
+                        static_cast<double>(t1[j]) * r2[j] * h2[j]);
+        }
+        return s;
+      }
+    }
+    FRUGAL_PANIC("unreachable scorer kind");
+}
+
+void
+AccumulateTripleGrad(KgScorerKind kind, const float *h, const float *r,
+                     const float *t, std::size_t dim, float dscale,
+                     float *gh, float *gr, float *gt)
+{
+    switch (kind) {
+      case KgScorerKind::kTransE: {
+        for (std::size_t j = 0; j < dim; ++j) {
+            const float e = h[j] + r[j] - t[j];
+            const float d = -2.0f * e * dscale;
+            gh[j] += d;
+            gr[j] += d;
+            gt[j] -= d;
+        }
+        return;
+      }
+      case KgScorerKind::kDistMult: {
+        for (std::size_t j = 0; j < dim; ++j) {
+            gh[j] += dscale * r[j] * t[j];
+            gr[j] += dscale * h[j] * t[j];
+            gt[j] += dscale * h[j] * r[j];
+        }
+        return;
+      }
+      case KgScorerKind::kComplEx: {
+        FRUGAL_CHECK(dim % 2 == 0);
+        const std::size_t half = dim / 2;
+        const float *a = h, *b = h + half;
+        const float *c = r, *d = r + half;
+        const float *e = t, *f = t + half;
+        for (std::size_t j = 0; j < half; ++j) {
+            gh[j] += dscale * (c[j] * e[j] + d[j] * f[j]);
+            gh[half + j] += dscale * (c[j] * f[j] - d[j] * e[j]);
+            gr[j] += dscale * (a[j] * e[j] + b[j] * f[j]);
+            gr[half + j] += dscale * (a[j] * f[j] - b[j] * e[j]);
+            gt[j] += dscale * (a[j] * c[j] - b[j] * d[j]);
+            gt[half + j] += dscale * (b[j] * c[j] + a[j] * d[j]);
+        }
+        return;
+      }
+      case KgScorerKind::kSimplE: {
+        FRUGAL_CHECK(dim % 2 == 0);
+        const std::size_t half = dim / 2;
+        const float *h1 = h, *h2 = h + half;
+        const float *r1 = r, *r2 = r + half;
+        const float *t1 = t, *t2 = t + half;
+        for (std::size_t j = 0; j < half; ++j) {
+            gh[j] += dscale * 0.5f * r1[j] * t2[j];
+            gh[half + j] += dscale * 0.5f * t1[j] * r2[j];
+            gr[j] += dscale * 0.5f * h1[j] * t2[j];
+            gr[half + j] += dscale * 0.5f * t1[j] * h2[j];
+            gt[j] += dscale * 0.5f * r2[j] * h2[j];
+            gt[half + j] += dscale * 0.5f * h1[j] * r1[j];
+        }
+        return;
+      }
+    }
+    FRUGAL_PANIC("unreachable scorer kind");
+}
+
+}  // namespace frugal

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Knowledge-graph triple scoring functions and their analytic gradients —
+ * the four graph-embedding models of Exp #11: TransE, DistMult, ComplEx
+ * and SimplE.
+ *
+ * All scorers map (head, relation, tail) embedding rows of dimension d to
+ * a scalar plausibility score; training pushes positive triples' scores
+ * up and corrupted triples' scores down. ComplEx and SimplE interpret the
+ * d floats as two d/2 halves (real/imaginary, head/tail roles).
+ *
+ * Gradients are validated against finite differences in the test suite.
+ */
+#ifndef FRUGAL_MODELS_KG_SCORERS_H_
+#define FRUGAL_MODELS_KG_SCORERS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace frugal {
+
+/** The KG embedding model family (Fig. 18a). */
+enum class KgScorerKind { kTransE, kDistMult, kComplEx, kSimplE };
+
+/** Parses "TransE" / "DistMult" / "ComplEx" / "SimplE". */
+KgScorerKind KgScorerByName(const std::string &name);
+std::string KgScorerName(KgScorerKind kind);
+
+/**
+ * Plausibility score of a triple.
+ * @param gamma margin used by the translational (TransE) scorer
+ */
+double ScoreTriple(KgScorerKind kind, const float *h, const float *r,
+                   const float *t, std::size_t dim, double gamma = 12.0);
+
+/**
+ * Accumulates `dscale · ∂score/∂{h,r,t}` into gh/gr/gt (each `dim`
+ * floats). `dscale` is the upstream loss derivative dL/dscore.
+ */
+void AccumulateTripleGrad(KgScorerKind kind, const float *h,
+                          const float *r, const float *t, std::size_t dim,
+                          float dscale, float *gh, float *gr, float *gt);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_MODELS_KG_SCORERS_H_

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * A lock-free, dynamically growing multiset of pointers.
+ *
+ * This is the second level of the two-level PQ (§3.4): each priority bucket
+ * holds the g-entries sharing that priority value. The required operations
+ * are exactly
+ *   - Insert(ptr)  — add an element (duplicates allowed; the PQ layer
+ *                    deduplicates logically via the g-entry `enqueued`
+ *                    flag),
+ *   - PopAny()     — remove and return *some* element,
+ * both lock-free (CAS loops only, no mutual exclusion).
+ *
+ * The paper uses a lock-free dynamic hash table (it needs key lookup for
+ * its delete-from-old-bucket step). Frugal's AdjustPriority here uses
+ * *lazy deletion* instead — the stale copy stays until a dequeuer pops and
+ * discards it — so membership lookup is unnecessary and a slot multiset
+ * suffices. The observable semantics (lock-freedom, O(1) amortised ops,
+ * duplicate tolerance via priority validation) are those §3.4 relies on.
+ *
+ * Layout: a singly linked list of fixed-size segments of atomic slots.
+ * Insert claims the next index from a monotone cursor and stores into the
+ * (necessarily free) slot; PopAny scans from an advancing head hint and
+ * CASes a non-null slot back to nullptr. Slots are never reused, but:
+ *  - each segment counts published and popped elements, so drained
+ *    segments are skipped in O(1);
+ *  - a `scan_head_` pointer advances permanently past leading segments
+ *    with published == popped == capacity (they can never refill, since
+ *    the insert cursor is monotone), keeping PopAny O(1) amortised even
+ *    for the long-lived ∞ bucket.
+ *
+ * PopAny may return nullptr spuriously while a racing Insert is between
+ * claiming its index and publishing the pointer; callers treat the set as
+ * a polling source (the flush threads loop; the consistency gate never
+ * relies on PopAny).
+ */
+#ifndef FRUGAL_PQ_ATOMIC_SLOT_SET_H_
+#define FRUGAL_PQ_ATOMIC_SLOT_SET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+/** Lock-free grow-only multiset of `T*`. */
+template <typename T>
+class AtomicSlotSet
+{
+  public:
+    explicit AtomicSlotSet(std::size_t segment_slots = 32)
+        : segment_slots_(segment_slots)
+    {
+        FRUGAL_CHECK(segment_slots > 0);
+        auto *first = new Segment(segment_slots_, 0);
+        head_ = first;
+        tail_hint_.store(first, std::memory_order_release);
+        scan_head_.store(first, std::memory_order_release);
+    }
+
+    ~AtomicSlotSet()
+    {
+        Segment *seg = head_;
+        while (seg != nullptr) {
+            Segment *next = seg->next.load(std::memory_order_acquire);
+            delete seg;
+            seg = next;
+        }
+    }
+
+    AtomicSlotSet(const AtomicSlotSet &) = delete;
+    AtomicSlotSet &operator=(const AtomicSlotSet &) = delete;
+
+    /** Adds `item` (never fails; grows as needed). */
+    void
+    Insert(T *item)
+    {
+        FRUGAL_CHECK(item != nullptr);
+        const std::size_t index =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        Segment *seg = SegmentFor(index);
+        // The cursor hands out each index exactly once, so this slot is
+        // exclusively ours.
+        occupied_.fetch_add(1, std::memory_order_release);
+        seg->slots[index - seg->base_index].ptr.store(
+            item, std::memory_order_release);
+        seg->published.fetch_add(1, std::memory_order_release);
+    }
+
+    /**
+     * Removes some element, if any. Returns nullptr when the set is
+     * empty or every remaining element is mid-publish.
+     */
+    T *
+    PopAny()
+    {
+        for (;;) {
+            if (occupied_.load(std::memory_order_acquire) == 0)
+                return nullptr;
+            AdvanceScanHead();
+            bool saw_race = false;
+            const std::size_t limit =
+                cursor_.load(std::memory_order_acquire);
+            for (Segment *seg = scan_head_.load(std::memory_order_acquire);
+                 seg != nullptr && seg->base_index < limit;
+                 seg = seg->next.load(std::memory_order_acquire)) {
+                const std::size_t published =
+                    seg->published.load(std::memory_order_acquire);
+                if (seg->popped.load(std::memory_order_acquire) >=
+                    published) {
+                    continue;  // drained (or everything is mid-publish)
+                }
+                const std::size_t upto =
+                    std::min(segment_slots_, limit - seg->base_index);
+                for (std::size_t i = 0; i < upto; ++i) {
+                    T *item =
+                        seg->slots[i].ptr.load(std::memory_order_acquire);
+                    if (item == nullptr)
+                        continue;
+                    if (seg->slots[i].ptr.compare_exchange_strong(
+                            item, nullptr, std::memory_order_acq_rel,
+                            std::memory_order_relaxed)) {
+                        seg->popped.fetch_add(1, std::memory_order_release);
+                        occupied_.fetch_sub(1, std::memory_order_release);
+                        return item;
+                    }
+                    saw_race = true;  // another popper took it; rescan
+                }
+            }
+            if (!saw_race)
+                return nullptr;
+        }
+    }
+
+    /** Number of elements currently stored (racy snapshot). */
+    std::size_t
+    size() const
+    {
+        return occupied_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<T *> ptr{nullptr};
+    };
+
+    struct Segment
+    {
+        Segment(std::size_t n, std::size_t base)
+            : slots(new Slot[n]), base_index(base)
+        {
+        }
+
+        std::unique_ptr<Slot[]> slots;
+        const std::size_t base_index;
+        /** Completed Insert publishes into this segment (monotone). */
+        std::atomic<std::size_t> published{0};
+        /** Completed PopAny removals from this segment (monotone). */
+        std::atomic<std::size_t> popped{0};
+        std::atomic<Segment *> next{nullptr};
+    };
+
+    /** Returns the segment containing `index`, growing as needed. */
+    Segment *
+    SegmentFor(std::size_t index)
+    {
+        Segment *seg = tail_hint_.load(std::memory_order_acquire);
+        if (index < seg->base_index)
+            seg = head_;
+        while (index >= seg->base_index + segment_slots_) {
+            Segment *next = seg->next.load(std::memory_order_acquire);
+            if (next == nullptr) {
+                auto *fresh =
+                    new Segment(segment_slots_,
+                                seg->base_index + segment_slots_);
+                if (seg->next.compare_exchange_strong(
+                        next, fresh, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+                    next = fresh;
+                    tail_hint_.store(fresh, std::memory_order_release);
+                } else {
+                    delete fresh;  // somebody else grew it first
+                }
+            }
+            seg = next;
+        }
+        return seg;
+    }
+
+    /**
+     * Permanently skips leading segments whose every slot has been
+     * published and popped; the monotone cursor guarantees they can never
+     * refill.
+     */
+    void
+    AdvanceScanHead()
+    {
+        Segment *seg = scan_head_.load(std::memory_order_acquire);
+        while (seg->published.load(std::memory_order_acquire) ==
+                   segment_slots_ &&
+               seg->popped.load(std::memory_order_acquire) ==
+                   segment_slots_) {
+            Segment *next = seg->next.load(std::memory_order_acquire);
+            if (next == nullptr)
+                break;
+            scan_head_.compare_exchange_strong(seg, next,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire);
+            seg = scan_head_.load(std::memory_order_acquire);
+        }
+    }
+
+    const std::size_t segment_slots_;
+    Segment *head_;  // immutable after construction; owns the chain
+    std::atomic<Segment *> tail_hint_{nullptr};
+    std::atomic<Segment *> scan_head_{nullptr};
+    std::atomic<std::size_t> cursor_{0};
+    std::atomic<std::size_t> occupied_{0};
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_PQ_ATOMIC_SLOT_SET_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Owning registry of g-entries, sharded by key hash.
+ *
+ * The controller process keeps metadata "for two categories of parameters:
+ * parameters soon to be accessed and parameters with pending updates"
+ * (§3.3). Entries are created lazily on first touch and retained for the
+ * life of the run — the FlushQueue holds raw pointers into this registry,
+ * so stability of addresses is part of the contract.
+ */
+#ifndef FRUGAL_PQ_G_ENTRY_REGISTRY_H_
+#define FRUGAL_PQ_G_ENTRY_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "pq/g_entry.h"
+
+namespace frugal {
+
+/** Sharded owning map Key → GEntry. */
+class GEntryRegistry
+{
+  public:
+    explicit GEntryRegistry(std::size_t shards = 64) : shards_(shards)
+    {
+        FRUGAL_CHECK(shards > 0);
+    }
+
+    GEntryRegistry(const GEntryRegistry &) = delete;
+    GEntryRegistry &operator=(const GEntryRegistry &) = delete;
+
+    /** Returns the entry for `key`, creating it if absent. */
+    GEntry &
+    GetOrCreate(Key key)
+    {
+        Shard &shard = ShardFor(key);
+        std::lock_guard<Spinlock> guard(shard.lock);
+        auto it = shard.entries.find(key);
+        if (it == shard.entries.end()) {
+            it = shard.entries.emplace(key, std::make_unique<GEntry>(key))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** Returns the entry for `key` or nullptr. */
+    GEntry *
+    Find(Key key)
+    {
+        Shard &shard = ShardFor(key);
+        std::lock_guard<Spinlock> guard(shard.lock);
+        auto it = shard.entries.find(key);
+        return it == shard.entries.end() ? nullptr : it->second.get();
+    }
+
+    /** Visits every entry; `fn` must not call back into the registry.
+     *  Intended for quiescent phases (end-of-training audits). */
+    template <typename Fn>
+    void
+    ForEach(Fn &&fn)
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<Spinlock> guard(shard.lock);
+            for (auto &[key, entry] : shard.entries)
+                fn(*entry);
+        }
+    }
+
+    std::size_t
+    size() const
+    {
+        std::size_t total = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<Spinlock> guard(shard.lock);
+            total += shard.entries.size();
+        }
+        return total;
+    }
+
+  private:
+    struct Shard
+    {
+        mutable Spinlock lock;
+        std::unordered_map<Key, std::unique_ptr<GEntry>> entries;
+    };
+
+    Shard &
+    ShardFor(Key key)
+    {
+        return shards_[MixHash64(key) % shards_.size()];
+    }
+
+    std::vector<Shard> shards_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_PQ_G_ENTRY_REGISTRY_H_

@@ -1,0 +1,195 @@
+#include "pq/two_level_pq.h"
+
+#include <mutex>
+
+namespace frugal {
+
+TwoLevelPQ::TwoLevelPQ(const TwoLevelPQConfig &config)
+    : config_(config),
+      infinity_index_(static_cast<std::size_t>(config.max_step) + 1),
+      buckets_(static_cast<std::size_t>(config.max_step) + 2)
+{
+    scan_horizon_.store(config.max_step, std::memory_order_relaxed);
+}
+
+TwoLevelPQ::~TwoLevelPQ()
+{
+    for (Bucket &bucket : buckets_)
+        delete bucket.set.load(std::memory_order_acquire);
+}
+
+std::size_t
+TwoLevelPQ::BucketIndex(Priority priority) const
+{
+    if (priority == kInfiniteStep)
+        return infinity_index_;
+    FRUGAL_CHECK_MSG(priority <= config_.max_step,
+                     "priority " << priority << " exceeds max_step "
+                                 << config_.max_step);
+    return static_cast<std::size_t>(priority);
+}
+
+AtomicSlotSet<GEntry> &
+TwoLevelPQ::EnsureSet(Bucket &bucket)
+{
+    AtomicSlotSet<GEntry> *set = bucket.set.load(std::memory_order_acquire);
+    if (set == nullptr) {
+        auto *fresh = new AtomicSlotSet<GEntry>(config_.segment_slots);
+        if (bucket.set.compare_exchange_strong(set, fresh,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+            set = fresh;
+        } else {
+            delete fresh;  // lost the allocation race
+        }
+    }
+    return *set;
+}
+
+void
+TwoLevelPQ::Enqueue(GEntry *entry, Priority priority)
+{
+    Bucket &bucket = buckets_[BucketIndex(priority)];
+    // Logical count first: the gate must never observe "no pending entry"
+    // while one is being published.
+    bucket.logical.fetch_add(1, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    EnsureSet(bucket).Insert(entry);
+}
+
+void
+TwoLevelPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
+                             Priority new_priority)
+{
+    FRUGAL_CHECK(old_priority != new_priority);
+    // Paper ordering: first insert into the new bucket, then delete from
+    // the old one, so a dequeuer can never observe the entry in neither.
+    Bucket &fresh = buckets_[BucketIndex(new_priority)];
+    fresh.logical.fetch_add(1, std::memory_order_release);
+    EnsureSet(fresh).Insert(entry);
+    // Logical deletion only; the stale physical copy is discarded by the
+    // dequeuer whose priority validation fails.
+    buckets_[BucketIndex(old_priority)].logical.fetch_sub(
+        1, std::memory_order_release);
+}
+
+std::size_t
+TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
+                        std::vector<ClaimTicket> &out,
+                        std::size_t max_entries)
+{
+    Bucket &bucket = buckets_[bucket_index];
+    AtomicSlotSet<GEntry> *set = bucket.set.load(std::memory_order_acquire);
+    if (set == nullptr)
+        return 0;
+    std::size_t claimed = 0;
+    while (out.size() < max_entries) {
+        GEntry *entry = set->PopAny();
+        if (entry == nullptr)
+            break;
+        std::lock_guard<Spinlock> guard(entry->lock());
+        if (entry->enqueuedLocked() &&
+            entry->priorityLocked() == priority) {
+            // Valid: claim it. From here until OnFlushed, this flush
+            // thread exclusively owns the entry's pending writes, and the
+            // bucket's in-flight count keeps the gate closed.
+            entry->setEnqueuedLocked(false);
+            bucket.in_flight.fetch_add(1, std::memory_order_release);
+            bucket.logical.fetch_sub(1, std::memory_order_release);
+            size_.fetch_sub(1, std::memory_order_relaxed);
+            out.push_back(ClaimTicket{entry, priority});
+            ++claimed;
+        } else {
+            // A lazily deleted copy left behind by AdjustPriority (or a
+            // duplicate from a former ∞ residence). Drop it; the live
+            // copy, if any, sits in the bucket of its current priority.
+            stale_discards_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return claimed;
+}
+
+std::size_t
+TwoLevelPQ::DequeueClaim(std::vector<ClaimTicket> &out,
+                         std::size_t max_entries)
+{
+    const std::size_t initial = out.size();
+    max_entries += initial;  // budget is "append up to max_entries"
+    const Step floor =
+        scan_compression_ ? scan_floor_.load(std::memory_order_acquire) : 0;
+    const Step horizon = scan_compression_
+                             ? scan_horizon_.load(std::memory_order_acquire)
+                             : config_.max_step;
+    const std::size_t low = BucketIndex(std::min(floor, config_.max_step));
+    const std::size_t high =
+        BucketIndex(std::min(horizon, config_.max_step));
+    for (std::size_t i = low; i <= high && out.size() < max_entries; ++i) {
+        buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
+        if (buckets_[i].logical.load(std::memory_order_acquire) <= 0)
+            continue;
+        DrainBucket(i, static_cast<Priority>(i), out, max_entries);
+    }
+    // The ∞ bucket last: deferred updates flush only when nothing urgent
+    // remains in the window.
+    if (out.size() < max_entries &&
+        buckets_[infinity_index_].logical.load(std::memory_order_acquire) >
+            0) {
+        buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
+        DrainBucket(infinity_index_, kInfiniteStep, out, max_entries);
+    }
+    return out.size() - initial;
+}
+
+void
+TwoLevelPQ::OnFlushed(const ClaimTicket &ticket)
+{
+    buckets_[BucketIndex(ticket.priority)].in_flight.fetch_sub(
+        1, std::memory_order_release);
+}
+
+void
+TwoLevelPQ::Unenqueue(GEntry *entry, Priority priority)
+{
+    (void)entry;  // the physical copy is discarded lazily by a dequeuer
+    buckets_[BucketIndex(priority)].logical.fetch_sub(
+        1, std::memory_order_release);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool
+TwoLevelPQ::HasPendingAtOrBelow(Step step) const
+{
+    const Step floor =
+        scan_compression_ ? scan_floor_.load(std::memory_order_acquire) : 0;
+    if (step > config_.max_step)
+        step = config_.max_step;
+    for (Step p = std::min(floor, step); p <= step; ++p) {
+        const Bucket &bucket = buckets_[static_cast<std::size_t>(p)];
+        if (bucket.logical.load(std::memory_order_acquire) > 0 ||
+            bucket.in_flight.load(std::memory_order_acquire) > 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+TwoLevelPQ::SizeApprox() const
+{
+    return size_.load(std::memory_order_acquire);
+}
+
+void
+TwoLevelPQ::SetScanBounds(Step floor, Step horizon)
+{
+    // Monotone advance; concurrent publishers only ever move forward.
+    Step current = scan_floor_.load(std::memory_order_relaxed);
+    while (floor > current &&
+           !scan_floor_.compare_exchange_weak(current, floor,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+    }
+    scan_horizon_.store(horizon, std::memory_order_release);
+}
+
+}  // namespace frugal

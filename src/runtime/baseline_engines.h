@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The three baseline engines of the paper's competitor matrix (§4.1).
+ *
+ * All three share a synchronous skeleton: trainer threads gather, run the
+ * model callback, and buffer their updates; a barrier-completion commit
+ * phase then applies every update of the step to host memory (and
+ * refreshes cached copies) before the next step begins — the
+ * "write-through" behaviour whose stall Frugal's P²F removes. The commit
+ * time is recorded as the per-step stall.
+ *
+ * They differ only in the read path:
+ *  - NoCacheEngine    ("PyTorch" / "DGL-KE"): every key is fetched from
+ *    host memory through the CPU-involved path;
+ *  - CachedEngine     ("HugeCTR" / "DGL-KE-cached"): keys route to the
+ *    *owner GPU's* cache — a remote (all_to_all) query when the owner is
+ *    another GPU; misses are served from host memory and fill the owner's
+ *    cache;
+ *  - FrugalSyncEngine (Frugal-Sync): Frugal's read path (local cache for
+ *    owned keys, direct UVA host reads otherwise) but write-through
+ *    commits instead of P²F.
+ */
+#ifndef FRUGAL_RUNTIME_BASELINE_ENGINES_H_
+#define FRUGAL_RUNTIME_BASELINE_ENGINES_H_
+
+#include "runtime/engine.h"
+
+namespace frugal {
+
+namespace engine_internal {
+
+/** Read-path variant of the synchronous skeleton. */
+enum class SyncMode { kNoCache, kCached, kFrugalSync };
+
+/** Shared implementation; see file comment. */
+RunReport RunSync(Engine &engine, const Trace &trace,
+                  const GradFn &grad_fn, const StepHook &step_hook,
+                  SyncMode mode, const std::string &name);
+
+}  // namespace engine_internal
+
+/** No GPU cache: the "PyTorch" / "DGL-KE" baseline. */
+class NoCacheEngine final : public Engine
+{
+  public:
+    explicit NoCacheEngine(const EngineConfig &config) : Engine(config) {}
+
+    RunReport
+    Run(const Trace &trace, const GradFn &grad_fn,
+        const StepHook &step_hook = {}) override
+    {
+        return engine_internal::RunSync(
+            *this, trace, grad_fn, step_hook,
+            engine_internal::SyncMode::kNoCache, Name());
+    }
+
+    std::string Name() const override { return "nocache"; }
+};
+
+/** Sharded multi-GPU cache with all_to_all queries: "HugeCTR". */
+class CachedEngine final : public Engine
+{
+  public:
+    explicit CachedEngine(const EngineConfig &config) : Engine(config) {}
+
+    RunReport
+    Run(const Trace &trace, const GradFn &grad_fn,
+        const StepHook &step_hook = {}) override
+    {
+        return engine_internal::RunSync(
+            *this, trace, grad_fn, step_hook,
+            engine_internal::SyncMode::kCached, Name());
+    }
+
+    std::string Name() const override { return "cached"; }
+};
+
+/** Frugal's read path with write-through flushing: "Frugal-Sync". */
+class FrugalSyncEngine final : public Engine
+{
+  public:
+    explicit FrugalSyncEngine(const EngineConfig &config) : Engine(config)
+    {
+    }
+
+    RunReport
+    Run(const Trace &trace, const GradFn &grad_fn,
+        const StepHook &step_hook = {}) override
+    {
+        return engine_internal::RunSync(
+            *this, trace, grad_fn, step_hook,
+            engine_internal::SyncMode::kFrugalSync, Name());
+    }
+
+    std::string Name() const override { return "frugal-sync"; }
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_RUNTIME_BASELINE_ENGINES_H_

@@ -1,0 +1,47 @@
+#include "runtime/engine.h"
+
+#include "common/logging.h"
+#include "runtime/baseline_engines.h"
+#include "runtime/frugal_engine.h"
+
+namespace frugal {
+
+Engine::Engine(const EngineConfig &config)
+    : config_(config), ownership_(config.n_gpus)
+{
+    FRUGAL_CHECK_MSG(config.n_gpus > 0, "need at least one GPU");
+    FRUGAL_CHECK_MSG(config.key_space > 0, "empty key space");
+    EmbeddingTableConfig table_config;
+    table_config.key_space = config.key_space;
+    table_config.dim = config.dim;
+    table_config.init_seed = config.init_seed;
+    table_config.init_scale = config.init_scale;
+    table_ = std::make_unique<HostEmbeddingTable>(table_config);
+    optimizer_ = MakeOptimizer(config.optimizer, config.learning_rate,
+                               config.key_space, config.dim);
+}
+
+void
+Engine::ResetParameters()
+{
+    table_->ResetParameters();
+    // Stateful optimizers (Adagrad) restart from zero accumulators.
+    optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate,
+                               config_.key_space, config_.dim);
+}
+
+std::unique_ptr<Engine>
+MakeEngine(const std::string &name, const EngineConfig &config)
+{
+    if (name == "frugal")
+        return std::make_unique<FrugalEngine>(config);
+    if (name == "frugal-sync")
+        return std::make_unique<FrugalSyncEngine>(config);
+    if (name == "cached")
+        return std::make_unique<CachedEngine>(config);
+    if (name == "nocache")
+        return std::make_unique<NoCacheEngine>(config);
+    FRUGAL_FATAL("unknown engine: " << name);
+}
+
+}  // namespace frugal

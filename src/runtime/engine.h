@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The common interface of Frugal's functional training engines.
+ *
+ * An Engine executes a multi-GPU synchronous embedding-training run over
+ * a key Trace: every simulated GPU is a real thread, every parameter is a
+ * real float row, and every consistency mechanism (caches, staging queue,
+ * PQ, gate) runs for real. The *model* is injected as a gradient callback
+ * so the same engines train microbenchmarks (Exp #1), DLRM (Exp #7) and
+ * KG scorers (Exp #6) unchanged.
+ *
+ * Four engines implement the paper's competitor matrix (§4.1):
+ *  - NoCacheEngine    — "PyTorch" / "DGL-KE": no GPU cache, every access
+ *    goes to host memory through the CPU-involved path;
+ *  - CachedEngine     — "HugeCTR" / "DGL-KE-cached": sharded multi-GPU
+ *    cache queried through all_to_all exchanges on the critical path;
+ *  - FrugalSyncEngine — Frugal with write-through flushing (§4.1's
+ *    Frugal-Sync baseline);
+ *  - FrugalEngine     — the full system: P²F algorithm + two-level PQ +
+ *    parallel flushing (§3).
+ */
+#ifndef FRUGAL_RUNTIME_ENGINE_H_
+#define FRUGAL_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cache/gpu_cache.h"
+#include "data/trace.h"
+#include "table/embedding_table.h"
+#include "table/optimizer.h"
+
+namespace frugal {
+
+/** Tunables shared by every engine. */
+struct EngineConfig
+{
+    std::uint32_t n_gpus = 2;
+    std::size_t dim = 8;
+    std::uint64_t key_space = 1024;
+
+    /** Multi-GPU cache size as a fraction of all parameters (§4.1:
+     *  default 5%); each GPU gets an equal share of the budget. */
+    double cache_ratio = 0.05;
+
+    /** Prefetch lookahead L (§3.2: default 10). */
+    std::size_t lookahead = 10;
+
+    /** Background flushing threads (§4.1: default 8). */
+    std::size_t flush_threads = 8;
+
+    /** Entries claimed per dequeue (batched dequeue, §3.4). */
+    std::size_t flush_batch = 8;
+
+    /** Update staging queue capacity (messages). */
+    std::size_t staging_capacity = 1 << 15;
+
+    /** "sgd" or "adagrad". */
+    std::string optimizer = "sgd";
+    float learning_rate = 0.05f;
+
+    /** Embedding init. */
+    std::uint64_t init_seed = 42;
+    float init_scale = 0.01f;
+
+    /** When true, every read is audited against invariant (2); violations
+     *  are counted in the report (tests assert zero). */
+    bool audit_consistency = false;
+
+    /** Use the TreeHeap baseline PQ instead of the two-level PQ
+     *  (FrugalEngine only; Exp #4). */
+    bool use_tree_heap = false;
+
+    /** Disable scan-range compression (ablation; FrugalEngine only). */
+    bool disable_scan_compression = false;
+
+    /**
+     * UNSAFE ablation: skip the P²F gate's PQ check, turning training
+     * asynchronous — reads may observe parameters with unflushed
+     * updates, exactly the staleness §3 argues degrades accuracy. Kept
+     * to demonstrate *why* the gate exists; never use for real training.
+     */
+    bool disable_gate_unsafe = false;
+
+    /** Fault injection: artificial delay added per flushed g-entry
+     *  (simulates a slow host-memory path / overloaded flusher). */
+    int flush_delay_us = 0;
+
+    /** Per-GPU cache capacity in rows implied by the ratio. */
+    std::size_t
+    CacheRowsPerGpu() const
+    {
+        const double total =
+            cache_ratio * static_cast<double>(key_space);
+        const double per_gpu = total / static_cast<double>(n_gpus);
+        return per_gpu < 1.0 ? 1 : static_cast<std::size_t>(per_gpu);
+    }
+};
+
+/**
+ * Model callback: given the gathered embedding rows for `keys`
+ * (`values`, flattened keys.size()×dim), produce the per-key gradients
+ * (`grads`, same shape). Must be deterministic in its inputs so engine
+ * runs are comparable against the oracle.
+ */
+using GradFn = std::function<void(GpuId gpu, Step step,
+                                  const std::vector<Key> &keys,
+                                  const std::vector<float> &values,
+                                  std::vector<float> *grads)>;
+
+/** Hook run single-threaded once per step after all GPUs finished their
+ *  backward pass (dense-parameter allreduce, loss bookkeeping, ...). */
+using StepHook = std::function<void(Step step)>;
+
+/** Outcome and instrumentation of one engine run. */
+struct RunReport
+{
+    std::string engine;
+    std::size_t steps = 0;
+    std::uint32_t n_gpus = 0;
+    double wall_seconds = 0.0;
+
+    /** Gate/stall seconds per step (trainer 0's view). */
+    StatAccumulator stall_per_step;
+    double stall_seconds_total = 0.0;
+
+    /** Merged cache counters across GPUs. */
+    GpuCacheStats cache;
+
+    std::uint64_t host_reads = 0;        ///< rows fetched from host memory
+    std::uint64_t remote_cache_queries = 0;  ///< cross-GPU cache lookups
+                                             ///< (CachedEngine's a2a)
+    std::uint64_t updates_emitted = 0;   ///< ⟨key,step,Δ⟩ records produced
+    std::uint64_t updates_applied = 0;   ///< records committed to host
+    std::uint64_t flush_entry_claims = 0;///< g-entries claimed by flushers
+    std::uint64_t audit_violations = 0;  ///< invariant (2) breaches seen
+    std::uint64_t gate_waits = 0;        ///< steps that actually blocked
+};
+
+/** A functional multi-GPU training engine. */
+class Engine
+{
+  public:
+    explicit Engine(const EngineConfig &config);
+    virtual ~Engine() = default;
+
+    /** Executes the whole trace; the table retains the trained model. */
+    virtual RunReport Run(const Trace &trace, const GradFn &grad_fn,
+                          const StepHook &step_hook = {}) = 0;
+
+    virtual std::string Name() const = 0;
+
+    const EngineConfig &config() const { return config_; }
+    HostEmbeddingTable &table() { return *table_; }
+    const HostEmbeddingTable &table() const { return *table_; }
+    Optimizer &optimizer() { return *optimizer_; }
+
+    /** Restores initial parameters (and optimizer state) for a rerun. */
+    void ResetParameters();
+
+  protected:
+    EngineConfig config_;
+    std::unique_ptr<HostEmbeddingTable> table_;
+    std::unique_ptr<Optimizer> optimizer_;
+    KeyOwnership ownership_;
+};
+
+/** Builds an engine by name: "frugal", "frugal-sync", "cached",
+ *  "nocache". */
+std::unique_ptr<Engine> MakeEngine(const std::string &name,
+                                   const EngineConfig &config);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_RUNTIME_ENGINE_H_

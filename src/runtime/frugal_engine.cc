@@ -1,0 +1,382 @@
+#include "runtime/frugal_engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/logging.h"
+#include "pq/g_entry_registry.h"
+#include "pq/pq_ops.h"
+#include "pq/tree_heap_pq.h"
+#include "pq/two_level_pq.h"
+
+namespace frugal {
+
+namespace {
+
+/** One message in the update staging queue. */
+struct UpdateMsg
+{
+    Key key = 0;
+    Step step = 0;
+    GpuId src = 0;
+    std::vector<float> grad;
+    bool end_marker = false;
+};
+
+double
+Seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+RunReport
+FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
+                  const StepHook &step_hook)
+{
+    const Step n_steps = trace.NumSteps();
+    const std::uint32_t n_gpus = config_.n_gpus;
+    FRUGAL_CHECK_MSG(trace.n_gpus() == n_gpus,
+                     "trace built for " << trace.n_gpus()
+                                        << " GPUs, engine has " << n_gpus);
+    FRUGAL_CHECK_MSG(trace.key_space() <= config_.key_space,
+                     "trace key space exceeds the table");
+
+    // --- run-scoped shared state -------------------------------------
+    std::unique_ptr<FlushQueue> queue;
+    if (config_.use_tree_heap) {
+        queue = std::make_unique<TreeHeapPQ>();
+    } else {
+        TwoLevelPQConfig pq_config;
+        pq_config.max_step = n_steps;  // priorities are read steps < S
+        auto two_level = std::make_unique<TwoLevelPQ>(pq_config);
+        if (config_.disable_scan_compression)
+            two_level->setScanCompression(false);
+        queue = std::move(two_level);
+    }
+
+    GEntryRegistry registry;
+    BlockingQueue<UpdateMsg> staging(config_.staging_capacity);
+    std::vector<std::unique_ptr<GpuCache>> caches;
+    for (std::uint32_t g = 0; g < n_gpus; ++g) {
+        caches.push_back(std::make_unique<GpuCache>(
+            config_.CacheRowsPerGpu(), config_.dim));
+    }
+
+    std::atomic<Step> prefetch_frontier{0};  // steps with R sets in place
+    std::atomic<Step> drained_steps{0};      // steps fully in g-entries
+    std::atomic<Step> current_step{0};
+    std::atomic<bool> drain_done{false};
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    auto nudge_gate = [&] {
+        { std::lock_guard<std::mutex> lock(gate_mutex); }
+        gate_cv.notify_all();
+    };
+
+    RunReport report;
+    report.engine = Name();
+    report.steps = n_steps;
+    report.n_gpus = n_gpus;
+    std::atomic<std::uint64_t> host_reads{0};
+    std::atomic<std::uint64_t> updates_emitted{0};
+    std::atomic<std::uint64_t> updates_applied{0};
+    std::atomic<std::uint64_t> entry_claims{0};
+    std::atomic<std::uint64_t> audit_violations{0};
+    std::atomic<std::uint64_t> gate_waits{0};
+
+    // End-of-step barrier; its completion runs single-threaded.
+    std::barrier step_barrier(
+        static_cast<std::ptrdiff_t>(n_gpus), [&]() noexcept {
+            const Step s = current_step.load(std::memory_order_relaxed);
+            if (step_hook)
+                step_hook(s);
+            current_step.store(s + 1, std::memory_order_release);
+            { std::lock_guard<std::mutex> lock(gate_mutex); }
+            gate_cv.notify_all();
+        });
+
+    const auto run_start = std::chrono::steady_clock::now();
+
+    // --- prefetch thread (the sample queue, §3.2) ---------------------
+    std::thread prefetcher([&] {
+        while (true) {
+            Step frontier = prefetch_frontier.load(std::memory_order_relaxed);
+            if (frontier >= n_steps)
+                return;
+            {
+                std::unique_lock<std::mutex> lock(gate_mutex);
+                gate_cv.wait(lock, [&] {
+                    const Step horizon =
+                        current_step.load(std::memory_order_acquire) +
+                        config_.lookahead;
+                    return frontier < std::min<Step>(n_steps, horizon);
+                });
+            }
+            for (std::uint32_t g = 0; g < n_gpus; ++g) {
+                for (Key key : trace.KeysFor(frontier, g)) {
+                    RegisterRead(*queue, registry.GetOrCreate(key),
+                                 frontier);
+                }
+            }
+            prefetch_frontier.store(frontier + 1,
+                                    std::memory_order_release);
+            nudge_gate();
+        }
+    });
+
+    // --- staging drain thread -----------------------------------------
+    std::thread drainer([&] {
+        std::vector<std::vector<UpdateMsg>> step_buffers(n_steps);
+        std::vector<std::uint32_t> markers(n_steps, 0);
+        while (true) {
+            auto batch = staging.PopBatch(512);
+            if (batch.empty())
+                break;  // closed and drained
+            for (UpdateMsg &msg : batch) {
+                if (!msg.end_marker) {
+                    step_buffers[msg.step].push_back(std::move(msg));
+                    continue;
+                }
+                if (++markers[msg.step] < n_gpus)
+                    continue;
+                // Step complete everywhere: now its R-set removals and
+                // W-set insertions are safe. Register in (key, src)
+                // order so a key's W records always *arrive* in canonical
+                // order — a flush may otherwise split one step's records
+                // for a key across two batches and apply them in
+                // whatever order the GPUs happened to stage them.
+                std::sort(step_buffers[msg.step].begin(),
+                          step_buffers[msg.step].end(),
+                          [](const UpdateMsg &a, const UpdateMsg &b) {
+                              return a.key != b.key ? a.key < b.key
+                                                    : a.src < b.src;
+                          });
+                for (UpdateMsg &update : step_buffers[msg.step]) {
+                    RegisterUpdate(
+                        *queue, registry.GetOrCreate(update.key),
+                        WriteRecord{update.step, update.src,
+                                    std::move(update.grad)});
+                }
+                step_buffers[msg.step].clear();
+                step_buffers[msg.step].shrink_to_fit();
+                drained_steps.store(msg.step + 1,
+                                    std::memory_order_release);
+                nudge_gate();
+            }
+        }
+        drain_done.store(true, std::memory_order_release);
+        nudge_gate();
+    });
+
+    // --- flush threads (§3.4 parallel flushing) -----------------------
+    std::vector<std::thread> flushers;
+    for (std::size_t f = 0; f < config_.flush_threads; ++f) {
+        flushers.emplace_back([&] {
+            std::vector<ClaimTicket> claimed;
+            std::vector<float> row(config_.dim);
+            auto apply = [&](Key key, const WriteRecord &record) {
+                table_->ApplyGradient(key, record.grad.data(),
+                                      *optimizer_);
+                updates_applied.fetch_add(1, std::memory_order_relaxed);
+            };
+            auto refresh_cache = [&](Key key) {
+                // "H2D": copy the committed row into the owner's cache.
+                const GpuId owner = ownership_.OwnerOf(key);
+                table_->ReadRow(key, row.data());
+                caches[owner]->UpdateIfPresent(key, row.data());
+            };
+            while (true) {
+                if (queue->SizeApprox() == 0) {
+                    if (drain_done.load(std::memory_order_acquire))
+                        return;
+                    // Idle: block until the drainer publishes new work
+                    // (or winds down) instead of burning the timeslice.
+                    std::unique_lock<std::mutex> lock(gate_mutex);
+                    gate_cv.wait_for(
+                        lock, std::chrono::microseconds(500), [&] {
+                            return queue->SizeApprox() > 0 ||
+                                   drain_done.load(
+                                       std::memory_order_acquire);
+                        });
+                    continue;
+                }
+                // The scan floor relies on the gate's invariant that
+                // nothing below the current step is pending; without the
+                // gate (async ablation) stale priorities survive below
+                // it, so the floor must stay at zero.
+                queue->SetScanBounds(
+                    config_.disable_gate_unsafe
+                        ? 0
+                        : current_step.load(std::memory_order_acquire),
+                    prefetch_frontier.load(std::memory_order_acquire));
+                claimed.clear();
+                if (queue->DequeueClaim(claimed, config_.flush_batch) ==
+                    0) {
+                    // Entries exist but are momentarily unclaimable
+                    // (mid-publish or taken by a peer); back off briefly.
+                    std::this_thread::yield();
+                    continue;
+                }
+                entry_claims.fetch_add(claimed.size(),
+                                       std::memory_order_relaxed);
+                for (const ClaimTicket &ticket : claimed) {
+                    if (config_.flush_delay_us > 0) {
+                        // Fault injection: a slow host-memory path.
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(
+                                config_.flush_delay_us));
+                    }
+                    FlushClaimed(*queue, ticket, apply, refresh_cache);
+                }
+                nudge_gate();
+            }
+        });
+    }
+
+    // --- trainer threads ----------------------------------------------
+    std::vector<std::thread> trainers;
+    std::vector<double> stall_seconds(n_gpus, 0.0);
+    std::vector<StatAccumulator> stall_stats(n_gpus);
+    for (std::uint32_t g = 0; g < n_gpus; ++g) {
+        trainers.emplace_back([&, g] {
+            std::vector<float> values;
+            std::vector<float> grads;
+            for (Step s = 0; s < n_steps; ++s) {
+                // --- the P²F gate ---
+                auto gate_open = [&] {
+                    return prefetch_frontier.load(
+                               std::memory_order_acquire) > s &&
+                           drained_steps.load(std::memory_order_acquire) >=
+                               s &&
+                           (config_.disable_gate_unsafe ||
+                            !queue->HasPendingAtOrBelow(s));
+                };
+                const auto wait_start = std::chrono::steady_clock::now();
+                if (!gate_open()) {
+                    gate_waits.fetch_add(1, std::memory_order_relaxed);
+                    std::unique_lock<std::mutex> lock(gate_mutex);
+                    gate_cv.wait(lock, gate_open);
+                }
+                const auto wait_end = std::chrono::steady_clock::now();
+                const double stall = Seconds(wait_start, wait_end);
+                stall_seconds[g] += stall;
+                stall_stats[g].Add(stall);
+
+                // --- gather (forward) ---
+                const std::vector<Key> &keys = trace.KeysFor(s, g);
+                values.resize(keys.size() * config_.dim);
+                grads.assign(keys.size() * config_.dim, 0.0f);
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    const Key key = keys[i];
+                    float *out = values.data() + i * config_.dim;
+                    if (config_.audit_consistency) {
+                        GEntry &entry = registry.GetOrCreate(key);
+                        std::lock_guard<Spinlock> guard(entry.lock());
+                        // Invariant (2): no pending (unflushed) update
+                        // from an earlier step may exist when we read.
+                        if (entry.hasWritesLocked())
+                            audit_violations.fetch_add(
+                                1, std::memory_order_relaxed);
+                    }
+                    if (ownership_.OwnerOf(key) == g) {
+                        if (!caches[g]->TryGet(key, out)) {
+                            table_->ReadRow(key, out);
+                            host_reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                            caches[g]->Put(key, out);
+                        }
+                    } else {
+                        // Non-owned: zero-copy UVA read of host memory.
+                        table_->ReadRow(key, out);
+                        host_reads.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+
+                // --- model (forward+backward) ---
+                grad_fn(g, s, keys, values, &grads);
+
+                // --- emit updates + end marker ---
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    UpdateMsg msg;
+                    msg.key = keys[i];
+                    msg.step = s;
+                    msg.src = g;
+                    msg.grad.assign(
+                        grads.begin() +
+                            static_cast<std::ptrdiff_t>(i * config_.dim),
+                        grads.begin() + static_cast<std::ptrdiff_t>(
+                                            (i + 1) * config_.dim));
+                    FRUGAL_CHECK(staging.Push(std::move(msg)));
+                    updates_emitted.fetch_add(1,
+                                              std::memory_order_relaxed);
+                }
+                UpdateMsg marker;
+                marker.step = s;
+                marker.src = g;
+                marker.end_marker = true;
+                FRUGAL_CHECK(staging.Push(std::move(marker)));
+
+                step_barrier.arrive_and_wait();
+            }
+        });
+    }
+
+    for (auto &t : trainers)
+        t.join();
+    // All updates are staged; let the pipeline wind down (paper: "the
+    // system waits for flushing threads to write all deferred parameter
+    // updates to host memory").
+    staging.Close();
+    drainer.join();
+    prefetcher.join();
+    for (auto &t : flushers)
+        t.join();
+
+    const auto run_end = std::chrono::steady_clock::now();
+
+    // --- report --------------------------------------------------------
+    report.wall_seconds = Seconds(run_start, run_end);
+    for (std::uint32_t g = 0; g < n_gpus; ++g) {
+        const GpuCacheStats s = caches[g]->stats();
+        report.cache.hits += s.hits;
+        report.cache.misses += s.misses;
+        report.cache.insertions += s.insertions;
+        report.cache.evictions += s.evictions;
+        report.cache.flush_writes += s.flush_writes;
+    }
+    report.stall_per_step = stall_stats[0];
+    for (double s : stall_seconds)
+        report.stall_seconds_total += s;
+    report.stall_seconds_total /= n_gpus;
+    report.host_reads = host_reads.load();
+    report.updates_emitted = updates_emitted.load();
+    report.updates_applied = updates_applied.load();
+    report.flush_entry_claims = entry_claims.load();
+    report.audit_violations = audit_violations.load();
+    report.gate_waits = gate_waits.load();
+
+    FRUGAL_CHECK_MSG(report.updates_applied == report.updates_emitted,
+                     "flush pipeline lost updates: emitted "
+                         << report.updates_emitted << ", applied "
+                         << report.updates_applied);
+    if (config_.audit_consistency) {
+        // Post-run: every g-entry fully drained.
+        registry.ForEach([&](GEntry &entry) {
+            std::lock_guard<Spinlock> guard(entry.lock());
+            FRUGAL_CHECK(!entry.hasWritesLocked());
+            FRUGAL_CHECK(!entry.enqueuedLocked());
+        });
+    }
+    return report;
+}
+
+}  // namespace frugal

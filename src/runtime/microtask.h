@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic gradient callbacks for the synthetic workloads (§4.1
+ * "we only test the embedding part ... and eliminate the DNN computation
+ * part") and for correctness tests.
+ *
+ * The linear task makes each gradient depend on the *values read*, so a
+ * single stale read anywhere in a run changes the final table — the
+ * oracle bit-equality tests therefore detect consistency violations
+ * numerically, not just through the explicit auditor.
+ */
+#ifndef FRUGAL_RUNTIME_MICROTASK_H_
+#define FRUGAL_RUNTIME_MICROTASK_H_
+
+#include "runtime/engine.h"
+
+namespace frugal {
+
+/** grad[j] = scale · value[j] + bias, per element. */
+inline GradFn
+MakeLinearGradTask(float scale = 0.1f, float bias = 0.01f)
+{
+    return [scale, bias](GpuId, Step, const std::vector<Key> &,
+                         const std::vector<float> &values,
+                         std::vector<float> *grads) {
+        for (std::size_t i = 0; i < values.size(); ++i)
+            (*grads)[i] = scale * values[i] + bias;
+    };
+}
+
+/** A constant gradient (embedding-only throughput measurements). */
+inline GradFn
+MakeConstantGradTask(float value = 0.01f)
+{
+    return [value](GpuId, Step, const std::vector<Key> &,
+                   const std::vector<float> &, std::vector<float> *grads) {
+        for (float &g : *grads)
+            g = value;
+    };
+}
+
+}  // namespace frugal
+
+#endif  // FRUGAL_RUNTIME_MICROTASK_H_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Key-only LRU cache simulator. The timing simulator only needs hit/miss
+ * sequences (all competitor systems share the HugeCTR cache policy,
+ * §4.1), so rows are not materialised — this keeps simulating a 10M-key
+ * microbenchmark cheap.
+ */
+#ifndef FRUGAL_SIM_CACHE_SIM_H_
+#define FRUGAL_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace frugal {
+
+/** LRU set of keys with fixed capacity. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(std::size_t capacity) : capacity_(capacity)
+    {
+        FRUGAL_CHECK(capacity > 0);
+        map_.reserve(capacity * 2);
+    }
+
+    /**
+     * Touches `key`: returns true on hit (refreshing recency); on miss
+     * inserts it, evicting the LRU key if full.
+     */
+    bool
+    Access(Key key)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        ++misses_;
+        if (map_.size() == capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(key);
+        map_.emplace(key, lru_.begin());
+        return false;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+
+    double
+    HitRatio() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+    }
+
+  private:
+    std::size_t capacity_;
+    std::list<Key> lru_;
+    std::unordered_map<Key, std::list<Key>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_SIM_CACHE_SIM_H_

@@ -1,0 +1,220 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+namespace {
+
+constexpr double kGB = 1e9;
+
+/** Per-GPU effective host-link bandwidth when `n` GPUs are active. */
+double
+PerGpuLinkBandwidth(const CostModelConfig &cost, const GpuSpec &gpu,
+                    std::uint32_t n)
+{
+    const double link = gpu.pcie_gbps * kGB * cost.pcie_efficiency;
+    const double shared =
+        cost.root_complex_gbps * kGB / std::max<std::uint32_t>(1, n);
+    return std::min(link, shared);
+}
+
+/** Host-CPU contention multiplier for CPU-involved requests. */
+double
+CpuContention(const CostModelConfig &cost, std::uint32_t n_active_gpus)
+{
+    return std::max(1.0, static_cast<double>(n_active_gpus) /
+                             cost.host_cpu_parallelism);
+}
+
+double
+CpuPathFactor(const CostModelConfig &cost, const GpuSpec &gpu)
+{
+    return gpu.datacenter ? cost.datacenter_cpu_factor : 1.0;
+}
+
+}  // namespace
+
+double
+AllToAllTime(const CostModelConfig &cost, const GpuSpec &gpu,
+             std::uint32_t n_gpus, double bytes_per_gpu)
+{
+    if (n_gpus <= 1)
+        return 0.0;
+    const double remote_fraction =
+        static_cast<double>(n_gpus - 1) / static_cast<double>(n_gpus);
+    const double volume = bytes_per_gpu * remote_fraction;
+    if (gpu.supports_p2p) {
+        // Direct peer DMA: each byte crosses the fabric once.
+        const double bw = PerGpuLinkBandwidth(cost, gpu, n_gpus) *
+                          cost.a2a_efficiency / cost.pcie_efficiency;
+        return cost.a2a_latency_p2p + volume / bw;
+    }
+    // Bounced: GPU→host DMA, host-side copy between bounce buffers, then
+    // host→GPU DMA. The root complex carries the traffic twice and the
+    // CPU coordinates every chunk (§2.2).
+    // D2H and H2D legs overlap on the full-duplex link, but the root
+    // complex carries the traffic twice, halving every GPU's share.
+    const double bw = PerGpuLinkBandwidth(cost, gpu, 2 * n_gpus) *
+                      cost.a2a_efficiency / cost.pcie_efficiency;
+    const double dma_time = volume / bw;
+    const double copy_time = volume / (cost.host_memcpy_gbps * kGB);
+    return cost.a2a_latency_bounced + dma_time + copy_time;
+}
+
+double
+AllToAllBandwidth(const CostModelConfig &cost, const GpuSpec &gpu,
+                  std::uint32_t n_gpus, double bytes_per_gpu)
+{
+    const double t = AllToAllTime(cost, gpu, n_gpus, bytes_per_gpu);
+    return t <= 0.0 ? 0.0 : bytes_per_gpu / t;
+}
+
+double
+HostReadCpuPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                std::uint64_t keys, double row_bytes,
+                std::uint32_t n_active_gpus)
+{
+    if (keys == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(keys) * row_bytes;
+    const double bw = PerGpuLinkBandwidth(cost, gpu, n_active_gpus);
+    const double cpu_time =
+        (cost.cpu_request_overhead +
+         static_cast<double>(keys) * cost.cpu_gather_per_key) *
+        CpuContention(cost, n_active_gpus) * CpuPathFactor(cost, gpu);
+    const double dma_time = bytes / bw;
+    // Extra device-side landing copy (§2.4 "multiple additional data
+    // copies").
+    const double copy_time = bytes / (cost.gpu_mem_gbps * kGB) +
+                             bytes / (cost.host_memcpy_gbps * kGB);
+    return cpu_time + dma_time + copy_time;
+}
+
+double
+HostWriteCpuPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                 std::uint64_t keys, double row_bytes,
+                 std::uint32_t n_active_gpus)
+{
+    if (keys == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(keys) * row_bytes;
+    const double bw = PerGpuLinkBandwidth(cost, gpu, n_active_gpus);
+    const double cpu_time =
+        (cost.cpu_request_overhead +
+         static_cast<double>(keys) * cost.cpu_scatter_per_key) *
+        CpuContention(cost, n_active_gpus) * CpuPathFactor(cost, gpu);
+    return cpu_time + bytes / bw +
+           bytes / (cost.host_memcpy_gbps * kGB);
+}
+
+double
+HostReadCpuPrimitive(const CostModelConfig &cost, const GpuSpec &gpu,
+                     std::uint64_t keys, double row_bytes,
+                     std::uint32_t n_active_gpus)
+{
+    if (keys == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(keys) * row_bytes;
+    const double bw = PerGpuLinkBandwidth(cost, gpu, n_active_gpus);
+    const double cpu_time =
+        cost.primitive_request_overhead +
+        static_cast<double>(keys) * cost.primitive_gather_per_key *
+            CpuPathFactor(cost, gpu);
+    return cpu_time + bytes / bw + bytes / (cost.gpu_mem_gbps * kGB) +
+           bytes / (cost.host_memcpy_gbps * kGB);
+}
+
+double
+WriteThroughStall(const CostModelConfig &cost, const GpuSpec &gpu,
+                  std::uint64_t total_keys, double row_bytes)
+{
+    if (total_keys == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(total_keys) * row_bytes;
+    const double cpu_time = cost.cpu_request_overhead +
+                            static_cast<double>(total_keys) *
+                                cost.cpu_scatter_per_key *
+                                CpuPathFactor(cost, gpu) /
+                                cost.host_cpu_parallelism;
+    return cpu_time + bytes / (cost.host_memcpy_gbps * kGB);
+}
+
+double
+HostReadUvaPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                std::uint64_t keys, double row_bytes,
+                std::uint32_t n_active_gpus)
+{
+    if (keys == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(keys) * row_bytes;
+    const double link = gpu.pcie_gbps * kGB * cost.uva_efficiency;
+    const double shared = cost.root_complex_gbps * kGB /
+                          std::max<std::uint32_t>(1, n_active_gpus);
+    const double bw = std::min(link, shared);
+    return cost.kernel_launch + bytes / bw;
+}
+
+double
+CacheAccessTime(const CostModelConfig &cost, std::uint64_t keys,
+                double row_bytes)
+{
+    const double bytes = static_cast<double>(keys) * row_bytes;
+    return static_cast<double>(keys) * cost.cache_probe_per_key +
+           bytes / (cost.gpu_mem_gbps * kGB);
+}
+
+double
+ComputeTime(const CostModelConfig &cost, const GpuSpec &gpu,
+            std::uint64_t samples, double flops_per_sample)
+{
+    const double flops = static_cast<double>(samples) * flops_per_sample;
+    const double rate =
+        gpu.tensor_fp32_tflops * 1e12 * cost.compute_efficiency;
+    return cost.kernels_per_iteration * cost.kernel_launch + flops / rate;
+}
+
+double
+PqOpCost(const CostModelConfig &cost, bool tree_heap,
+         std::uint64_t pq_entries, int threads)
+{
+    if (!tree_heap)
+        return cost.two_level_op_cost;  // O(1)
+    const double depth =
+        std::log2(static_cast<double>(std::max<std::uint64_t>(
+            2, pq_entries)));
+    // Near-root serialisation: with t threads only a fraction of the
+    // work overlaps, so the *per-op* cost seen by each thread inflates.
+    const double parallelism =
+        1.0 + (std::max(1, threads) - 1) * cost.tree_heap_parallel_fraction;
+    const double contention =
+        static_cast<double>(std::max(1, threads)) / parallelism;
+    return cost.tree_heap_op_cost * depth * contention;
+}
+
+double
+FlushCapacity(const CostModelConfig &cost, int threads, double row_bytes,
+              bool tree_heap, std::uint64_t pq_entries)
+{
+    FRUGAL_CHECK(threads > 0);
+    const double per_entry_seconds =
+        PqOpCost(cost, tree_heap, pq_entries, threads) +
+        row_bytes / (cost.flush_thread_gbps * kGB);
+    const double per_thread_rate = row_bytes / per_entry_seconds;
+    // Aggregate commit rate is further capped by host memory write
+    // bandwidth shared with everything else on the root complex.
+    const double cap = cost.root_complex_gbps * kGB * 0.25;
+    return std::min(static_cast<double>(threads) * per_thread_rate, cap);
+}
+
+double
+FlushInterferenceFactor(const CostModelConfig &cost, int threads)
+{
+    const int excess = threads - cost.spare_cores;
+    return excess <= 0 ? 1.0 : 1.0 + cost.flush_interference * excess;
+}
+
+}  // namespace frugal

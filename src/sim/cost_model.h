@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The timing cost model of the simulated multi-GPU server.
+ *
+ * This environment has no GPUs, so the paper's testbed (8× RTX 3090 or
+ * A30 behind PCIe 4.0 ×16, dual Xeon Gold 6130) is replaced by an
+ * analytic model of its datapaths. Every constant is documented and
+ * overridable; defaults are calibrated so the *measured relationships*
+ * the paper reports emerge from the model:
+ *
+ *  - bounced (no-P2P) all_to_all reaches ≈54 % of P2P bandwidth
+ *    (Fig. 3b), and both sit in the low-GB/s range — collective
+ *    exchanges are chunked and software-coordinated, far below raw link
+ *    bandwidth;
+ *  - UVA host reads are ≈3.1–3.4× faster than CPU-involved reads
+ *    (Fig. 10) — no CPU software on the path, no extra copies;
+ *  - the CPU-involved path costs ~µs per row (framework dispatch, page
+ *    walks, staging copies) and *contends across GPUs* at the host — the
+ *    reason no-cache systems stop scaling past 4 GPUs (Fig. 15);
+ *  - write-through flushing pays the same CPU scatter path for every
+ *    update synchronously (Fig. 9's SyncFlushing stalls), while P²F's
+ *    background flush threads commit rows at memory speed;
+ *  - flush throughput scales with thread count then degrades past ~12
+ *    threads as flushing steals CPU from training (Fig. 17);
+ *  - the TreeHeap PQ pays O(log N) per operation plus near-root
+ *    serialisation; the two-level PQ pays O(1) (Fig. 11).
+ *
+ * All times are seconds, all sizes bytes.
+ */
+#ifndef FRUGAL_SIM_COST_MODEL_H_
+#define FRUGAL_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/gpu_spec.h"
+
+namespace frugal {
+
+/** Tunable constants of the simulated server. */
+struct CostModelConfig
+{
+    // --- PCIe / host memory fabric -----------------------------------
+    /** Fraction of raw PCIe bandwidth achieved by large bulk DMA. */
+    double pcie_efficiency = 0.85;
+    /** Aggregate bandwidth of the CPU root complex shared by all GPUs
+     *  (GB/s); the bottleneck §2.2 and Mobius identify. */
+    double root_complex_gbps = 80.0;
+    /** Fraction of PCIe bandwidth achieved by fine-grained UVA row
+     *  fetches (random 128–1600 B loads, no batching). */
+    double uva_efficiency = 0.14;
+    /** Host memcpy bandwidth for the bounce-buffer copy (GB/s). */
+    double host_memcpy_gbps = 60.0;
+
+    // --- collective communication --------------------------------------
+    /** Fraction of link bandwidth an all_to_all achieves (chunking,
+     *  synchronisation, ring scheduling). */
+    double a2a_efficiency = 0.18;
+    /** Fixed software latency per all_to_all with P2P transport. */
+    double a2a_latency_p2p = 0.2e-3;
+    /** Fixed software latency per bounced all_to_all: CPU coordinates
+     *  every chunk through the bounce buffer (§2.2). */
+    double a2a_latency_bounced = 0.8e-3;
+    /** all_to_all invocations per training iteration (keys out,
+     *  embeddings back, gradients out — Fig. 2b ➋➍ plus backward). */
+    int a2a_calls_per_iteration = 3;
+
+    // --- CPU-involved host access (the miss path of Fig. 2b) -----------
+    /** CPU time to locate+pack one embedding row (framework dispatch,
+     *  random DRAM walk, staging copy). */
+    double cpu_gather_per_key = 2.0e-6;
+    /** CPU time to apply+scatter one row update on the host (gradient
+     *  aggregation + optimizer on CPU). */
+    double cpu_scatter_per_key = 5.0e-6;
+    /** Raw per-row CPU cost of the *primitive* copy path measured by
+     *  Fig. 10's microbenchmark (pure gather+DMA, no framework
+     *  dispatch); the engine-level miss path above adds framework and
+     *  query-routing software on top. */
+    double primitive_gather_per_key = 80e-9;
+    /** Fixed latency of one primitive CPU-involved request. */
+    double primitive_request_overhead = 20e-6;
+    /** Fixed CPU software latency per host request. */
+    double cpu_request_overhead = 30e-6;
+    /** Concurrent CPU-involved requests the host sustains before the
+     *  GPUs' miss processing serialises (cores/memory controllers). */
+    double host_cpu_parallelism = 4.0;
+    /** Datacenter GPUs reach host memory with less CPU software
+     *  (GPUDirect-class paths): their CPU-path costs scale by this. */
+    double datacenter_cpu_factor = 0.2;
+    /** Extra software factor of the *distributed* cache-miss path
+     *  (HugeCTR routes misses through query routing + locks, §2.4's
+     *  "up to 1.9× CPU overhead"). */
+    double cached_miss_software_factor = 2.0;
+
+    // --- GPU-side costs ------------------------------------------------
+    /** On-GPU memory bandwidth for cache reads/writes (GB/s). */
+    double gpu_mem_gbps = 900.0;
+    /** GPU hash-table probe cost per key (s). */
+    double cache_probe_per_key = 3e-9;
+    /** Fixed cost per kernel launch (s). */
+    double kernel_launch = 6e-6;
+    /** Kernels launched per training iteration (embedding + DNN). */
+    int kernels_per_iteration = 12;
+    /** Achieved fraction of peak TFLOPS on small DNN kernels. */
+    double compute_efficiency = 0.25;
+
+    // --- framework ------------------------------------------------------
+    /** Per-iteration framework overhead every system pays (sample
+     *  dispatch, synchronisation, launch queues). */
+    double iteration_overhead = 4.0e-3;
+    /** Extra per-iteration coordination of the Frugal controller
+     *  (gate evaluation, staging handoff) paid by Frugal/Frugal-Sync. */
+    double controller_overhead = 2.0e-3;
+
+    // --- flushing pipeline ----------------------------------------------
+    /** Host bytes/s one background flush thread commits (optimizer
+     *  apply + DRAM write, no synchronisation stall). */
+    double flush_thread_gbps = 0.3;
+    /** Per-g-entry bookkeeping of the two-level PQ (O(1)). */
+    double two_level_op_cost = 0.15e-6;
+    /** Per-g-entry base cost of the TreeHeap PQ; multiplied by log2(N)
+     *  and inflated by near-root contention. */
+    double tree_heap_op_cost = 0.35e-6;
+    /** TreeHeap effective parallelism: 1 + (t-1)·this. */
+    double tree_heap_parallel_fraction = 0.08;
+    /** CPU cores available to background flushing before it steals
+     *  cycles from training (§4.6: decline past ~12 threads). */
+    int spare_cores = 12;
+    /** Fractional slowdown of foreground work per flush thread beyond
+     *  spare_cores. */
+    double flush_interference = 0.05;
+    /** CPU cost to stage + drain one update record into its g-entry. */
+    double staging_op_cost = 0.10e-6;
+};
+
+/** Time for one all_to_all exchange of `bytes_per_gpu` sent per GPU. */
+double AllToAllTime(const CostModelConfig &cost, const GpuSpec &gpu,
+                    std::uint32_t n_gpus, double bytes_per_gpu);
+
+/** Reported all_to_all bandwidth (bytes/s moved per GPU), Fig. 3b. */
+double AllToAllBandwidth(const CostModelConfig &cost, const GpuSpec &gpu,
+                         std::uint32_t n_gpus, double bytes_per_gpu);
+
+/**
+ * Latency to fetch `keys` embedding rows of `row_bytes` from host memory
+ * through the CPU-involved path (PyTorch/HugeCTR miss path, Fig. 10):
+ * CPU gathers rows into a staging buffer, DMA ships it, an extra
+ * device-side copy lands it. `n_active_gpus` GPUs contend for the host
+ * CPUs and root complex.
+ */
+double HostReadCpuPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                       std::uint64_t keys, double row_bytes,
+                       std::uint32_t n_active_gpus);
+
+/** Latency to scatter `keys` row *updates* into host memory through the
+ *  CPU (gradient aggregation + optimizer on CPU); the write-through
+ *  cost of SyncFlushing and the no-cache baselines. */
+double HostWriteCpuPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                        std::uint64_t keys, double row_bytes,
+                        std::uint32_t n_active_gpus);
+
+/** The raw CPU-involved fetch primitive of Fig. 10 (no framework
+ *  dispatch): CPU gather + DMA + landing copy. */
+double HostReadCpuPrimitive(const CostModelConfig &cost,
+                            const GpuSpec &gpu, std::uint64_t keys,
+                            double row_bytes,
+                            std::uint32_t n_active_gpus);
+
+/**
+ * Stall of a synchronous write-through commit of `total_keys` updates at
+ * the end of a step: the host CPUs aggregate and apply in parallel
+ * (host_cpu_parallelism ways), but the trainers block until done.
+ */
+double WriteThroughStall(const CostModelConfig &cost, const GpuSpec &gpu,
+                         std::uint64_t total_keys, double row_bytes);
+
+/** Latency for the same fetch through zero-copy UVA loads (Frugal). */
+double HostReadUvaPath(const CostModelConfig &cost, const GpuSpec &gpu,
+                       std::uint64_t keys, double row_bytes,
+                       std::uint32_t n_active_gpus);
+
+/** Time to read/update `keys` rows in the local GPU cache. */
+double CacheAccessTime(const CostModelConfig &cost, std::uint64_t keys,
+                       double row_bytes);
+
+/** DNN+pooling compute time for `samples` examples of
+ *  `flops_per_sample`. */
+double ComputeTime(const CostModelConfig &cost, const GpuSpec &gpu,
+                   std::uint64_t samples, double flops_per_sample);
+
+/**
+ * Aggregate background flush capacity in bytes/s for `threads` flush
+ * threads committing rows of `row_bytes`, under the given PQ design.
+ */
+double FlushCapacity(const CostModelConfig &cost, int threads,
+                     double row_bytes, bool tree_heap,
+                     std::uint64_t pq_entries);
+
+/** Compute-slowdown multiplier from flush threads stealing cores. */
+double FlushInterferenceFactor(const CostModelConfig &cost, int threads);
+
+/** Per-entry PQ operation cost (enqueue/adjust/dequeue), Fig. 11a. */
+double PqOpCost(const CostModelConfig &cost, bool tree_heap,
+                std::uint64_t pq_entries, int threads);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_SIM_COST_MODEL_H_

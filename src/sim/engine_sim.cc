@@ -1,0 +1,438 @@
+#include "sim/engine_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/gpu_cache.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/cache_sim.h"
+
+namespace frugal {
+
+std::string
+SimEngineName(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::kNoCache: return "nocache";
+      case SimEngine::kCached: return "cached";
+      case SimEngine::kFrugalSync: return "frugal-sync";
+      case SimEngine::kFrugal: return "frugal";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-key future occurrence index over the whole trace. */
+class OccurrenceIndex
+{
+  public:
+    explicit OccurrenceIndex(const Trace &trace)
+    {
+        for (std::size_t s = 0; s < trace.NumSteps(); ++s) {
+            for (GpuId g = 0; g < trace.n_gpus(); ++g) {
+                for (Key k : trace.KeysFor(s, g))
+                    occurrences_[k].push_back(static_cast<Step>(s));
+            }
+        }
+        for (auto &[k, steps] : occurrences_)
+            std::sort(steps.begin(), steps.end());
+    }
+
+    /** First step > `after` that reads `key`, or kInfiniteStep. */
+    Step
+    NextRead(Key key, Step after) const
+    {
+        auto it = occurrences_.find(key);
+        if (it == occurrences_.end())
+            return kInfiniteStep;
+        const auto &steps = it->second;
+        auto pos = std::upper_bound(steps.begin(), steps.end(), after);
+        return pos == steps.end() ? kInfiniteStep : *pos;
+    }
+
+  private:
+    std::unordered_map<Key, std::vector<Step>> occurrences_;
+};
+
+/**
+ * The P²F flush pipeline model: pending update bytes bucketed by their
+ * next-read step, drained in priority order at the modeled capacity.
+ * Entries beyond the lookahead horizon are "deferred" (the controller
+ * has not seen their next read yet) but since draining is ascending by
+ * next-read they are naturally last.
+ */
+class FlushBacklog
+{
+  public:
+    /** Adds pending bytes whose next read is `next_read`. */
+    void
+    Add(Step next_read, double bytes)
+    {
+        backlog_[next_read] += bytes;
+        total_ += bytes;
+    }
+
+    /** Bytes that must be gone before step `s` may start. */
+    double
+    UrgentAtOrBelow(Step s) const
+    {
+        double urgent = 0.0;
+        for (const auto &[next_read, bytes] : backlog_) {
+            if (next_read > s)
+                break;
+            urgent += bytes;
+        }
+        return urgent;
+    }
+
+    /** Drains up to `budget` bytes in ascending next-read order;
+     *  returns bytes actually drained. */
+    double
+    Drain(double budget)
+    {
+        double drained = 0.0;
+        auto it = backlog_.begin();
+        while (it != backlog_.end() && budget > 0.0) {
+            const double take = std::min(budget, it->second);
+            it->second -= take;
+            budget -= take;
+            drained += take;
+            if (it->second <= 1e-12)
+                it = backlog_.erase(it);
+            else
+                break;
+        }
+        total_ -= drained;
+        return drained;
+    }
+
+    double total() const { return total_; }
+
+  private:
+    std::map<Step, double> backlog_;
+    double total_ = 0.0;
+};
+
+struct StepCounts
+{
+    // Per-GPU maxima (the synchronous iteration is paced by the slowest
+    // GPU).
+    std::uint64_t keys = 0;          ///< sub-batch unique keys
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;  ///< rows that must come from host
+    std::uint64_t remote_keys = 0;   ///< keys owned by another GPU
+    // Totals across GPUs (for flush/backlog accounting).
+    std::uint64_t total_keys = 0;
+};
+
+/** Counts one step's cache behaviour for the given engine. */
+StepCounts
+CountStep(SimEngine engine, const Trace &trace, Step s,
+          const KeyOwnership &ownership,
+          std::vector<std::unique_ptr<CacheSim>> &caches)
+{
+    StepCounts max_counts;
+    StepCounts totals;
+    for (GpuId g = 0; g < trace.n_gpus(); ++g) {
+        StepCounts c;
+        for (Key key : trace.KeysFor(s, g)) {
+            ++c.keys;
+            switch (engine) {
+              case SimEngine::kNoCache:
+                ++c.cache_misses;  // every row comes from host
+                break;
+              case SimEngine::kCached: {
+                const GpuId owner = ownership.OwnerOf(key);
+                if (owner != g)
+                    ++c.remote_keys;
+                if (caches[owner]->Access(key))
+                    ++c.cache_hits;
+                else
+                    ++c.cache_misses;
+                break;
+              }
+              case SimEngine::kFrugalSync:
+              case SimEngine::kFrugal: {
+                const GpuId owner = ownership.OwnerOf(key);
+                if (owner == g) {
+                    if (caches[g]->Access(key))
+                        ++c.cache_hits;
+                    else
+                        ++c.cache_misses;
+                } else {
+                    // Direct UVA host read; not cached anywhere.
+                    ++c.remote_keys;
+                    ++c.cache_misses;
+                }
+                break;
+              }
+            }
+        }
+        max_counts.keys = std::max(max_counts.keys, c.keys);
+        max_counts.cache_hits = std::max(max_counts.cache_hits,
+                                         c.cache_hits);
+        max_counts.cache_misses =
+            std::max(max_counts.cache_misses, c.cache_misses);
+        max_counts.remote_keys =
+            std::max(max_counts.remote_keys, c.remote_keys);
+        totals.total_keys += c.keys;
+    }
+    max_counts.total_keys = totals.total_keys;
+    return max_counts;
+}
+
+}  // namespace
+
+SimResult
+SimulateEngine(SimEngine engine, const SimWorkload &workload,
+               const SimSystem &system)
+{
+    const Trace &trace = workload.trace;
+    const std::uint32_t n = system.n_gpus;
+    FRUGAL_CHECK_MSG(trace.n_gpus() == n, "trace/system GPU mismatch");
+    const CostModelConfig &cost = system.cost;
+    const GpuSpec &gpu = system.gpu;
+    const double row_bytes = workload.RowBytes();
+    const KeyOwnership ownership(n);
+
+    // Multi-GPU cache: the budget is cache_ratio of all parameters split
+    // evenly (§4.1).
+    std::vector<std::unique_ptr<CacheSim>> caches;
+    if (engine != SimEngine::kNoCache) {
+        const double total_rows =
+            system.cache_ratio * static_cast<double>(trace.key_space());
+        const std::size_t per_gpu = std::max<std::size_t>(
+            1, static_cast<std::size_t>(total_rows /
+                                        static_cast<double>(n)));
+        for (std::uint32_t g = 0; g < n; ++g)
+            caches.push_back(std::make_unique<CacheSim>(per_gpu));
+    }
+
+    // Frugal-only machinery.
+    std::unique_ptr<OccurrenceIndex> occurrences;
+    FlushBacklog backlog;
+    if (engine == SimEngine::kFrugal)
+        occurrences = std::make_unique<OccurrenceIndex>(trace);
+    const std::uint64_t approx_pq_entries = std::max<std::uint64_t>(
+        1, trace.key_space() / 100);  // live g-entries, for O(log N)
+    const double flush_capacity =
+        FlushCapacity(cost, system.flush_threads, row_bytes,
+                      system.tree_heap, approx_pq_entries);
+    const double interference =
+        FlushInterferenceFactor(cost, system.flush_threads);
+
+    SimResult result;
+    result.engine = SimEngineName(engine);
+    result.workload = workload.name;
+
+    // Collective exchanges split into per-feature-group chunks.
+    const int chunks = std::max(1, workload.a2a_chunks);
+    auto a2a = [&](double bytes) {
+        return chunks * AllToAllTime(cost, gpu, n,
+                                     bytes / static_cast<double>(chunks));
+    };
+
+    PhaseBreakdown accumulated;
+    double stall_total = 0.0;
+    double g_entry_total = 0.0;
+    std::uint64_t host_rows = 0;
+
+    for (Step s = 0; s < trace.NumSteps(); ++s) {
+        const StepCounts counts =
+            CountStep(engine, trace, s, ownership, caches);
+        PhaseBreakdown phase;
+
+        // --- forward: gather -----------------------------------------
+        switch (engine) {
+          case SimEngine::kNoCache:
+            phase.host_dram +=
+                HostReadCpuPath(cost, gpu, counts.keys, row_bytes, n);
+            break;
+          case SimEngine::kCached: {
+            // ➋ all_to_all keys, ➍ all_to_all embeddings (Fig. 2b).
+            const double key_bytes =
+                static_cast<double>(counts.keys) * 8.0;
+            const double emb_bytes =
+                static_cast<double>(counts.keys) * row_bytes;
+            phase.comm += a2a(key_bytes);
+            phase.comm += a2a(emb_bytes);
+            phase.cache += CacheAccessTime(
+                cost, counts.cache_hits + counts.cache_misses, row_bytes);
+            // Distributed miss processing pays extra query-routing
+            // software on top of the raw CPU path (§2.4).
+            phase.host_dram += cost.cached_miss_software_factor *
+                               HostReadCpuPath(cost, gpu,
+                                               counts.cache_misses,
+                                               row_bytes, n);
+            // ➊ bucket keys + ➎ reorder on the CPU (lighter than a
+            // full gather: sort + permutation only).
+            phase.other +=
+                2.0 * (cost.cpu_request_overhead +
+                       static_cast<double>(counts.keys) * 0.25 *
+                           cost.cpu_gather_per_key);
+            break;
+          }
+          case SimEngine::kFrugalSync:
+          case SimEngine::kFrugal: {
+            const std::uint64_t local =
+                counts.keys - counts.remote_keys;
+            const std::uint64_t local_miss =
+                counts.cache_misses - counts.remote_keys;
+            phase.cache += CacheAccessTime(cost, local, row_bytes);
+            // One fused kernel reads misses + remote rows via UVA.
+            phase.host_dram += HostReadUvaPath(
+                cost, gpu, local_miss + counts.remote_keys, row_bytes, n);
+            break;
+          }
+        }
+        host_rows += counts.cache_misses;
+
+        // --- compute -------------------------------------------------
+        const std::uint64_t samples_per_gpu = std::max<std::uint64_t>(
+            1, workload.samples_per_step / n);
+        double compute = ComputeTime(cost, gpu, samples_per_gpu,
+                                     workload.flops_per_sample);
+        // Framework + workload-specific per-iteration CPU work.
+        double framework =
+            cost.iteration_overhead + workload.fixed_step_seconds;
+        if (engine == SimEngine::kFrugal ||
+            engine == SimEngine::kFrugalSync) {
+            framework += cost.controller_overhead;
+            compute *= interference;    // flush threads steal CPU
+            framework *= interference;
+        }
+        phase.other += compute + framework;
+
+        // --- backward: update path ------------------------------------
+        switch (engine) {
+          case SimEngine::kNoCache:
+            // Scatter updates back to host through the CPU path.
+            phase.host_dram +=
+                HostWriteCpuPath(cost, gpu, counts.keys, row_bytes, n);
+            break;
+          case SimEngine::kCached: {
+            // all_to_all gradients to owners + cache update; misses (and
+            // evicted rows) write back to host through the CPU.
+            const double grad_bytes =
+                static_cast<double>(counts.keys) * row_bytes;
+            phase.comm += a2a(grad_bytes);
+            phase.cache += CacheAccessTime(
+                cost, counts.cache_hits + counts.cache_misses, row_bytes);
+            phase.host_dram += cost.cached_miss_software_factor *
+                               HostWriteCpuPath(cost, gpu,
+                                                counts.cache_misses,
+                                                row_bytes, n);
+            break;
+          }
+          case SimEngine::kFrugalSync: {
+            // Write-through: the step blocks until every update of the
+            // global batch is aggregated and committed to host memory
+            // through the CPU (the paper's SyncFlushing stall).
+            const double stall = WriteThroughStall(
+                cost, gpu, counts.total_keys, row_bytes);
+            phase.host_dram += stall;
+            stall_total += stall;
+            // Staging bookkeeping on the critical path.
+            const double bookkeeping =
+                static_cast<double>(counts.total_keys) *
+                cost.staging_op_cost / n;
+            phase.other += bookkeeping;
+            g_entry_total += bookkeeping;
+            break;
+          }
+          case SimEngine::kFrugal: {
+            // Enqueue-only on the critical path; flushing is background.
+            const double op =
+                PqOpCost(cost, system.tree_heap, approx_pq_entries,
+                         system.flush_threads) +
+                cost.staging_op_cost;
+            const double bookkeeping =
+                static_cast<double>(counts.total_keys) * op / n;
+            phase.other += bookkeeping;
+            g_entry_total += bookkeeping;
+            break;
+          }
+        }
+
+        // --- P²F gate + background drain (Frugal only) ----------------
+        double stall = 0.0;
+        if (engine == SimEngine::kFrugal) {
+            // Updates of step s-1.. already pending; the gate for step s
+            // requires everything next-read ≤ s flushed.
+            const double urgent = backlog.UrgentAtOrBelow(s);
+            if (urgent > 0.0) {
+                stall = urgent / flush_capacity;
+                backlog.Drain(urgent);
+            }
+            phase.host_dram += stall;
+            stall_total += stall;
+            // Background flushing proceeds for the rest of the step.
+            backlog.Drain(flush_capacity *
+                          (phase.Total() - stall));
+            // Step s's updates become pending, bucketed by next read.
+            for (GpuId g = 0; g < n; ++g) {
+                for (Key key : trace.KeysFor(s, g)) {
+                    backlog.Add(occurrences->NextRead(key, s),
+                                row_bytes);
+                }
+            }
+        }
+
+        accumulated += phase;
+    }
+
+    double total_seconds = accumulated.Total();
+    if (engine == SimEngine::kFrugal && backlog.total() > 0.0) {
+        // End of training: wait for all deferred updates (§3.3 example).
+        total_seconds += backlog.total() / flush_capacity;
+    }
+
+    const double steps = static_cast<double>(trace.NumSteps());
+    result.seconds_total = total_seconds;
+    result.throughput =
+        static_cast<double>(workload.samples_per_step) * steps /
+        total_seconds;
+    result.mean_iteration = accumulated / steps;
+    result.stall_mean = stall_total / steps;
+    result.g_entry_update_mean = g_entry_total / steps;
+    result.host_rows_read = host_rows;
+    if (!caches.empty()) {
+        std::uint64_t hits = 0, misses = 0;
+        for (auto &cache : caches) {
+            hits += cache->hits();
+            misses += cache->misses();
+        }
+        result.cache_hit_ratio =
+            hits + misses == 0
+                ? 0.0
+                : static_cast<double>(hits) /
+                      static_cast<double>(hits + misses);
+    }
+    return result;
+}
+
+SimWorkload
+MakeSyntheticWorkload(const std::string &distribution_name,
+                      std::uint64_t key_space, std::size_t dim,
+                      std::size_t steps, std::uint32_t n_gpus,
+                      std::size_t keys_per_gpu, std::uint64_t seed)
+{
+    auto dist = MakeDistributionByName(distribution_name, key_space);
+    Rng rng(seed);
+    SimWorkload workload;
+    workload.name = distribution_name;
+    workload.trace =
+        Trace::Synthetic(*dist, rng, steps, n_gpus, keys_per_gpu);
+    workload.dim = dim;
+    workload.samples_per_step =
+        static_cast<std::uint64_t>(keys_per_gpu) * n_gpus;
+    workload.flops_per_sample = 0.0;  // embedding-only (§4.2)
+    return workload;
+}
+
+}  // namespace frugal

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Per-iteration timing simulation of the four training systems on the
+ * modeled server — the machinery that regenerates the paper's
+ * throughput/breakdown figures (Figs. 3, 8, 9, 11b/c, 12–18).
+ *
+ * A simulation replays a key Trace step by step. Cache contents are
+ * simulated exactly (LRU over real key sequences); phase times come from
+ * the cost model; Frugal's flush stalls come from a P²F backlog model
+ * that schedules pending updates by their true next-read step with the
+ * controller's lookahead window — the same policy the functional runtime
+ * executes, evaluated against the modeled flush bandwidth.
+ *
+ * Engine ↔ paper mapping (§4.1): kNoCache = "PyTorch"/"DGL-KE",
+ * kCached = "HugeCTR"/"DGL-KE-cached", kFrugalSync = Frugal-Sync,
+ * kFrugal = Frugal.
+ */
+#ifndef FRUGAL_SIM_ENGINE_SIM_H_
+#define FRUGAL_SIM_ENGINE_SIM_H_
+
+#include <string>
+
+#include "data/trace.h"
+#include "sim/cost_model.h"
+#include "sim/gpu_spec.h"
+
+namespace frugal {
+
+/** The four simulated systems. */
+enum class SimEngine { kNoCache, kCached, kFrugalSync, kFrugal };
+
+std::string SimEngineName(SimEngine engine);
+
+/** One iteration's time split, Fig. 3c / Fig. 12 categories. */
+struct PhaseBreakdown
+{
+    double comm = 0.0;       ///< collective communication
+    double host_dram = 0.0;  ///< host memory access (incl. flush stalls)
+    double cache = 0.0;      ///< GPU cache access
+    double other = 0.0;      ///< DNN compute, CPU bucketing, bookkeeping
+
+    double Total() const { return comm + host_dram + cache + other; }
+
+    PhaseBreakdown &
+    operator+=(const PhaseBreakdown &o)
+    {
+        comm += o.comm;
+        host_dram += o.host_dram;
+        cache += o.cache;
+        other += o.other;
+        return *this;
+    }
+
+    PhaseBreakdown
+    operator/(double d) const
+    {
+        return {comm / d, host_dram / d, cache / d, other / d};
+    }
+};
+
+/** The simulated machine + system configuration. */
+struct SimSystem
+{
+    GpuSpec gpu;
+    std::uint32_t n_gpus = 4;
+    double cache_ratio = 0.05;  ///< of all parameters, split across GPUs
+    int flush_threads = 8;
+    std::size_t lookahead = 10;
+    bool tree_heap = false;  ///< Exp #4 PQ swap
+    CostModelConfig cost;
+};
+
+/** The simulated workload. */
+struct SimWorkload
+{
+    std::string name;
+    Trace trace{{}, 0, 1};
+    std::size_t dim = 32;
+    /** Global samples per step (throughput = samples / time). */
+    std::uint64_t samples_per_step = 0;
+    /** Forward+backward DNN work per sample. */
+    double flops_per_sample = 0.0;
+    /** Per-step workload-specific CPU time no engine optimises away
+     *  (graph sampling for KG, feature preprocessing for REC). */
+    double fixed_step_seconds = 0.0;
+    /** Chunks each all_to_all splits into (multi-feature models exchange
+     *  per feature group, paying the software latency per chunk). */
+    int a2a_chunks = 1;
+
+    double RowBytes() const { return static_cast<double>(dim) * 4.0; }
+};
+
+/** Outcome of one simulated run. */
+struct SimResult
+{
+    std::string engine;
+    std::string workload;
+    double seconds_total = 0.0;
+    double throughput = 0.0;  ///< samples / second
+    PhaseBreakdown mean_iteration;
+    /** Mean per-step training stall waiting on flushes (s). */
+    double stall_mean = 0.0;
+    /** Mean per-step time to record a batch's g-entry updates (s),
+     *  Fig. 11a; zero for engines without the P²F pipeline. */
+    double g_entry_update_mean = 0.0;
+    double cache_hit_ratio = 0.0;
+    std::uint64_t host_rows_read = 0;
+};
+
+/** Runs the timing simulation of `engine` on `workload` over `system`. */
+SimResult SimulateEngine(SimEngine engine, const SimWorkload &workload,
+                         const SimSystem &system);
+
+/**
+ * Convenience: synthetic microbenchmark workload (§4.1): `keys_per_gpu`
+ * draws per GPU per step from `distribution_name` over `key_space` keys,
+ * embedding-only (no DNN flops).
+ */
+SimWorkload MakeSyntheticWorkload(const std::string &distribution_name,
+                                  std::uint64_t key_space,
+                                  std::size_t dim, std::size_t steps,
+                                  std::uint32_t n_gpus,
+                                  std::size_t keys_per_gpu,
+                                  std::uint64_t seed = 1);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_SIM_ENGINE_SIM_H_

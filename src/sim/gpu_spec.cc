@@ -1,0 +1,92 @@
+#include "sim/gpu_spec.h"
+
+#include "common/logging.h"
+
+namespace frugal {
+
+namespace {
+
+std::vector<GpuSpec>
+BuildSpecs()
+{
+    std::vector<GpuSpec> specs;
+    {
+        GpuSpec s;  // Table 1, datacenter column
+        s.name = "A100";
+        s.datacenter = true;
+        s.tensor_fp16_tflops = 312.0;
+        s.tensor_fp32_tflops = 156.0;
+        s.memory_gb = 80.0;
+        s.link_bandwidth_gbps = 900.0;
+        s.link_kind = "NVLINK";
+        s.supports_p2p = true;
+        s.price_usd = 16000.0;
+        specs.push_back(s);
+    }
+    {
+        GpuSpec s;  // Table 1, commodity column
+        s.name = "RTX4090";
+        s.datacenter = false;
+        s.tensor_fp16_tflops = 330.0;
+        s.tensor_fp32_tflops = 83.0;
+        s.memory_gb = 24.0;
+        s.link_bandwidth_gbps = 64.0;
+        s.link_kind = "PCIe 4.0";
+        s.supports_p2p = false;
+        s.price_usd = 1600.0;
+        specs.push_back(s);
+    }
+    {
+        GpuSpec s;  // evaluation testbed, datacenter side (§4.5)
+        s.name = "A30";
+        s.datacenter = true;
+        s.tensor_fp16_tflops = 165.0;
+        s.tensor_fp32_tflops = 82.0;  // TF32 tensor
+        s.memory_gb = 24.0;
+        s.link_bandwidth_gbps = 64.0;
+        s.link_kind = "PCIe 4.0";
+        s.supports_p2p = true;  // PCIe P2P works on datacenter parts
+        s.price_usd = 5885.0;   // Exp #9
+        specs.push_back(s);
+    }
+    {
+        GpuSpec s;  // evaluation testbed, commodity side (§4.1)
+        s.name = "RTX3090";
+        s.datacenter = false;
+        s.tensor_fp16_tflops = 142.0;
+        s.tensor_fp32_tflops = 35.6;
+        s.memory_gb = 24.0;
+        s.link_bandwidth_gbps = 64.0;
+        s.link_kind = "PCIe 4.0";
+        s.supports_p2p = false;
+        s.price_usd = 1310.0;  // Exp #9
+        specs.push_back(s);
+    }
+    return specs;
+}
+
+}  // namespace
+
+const std::vector<GpuSpec> &
+AllGpuSpecs()
+{
+    static const std::vector<GpuSpec> specs = BuildSpecs();
+    return specs;
+}
+
+const GpuSpec &
+GpuByName(const std::string &name)
+{
+    for (const GpuSpec &spec : AllGpuSpecs()) {
+        if (spec.name == name)
+            return spec;
+    }
+    FRUGAL_FATAL("unknown GPU: " << name);
+}
+
+const GpuSpec &A100() { return GpuByName("A100"); }
+const GpuSpec &RTX4090() { return GpuByName("RTX4090"); }
+const GpuSpec &A30() { return GpuByName("A30"); }
+const GpuSpec &RTX3090() { return GpuByName("RTX3090"); }
+
+}  // namespace frugal

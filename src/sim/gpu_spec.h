@@ -1,0 +1,60 @@
+/**
+ * @file
+ * GPU characteristics registry — Table 1 of the paper plus the two GPUs
+ * of the evaluation testbed (A30, RTX 3090) and the prices used by the
+ * cost-efficiency study (Exp #9: $5,885 per A30, $1,310 per RTX 3090).
+ *
+ * The defining architectural difference for Frugal is `supports_p2p`:
+ * datacenter GPUs move data GPU→GPU directly (NVLink or PCIe P2P), while
+ * commodity 30/40-series GPUs must bounce every inter-GPU byte through
+ * host memory with CPU coordination (§2.2).
+ */
+#ifndef FRUGAL_SIM_GPU_SPEC_H_
+#define FRUGAL_SIM_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frugal {
+
+/** Static characteristics of one GPU model. */
+struct GpuSpec
+{
+    std::string name;
+    bool datacenter = false;
+    double tensor_fp16_tflops = 0.0;
+    double tensor_fp32_tflops = 0.0;
+    double memory_gb = 0.0;
+    /** Inter-GPU link bandwidth as Table 1 reports it (GB/s). */
+    double link_bandwidth_gbps = 0.0;
+    std::string link_kind;  ///< "NVLINK" or "PCIe 4.0"
+    /** Per-direction PCIe bandwidth to the host (GB/s); §2.4 pins both
+     *  testbeds to the same PCIe 4.0 ×16 link (32 GB/s). */
+    double pcie_gbps = 32.0;
+    bool supports_p2p = false;
+    double price_usd = 0.0;
+
+    /** Table 1's "Dollar per FP32-TFLOPS". */
+    double
+    DollarPerFp32Tflops() const
+    {
+        return price_usd / tensor_fp32_tflops;
+    }
+};
+
+/** The four GPUs the paper discusses. */
+const GpuSpec &A100();
+const GpuSpec &RTX4090();
+const GpuSpec &A30();
+const GpuSpec &RTX3090();
+
+/** All registered specs (for Table 1 style listings). */
+const std::vector<GpuSpec> &AllGpuSpecs();
+
+/** Lookup by name; fatal on unknown. */
+const GpuSpec &GpuByName(const std::string &name);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_SIM_GPU_SPEC_H_

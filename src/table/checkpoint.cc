@@ -1,0 +1,144 @@
+#include "table/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace frugal {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4652554741'4c5442ULL;  // "FRUGAL TB"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header
+{
+    std::uint64_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint32_t dim = 0;
+    std::uint64_t key_space = 0;
+    std::uint64_t init_seed = 0;
+};
+
+/** FNV-1a over the row bytes, mixed per 64-bit word. */
+std::uint64_t
+ChecksumRows(const HostEmbeddingTable &table)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::vector<float> row(table.dim());
+    for (Key k = 0; k < table.key_space(); ++k) {
+        table.ReadRow(k, row.data());
+        for (float v : row) {
+            std::uint32_t bits;
+            static_assert(sizeof(bits) == sizeof(v));
+            __builtin_memcpy(&bits, &v, sizeof(bits));
+            hash ^= bits;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+    return hash;
+}
+
+}  // namespace
+
+void
+SaveCheckpoint(const HostEmbeddingTable &table, const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            FRUGAL_FATAL("cannot open checkpoint file " << tmp);
+        Header header;
+        header.dim = static_cast<std::uint32_t>(table.dim());
+        header.key_space = table.key_space();
+        out.write(reinterpret_cast<const char *>(&header),
+                  sizeof(header));
+        std::vector<float> row(table.dim());
+        for (Key k = 0; k < table.key_space(); ++k) {
+            table.ReadRow(k, row.data());
+            out.write(reinterpret_cast<const char *>(row.data()),
+                      static_cast<std::streamsize>(row.size() *
+                                                   sizeof(float)));
+        }
+        const std::uint64_t checksum = ChecksumRows(table);
+        out.write(reinterpret_cast<const char *>(&checksum),
+                  sizeof(checksum));
+        if (!out.good())
+            FRUGAL_FATAL("short write to checkpoint file " << tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        FRUGAL_FATAL("cannot rename " << tmp << " to " << path);
+}
+
+bool
+ProbeCheckpoint(const std::string &path, CheckpointInfo *info)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    Header header;
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in.good() || header.magic != kMagic ||
+        header.version != kVersion) {
+        return false;
+    }
+    if (info != nullptr) {
+        info->key_space = header.key_space;
+        info->dim = header.dim;
+        info->init_seed = header.init_seed;
+    }
+    return true;
+}
+
+bool
+LoadCheckpoint(HostEmbeddingTable &table, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    Header header;
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in.good() || header.magic != kMagic ||
+        header.version != kVersion ||
+        header.key_space != table.key_space() ||
+        header.dim != table.dim()) {
+        return false;
+    }
+    // Stage into a buffer so a corrupt file never half-overwrites the
+    // live table.
+    std::vector<float> staged(
+        static_cast<std::size_t>(header.key_space) * header.dim);
+    in.read(reinterpret_cast<char *>(staged.data()),
+            static_cast<std::streamsize>(staged.size() * sizeof(float)));
+    std::uint64_t stored_checksum = 0;
+    in.read(reinterpret_cast<char *>(&stored_checksum),
+            sizeof(stored_checksum));
+    if (!in.good())
+        return false;
+
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (float v : staged) {
+        std::uint32_t bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        hash ^= bits;
+        hash *= 0x100000001b3ULL;
+    }
+    if (hash != stored_checksum) {
+        FRUGAL_WARN("checkpoint " << path << " failed checksum; ignored");
+        return false;
+    }
+    for (Key k = 0; k < table.key_space(); ++k) {
+        float *row = table.MutableRow(k);
+        const float *src =
+            staged.data() + static_cast<std::size_t>(k) * table.dim();
+        for (std::size_t j = 0; j < table.dim(); ++j)
+            row[j] = src[j];
+    }
+    return true;
+}
+
+}  // namespace frugal

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Embedding-table checkpointing.
+ *
+ * Production embedding training (the paper's target application) runs
+ * continuously and must persist O(100 GB) host-resident tables; this
+ * module provides the minimal durable format: a self-describing binary
+ * file with a header (magic, version, shape, seed), the row data, and a
+ * trailing checksum. Save is only meaningful at a synchronous-consistency
+ * point — after Engine::Run returns, every pending update has been
+ * flushed (§3.3), so the host table *is* the model.
+ */
+#ifndef FRUGAL_TABLE_CHECKPOINT_H_
+#define FRUGAL_TABLE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "table/embedding_table.h"
+
+namespace frugal {
+
+/** Result of probing a checkpoint file. */
+struct CheckpointInfo
+{
+    std::uint64_t key_space = 0;
+    std::uint32_t dim = 0;
+    std::uint64_t init_seed = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Writes `table` to `path` (atomically: temp file + rename).
+ * Fatal on I/O errors that indicate user problems (bad path, disk
+ * full).
+ */
+void SaveCheckpoint(const HostEmbeddingTable &table,
+                    const std::string &path);
+
+/**
+ * Loads a checkpoint into `table`; the file's shape must match the
+ * table's. Verifies the checksum.
+ * @return false (leaving the table untouched) if the file is missing,
+ *         malformed, corrupt, or shape-mismatched.
+ */
+bool LoadCheckpoint(HostEmbeddingTable &table, const std::string &path);
+
+/** Reads just the header; returns false if missing/malformed. */
+bool ProbeCheckpoint(const std::string &path, CheckpointInfo *info);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_TABLE_CHECKPOINT_H_

@@ -1,0 +1,84 @@
+#include "table/embedding_table.h"
+
+#include <mutex>
+
+namespace frugal {
+
+HostEmbeddingTable::HostEmbeddingTable(const EmbeddingTableConfig &config)
+    : config_(config),
+      values_(static_cast<std::size_t>(config.key_space) * config.dim),
+      versions_(new std::atomic<std::uint64_t>[config.key_space]),
+      row_locks_(config.lock_stripes)
+{
+    FRUGAL_CHECK_MSG(config.key_space > 0, "empty key space");
+    FRUGAL_CHECK_MSG(config.dim > 0, "zero embedding dimension");
+    ResetParameters();
+}
+
+float
+HostEmbeddingTable::InitialValue(std::uint64_t seed, float scale, Key key,
+                                 std::size_t j)
+{
+    // One SplitMix64 draw per element keyed on (seed, key, j); any party
+    // holding the seed can reproduce the init without the table.
+    std::uint64_t s = seed ^ (key * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(j) << 32);
+    const std::uint64_t bits = SplitMix64(s);
+    const double unit =
+        static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+    return static_cast<float>((2.0 * unit - 1.0) * scale);
+}
+
+void
+HostEmbeddingTable::ResetParameters()
+{
+    for (Key key = 0; key < config_.key_space; ++key) {
+        float *row = values_.data() + RowOffset(key);
+        for (std::size_t j = 0; j < config_.dim; ++j) {
+            row[j] = InitialValue(config_.init_seed, config_.init_scale,
+                                  key, j);
+        }
+        versions_[key].store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+HostEmbeddingTable::ReadRow(Key key, float *out) const
+{
+    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    const float *row = values_.data() + RowOffset(key);
+    for (std::size_t j = 0; j < config_.dim; ++j)
+        out[j] = row[j];
+    return versions_[key].load(std::memory_order_relaxed);
+}
+
+float *
+HostEmbeddingTable::MutableRow(Key key)
+{
+    return values_.data() + RowOffset(key);
+}
+
+const float *
+HostEmbeddingTable::Row(Key key) const
+{
+    return values_.data() + RowOffset(key);
+}
+
+std::uint64_t
+HostEmbeddingTable::ApplyGradient(Key key, const float *grad,
+                                  Optimizer &optimizer)
+{
+    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    optimizer.Apply(key, values_.data() + RowOffset(key), grad,
+                    config_.dim);
+    return versions_[key].fetch_add(1, std::memory_order_release) + 1;
+}
+
+std::uint64_t
+HostEmbeddingTable::RowVersion(Key key) const
+{
+    FRUGAL_CHECK(key < config_.key_space);
+    return versions_[key].load(std::memory_order_acquire);
+}
+
+}  // namespace frugal

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The host-memory embedding table — the authoritative, complete parameter
+ * set that the controller process manages and exposes to every trainer
+ * (Fig. 5). In the real system this lives in (huge) host DRAM behind a
+ * shared-memory interface; here it is a dense float matrix with per-row
+ * version counters that the consistency auditor uses to detect stale
+ * reads.
+ *
+ * Thread-safety: rows are independent; each row is guarded by a striped
+ * lock so concurrent flush threads (disjoint keys by construction, but
+ * the lock makes the guarantee local) and baseline engines can commit
+ * updates safely. Reads during training are race-free by the P²F gate —
+ * the auditor checks that, rather than assuming it.
+ */
+#ifndef FRUGAL_TABLE_EMBEDDING_TABLE_H_
+#define FRUGAL_TABLE_EMBEDDING_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+#include "table/optimizer.h"
+
+namespace frugal {
+
+/** Configuration of a host embedding table. */
+struct EmbeddingTableConfig
+{
+    std::uint64_t key_space = 0;   ///< number of rows (c in the paper)
+    std::size_t dim = 32;          ///< embedding dimension (d)
+    std::uint64_t init_seed = 42;  ///< deterministic init seed
+    float init_scale = 0.01f;      ///< uniform init range [-scale, scale)
+    std::size_t lock_stripes = 1024;
+};
+
+/** Dense host-resident embedding table with versioned rows. */
+class HostEmbeddingTable
+{
+  public:
+    explicit HostEmbeddingTable(const EmbeddingTableConfig &config);
+
+    HostEmbeddingTable(const HostEmbeddingTable &) = delete;
+    HostEmbeddingTable &operator=(const HostEmbeddingTable &) = delete;
+
+    std::uint64_t key_space() const { return config_.key_space; }
+    std::size_t dim() const { return config_.dim; }
+
+    /** Copies the row for `key` into `out` (size dim()). Returns the row
+     *  version observed, for consistency auditing. */
+    std::uint64_t ReadRow(Key key, float *out) const;
+
+    /** Direct pointer to a row; caller must ensure exclusion (tests and
+     *  single-threaded oracles only). */
+    float *MutableRow(Key key);
+    const float *Row(Key key) const;
+
+    /**
+     * Applies one gradient through `optimizer` under the row lock and
+     * bumps the row version. Returns the new version.
+     */
+    std::uint64_t ApplyGradient(Key key, const float *grad,
+                                Optimizer &optimizer);
+
+    /** Row version (number of updates committed so far). */
+    std::uint64_t RowVersion(Key key) const;
+
+    /** Re-initialises every row deterministically from the seed. */
+    void ResetParameters();
+
+    /** Model size in bytes (values only), as Table 2 reports. */
+    std::uint64_t SizeBytes() const
+    {
+        return config_.key_space * config_.dim * sizeof(float);
+    }
+
+    /** The deterministic initial value of row `key`, element `j`; shared
+     *  with oracles so they can reproduce init without a table copy. */
+    static float InitialValue(std::uint64_t seed, float scale, Key key,
+                              std::size_t j);
+
+  private:
+    std::size_t
+    RowOffset(Key key) const
+    {
+        FRUGAL_CHECK_MSG(key < config_.key_space,
+                         "key " << key << " out of range");
+        return static_cast<std::size_t>(key) * config_.dim;
+    }
+
+    EmbeddingTableConfig config_;
+    std::vector<float> values_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
+    mutable StripedLocks row_locks_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_TABLE_EMBEDDING_TABLE_H_

@@ -1,0 +1,45 @@
+#include "table/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace frugal {
+
+AdagradOptimizer::AdagradOptimizer(float learning_rate,
+                                   std::size_t key_space, std::size_t dim,
+                                   float epsilon)
+    : learning_rate_(learning_rate),
+      epsilon_(epsilon),
+      dim_(dim),
+      accumulators_(key_space * dim, 0.0f)
+{
+}
+
+void
+AdagradOptimizer::Apply(Key key, float *row, const float *grad,
+                        std::size_t dim)
+{
+    FRUGAL_CHECK(dim == dim_);
+    float *acc = accumulators_.data() + static_cast<std::size_t>(key) * dim_;
+    for (std::size_t j = 0; j < dim; ++j) {
+        acc[j] += grad[j] * grad[j];
+        row[j] -= learning_rate_ * grad[j] /
+                  (std::sqrt(acc[j]) + epsilon_);
+    }
+}
+
+std::unique_ptr<Optimizer>
+MakeOptimizer(const std::string &name, float learning_rate,
+              std::size_t key_space, std::size_t dim)
+{
+    if (name == "sgd")
+        return std::make_unique<SgdOptimizer>(learning_rate);
+    if (name == "adagrad") {
+        return std::make_unique<AdagradOptimizer>(learning_rate, key_space,
+                                                  dim);
+    }
+    FRUGAL_FATAL("unknown optimizer: " << name);
+}
+
+}  // namespace frugal

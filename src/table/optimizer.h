@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sparse optimizers applied row-wise to embedding parameters.
+ *
+ * The optimizer is applied by whichever component commits an update to a
+ * parameter copy: the flush threads (host memory + owner cache, Frugal),
+ * or the trainer itself (baseline engines). SGD is the default — its
+ * per-row commutativity is what lets Frugal reorder flushes freely;
+ * Adagrad is provided to exercise stateful optimizers (state lives with
+ * the host row, and updates are applied in (step, src) order, so results
+ * stay deterministic).
+ */
+#ifndef FRUGAL_TABLE_OPTIMIZER_H_
+#define FRUGAL_TABLE_OPTIMIZER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace frugal {
+
+/** Row-wise sparse optimizer. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Applies one gradient to one row in place.
+     * @param key  the row's key (indexes optimizer state, if any)
+     * @param row  pointer to `dim` parameter values
+     * @param grad pointer to `dim` gradient values
+     * @param dim  embedding dimension
+     */
+    virtual void Apply(Key key, float *row, const float *grad,
+                       std::size_t dim) = 0;
+
+    virtual std::string Name() const = 0;
+};
+
+/** Plain SGD: row -= lr * grad. Stateless and commutative per row. */
+class SgdOptimizer final : public Optimizer
+{
+  public:
+    explicit SgdOptimizer(float learning_rate)
+        : learning_rate_(learning_rate)
+    {
+    }
+
+    void
+    Apply(Key, float *row, const float *grad, std::size_t dim) override
+    {
+        for (std::size_t j = 0; j < dim; ++j)
+            row[j] -= learning_rate_ * grad[j];
+    }
+
+    std::string Name() const override { return "sgd"; }
+
+    float learning_rate() const { return learning_rate_; }
+
+  private:
+    float learning_rate_;
+};
+
+/**
+ * Adagrad with dense per-row accumulator state.
+ * State is allocated for the full key space up front; intended for the
+ * functional runtime's moderate table sizes.
+ */
+class AdagradOptimizer final : public Optimizer
+{
+  public:
+    AdagradOptimizer(float learning_rate, std::size_t key_space,
+                     std::size_t dim, float epsilon = 1e-10f);
+
+    void Apply(Key key, float *row, const float *grad,
+               std::size_t dim) override;
+
+    std::string Name() const override { return "adagrad"; }
+
+  private:
+    float learning_rate_;
+    float epsilon_;
+    std::size_t dim_;
+    std::vector<float> accumulators_;
+};
+
+/** Builds an optimizer by name ("sgd" or "adagrad"). */
+std::unique_ptr<Optimizer>
+MakeOptimizer(const std::string &name, float learning_rate,
+              std::size_t key_space, std::size_t dim);
+
+}  // namespace frugal
+
+#endif  // FRUGAL_TABLE_OPTIMIZER_H_

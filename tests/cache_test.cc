@@ -1,0 +1,164 @@
+/** Tests for the per-GPU LRU embedding cache and key ownership. */
+#include "cache/gpu_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+std::vector<float>
+RowOf(float v, std::size_t dim = 4)
+{
+    return std::vector<float>(dim, v);
+}
+
+TEST(GpuCacheTest, MissThenHit)
+{
+    GpuCache cache(4, 4);
+    std::vector<float> out(4);
+    EXPECT_FALSE(cache.TryGet(1, out.data()));
+    cache.Put(1, RowOf(1.5f).data());
+    ASSERT_TRUE(cache.TryGet(1, out.data()));
+    EXPECT_EQ(out[0], 1.5f);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(GpuCacheTest, EvictsLruWhenFull)
+{
+    GpuCache cache(2, 4);
+    std::vector<float> out(4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());
+    ASSERT_TRUE(cache.TryGet(1, out.data()));  // 1 becomes MRU
+    const Key evicted = cache.Put(3, RowOf(3).data());
+    EXPECT_EQ(evicted, 2u);  // 2 was LRU
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_FALSE(cache.Contains(2));
+    EXPECT_TRUE(cache.Contains(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(GpuCacheTest, PutExistingOverwritesWithoutEviction)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    const Key evicted = cache.Put(1, RowOf(9).data());
+    EXPECT_EQ(evicted, kInvalidKey);
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));
+    EXPECT_EQ(out[0], 9.0f);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GpuCacheTest, UpdateIfPresent)
+{
+    GpuCache cache(2, 4);
+    EXPECT_FALSE(cache.UpdateIfPresent(5, RowOf(5).data()));
+    cache.Put(5, RowOf(1).data());
+    EXPECT_TRUE(cache.UpdateIfPresent(5, RowOf(7).data()));
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(5, out.data()));
+    EXPECT_EQ(out[0], 7.0f);
+    EXPECT_EQ(cache.stats().flush_writes, 1u);
+}
+
+TEST(GpuCacheTest, UpdateIfPresentDoesNotTouchLru)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());
+    // 1 is LRU; a flush write to 1 must NOT promote it.
+    cache.UpdateIfPresent(1, RowOf(9).data());
+    const Key evicted = cache.Put(3, RowOf(3).data());
+    EXPECT_EQ(evicted, 1u);
+}
+
+TEST(GpuCacheTest, ModelEquivalenceAgainstReferenceLru)
+{
+    // Randomised trace checked against a simple map+list reference model.
+    constexpr std::size_t kCapacity = 16;
+    GpuCache cache(kCapacity, 2);
+    std::list<Key> ref_lru;  // front = MRU
+    std::map<Key, float> ref;
+
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Key k = rng.NextBounded(64);
+        std::vector<float> out(2);
+        const bool hit = cache.TryGet(k, out.data());
+        const bool ref_hit = ref.count(k) > 0;
+        ASSERT_EQ(hit, ref_hit) << "op " << i << " key " << k;
+        if (hit) {
+            ASSERT_EQ(out[0], ref[k]);
+            ref_lru.remove(k);
+            ref_lru.push_front(k);
+        } else {
+            const float v = static_cast<float>(i);
+            cache.Put(k, RowOf(v, 2).data());
+            if (ref.size() == kCapacity) {
+                const Key victim = ref_lru.back();
+                ref_lru.pop_back();
+                ref.erase(victim);
+            }
+            ref.emplace(k, v);
+            ref_lru.push_front(k);
+        }
+    }
+}
+
+TEST(GpuCacheTest, ConcurrentReaderAndFlushWriter)
+{
+    GpuCache cache(64, 4);
+    for (Key k = 0; k < 64; ++k)
+        cache.Put(k, RowOf(static_cast<float>(k)).data());
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        int round = 0;
+        while (!stop) {
+            for (Key k = 0; k < 64; ++k)
+                cache.UpdateIfPresent(k, RowOf(static_cast<float>(round))
+                                             .data());
+            ++round;
+        }
+    });
+    std::vector<float> out(4);
+    for (int i = 0; i < 100000; ++i) {
+        const Key k = static_cast<Key>(i % 64);
+        ASSERT_TRUE(cache.TryGet(k, out.data()));
+        // Row must be internally consistent (all lanes equal).
+        ASSERT_EQ(out[0], out[3]);
+    }
+    stop = true;
+    writer.join();
+}
+
+TEST(KeyOwnershipTest, PartitionIsCompleteAndStable)
+{
+    KeyOwnership owners(4);
+    std::vector<int> counts(4, 0);
+    for (Key k = 0; k < 100000; ++k) {
+        const GpuId owner = owners.OwnerOf(k);
+        ASSERT_LT(owner, 4u);
+        counts[owner]++;
+        ASSERT_EQ(owner, owners.OwnerOf(k));  // stable
+    }
+    for (int c : counts)  // roughly balanced
+        EXPECT_NEAR(c, 25000, 1000);
+}
+
+TEST(KeyOwnershipTest, SingleGpuOwnsEverything)
+{
+    KeyOwnership owners(1);
+    for (Key k = 0; k < 1000; ++k)
+        ASSERT_EQ(owners.OwnerOf(k), 0u);
+}
+
+}  // namespace
+}  // namespace frugal

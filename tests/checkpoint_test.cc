@@ -1,0 +1,167 @@
+/** Tests for embedding-table checkpointing. */
+#include "table/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/distribution.h"
+#include "runtime/frugal_engine.h"
+#include "runtime/microtask.h"
+#include "runtime/oracle.h"
+
+namespace frugal {
+namespace {
+
+EmbeddingTableConfig
+SmallConfig()
+{
+    EmbeddingTableConfig config;
+    config.key_space = 64;
+    config.dim = 8;
+    config.init_seed = 9;
+    return config;
+}
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = "/tmp/frugal_ckpt_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".bin";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripBitExact)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SgdOptimizer sgd(0.5f);
+    std::vector<float> grad(8, 1.0f);
+    for (Key k = 0; k < 64; k += 3)
+        table.ApplyGradient(k, grad.data(), sgd);
+
+    SaveCheckpoint(table, path_);
+    HostEmbeddingTable restored(SmallConfig());
+    ASSERT_TRUE(LoadCheckpoint(restored, path_));
+    EXPECT_TRUE(TablesBitEqual(table, restored));
+}
+
+TEST_F(CheckpointTest, ProbeReadsHeader)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SaveCheckpoint(table, path_);
+    CheckpointInfo info;
+    ASSERT_TRUE(ProbeCheckpoint(path_, &info));
+    EXPECT_EQ(info.key_space, 64u);
+    EXPECT_EQ(info.dim, 8u);
+}
+
+TEST_F(CheckpointTest, MissingFile)
+{
+    HostEmbeddingTable table(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(table, "/tmp/definitely-missing.bin"));
+    EXPECT_FALSE(ProbeCheckpoint("/tmp/definitely-missing.bin", nullptr));
+}
+
+TEST_F(CheckpointTest, ShapeMismatchRejected)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SaveCheckpoint(table, path_);
+    EmbeddingTableConfig other = SmallConfig();
+    other.key_space = 128;
+    HostEmbeddingTable wrong(other);
+    EXPECT_FALSE(LoadCheckpoint(wrong, path_));
+}
+
+TEST_F(CheckpointTest, CorruptPayloadRejectedAndTableUntouched)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SaveCheckpoint(table, path_);
+    {
+        // Flip a byte in the row payload.
+        std::fstream file(path_,
+                          std::ios::binary | std::ios::in | std::ios::out);
+        file.seekp(64);
+        char byte = 0x5a;
+        file.write(&byte, 1);
+    }
+    HostEmbeddingTable restored(SmallConfig());
+    SgdOptimizer sgd(1.0f);
+    std::vector<float> grad(8, 2.0f);
+    restored.ApplyGradient(7, grad.data(), sgd);
+    HostEmbeddingTable snapshot(SmallConfig());
+    snapshot.ApplyGradient(7, grad.data(), sgd);
+
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+    EXPECT_TRUE(TablesBitEqual(restored, snapshot));  // untouched
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejected)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SaveCheckpoint(table, path_);
+    // Truncate to header + half the payload.
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+    out.close();
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+}
+
+TEST_F(CheckpointTest, GarbageFileRejected)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a checkpoint at all";
+    out.close();
+    HostEmbeddingTable table(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(table, path_));
+    EXPECT_FALSE(ProbeCheckpoint(path_, nullptr));
+}
+
+TEST_F(CheckpointTest, TrainSaveResumeMatchesContinuousRun)
+{
+    // Train 40 steps, checkpoint, resume into a fresh engine for 40
+    // more; must equal one continuous 80-step run (checkpoints are
+    // consistency points — §3.3's end-of-training drain).
+    EngineConfig config;
+    config.n_gpus = 2;
+    config.dim = 8;
+    config.key_space = 64;
+    config.flush_threads = 2;
+    Rng rng(4);
+    ZipfDistribution dist(64, 0.9);
+    const Trace trace = Trace::Synthetic(dist, rng, 80, 2, 8);
+
+    std::vector<StepKeys> first_half, second_half;
+    for (std::size_t s = 0; s < 40; ++s)
+        first_half.push_back(trace.StepAt(s));
+    for (std::size_t s = 40; s < 80; ++s)
+        second_half.push_back(trace.StepAt(s));
+    const GradFn task = MakeLinearGradTask();
+
+    FrugalEngine continuous(config);
+    continuous.Run(trace, task);
+
+    FrugalEngine phase1(config);
+    phase1.Run(Trace(std::move(first_half), 64, 2), task);
+    SaveCheckpoint(phase1.table(), path_);
+
+    FrugalEngine phase2(config);
+    ASSERT_TRUE(LoadCheckpoint(phase2.table(), path_));
+    phase2.Run(Trace(std::move(second_half), 64, 2), task);
+
+    EXPECT_TRUE(TablesBitEqual(phase2.table(), continuous.table()));
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,130 @@
+/** Tests for the bounded MPMC blocking queue. */
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder)
+{
+    BlockingQueue<int> q(10);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.Push(i));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.Pop().value(), i);
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity)
+{
+    BlockingQueue<int> q(2);
+    EXPECT_TRUE(q.TryPush(1));
+    EXPECT_TRUE(q.TryPush(2));
+    EXPECT_FALSE(q.TryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BlockingQueueTest, TryPopOnEmpty)
+{
+    BlockingQueue<int> q(2);
+    EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesPoppers)
+{
+    BlockingQueue<int> q(2);
+    std::thread popper([&] {
+        auto v = q.Pop();
+        EXPECT_FALSE(v.has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+    popper.join();
+}
+
+TEST(BlockingQueueTest, CloseDrainsRemainingItems)
+{
+    BlockingQueue<int> q(4);
+    ASSERT_TRUE(q.Push(1));
+    ASSERT_TRUE(q.Push(2));
+    q.Close();
+    EXPECT_FALSE(q.Push(3));
+    EXPECT_EQ(q.Pop().value(), 1);
+    EXPECT_EQ(q.Pop().value(), 2);
+    EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopBatchTakesUpToMax)
+{
+    BlockingQueue<int> q(10);
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(q.Push(i));
+    auto batch = q.PopBatch(5);
+    EXPECT_EQ(batch.size(), 5u);
+    EXPECT_EQ(batch[0], 0);
+    batch = q.PopBatch(5);
+    EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BlockingQueueTest, MpmcNoLossNoDuplication)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 5000;
+    BlockingQueue<int> q(64);
+    std::atomic<long> sum{0};
+    std::atomic<int> popped{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.Push(p * kPerProducer + i));
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (true) {
+                auto v = q.Pop();
+                if (!v.has_value())
+                    return;
+                sum += *v;
+                popped++;
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p)
+        threads[p].join();
+    q.Close();
+    for (int c = 0; c < kConsumers; ++c)
+        threads[kProducers + c].join();
+
+    const long n = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BlockingQueueTest, BlockingPushUnblocksOnPop)
+{
+    BlockingQueue<int> q(1);
+    ASSERT_TRUE(q.Push(1));
+    std::atomic<bool> pushed{false};
+    std::thread pusher([&] {
+        ASSERT_TRUE(q.Push(2));
+        pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.Pop().value(), 1);
+    pusher.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.Pop().value(), 2);
+}
+
+}  // namespace
+}  // namespace frugal

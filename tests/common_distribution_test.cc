@@ -1,0 +1,135 @@
+/**
+ * Tests for the workload key distributions, including statistical
+ * properties of the Zipf sampler that the paper's skewed workloads
+ * (§4.1) depend on.
+ */
+#include "common/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+TEST(UniformDistributionTest, CoversRange)
+{
+    UniformDistribution dist(100);
+    Rng rng(1);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        counts[dist.Sample(rng)]++;
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(UniformDistributionTest, Name)
+{
+    UniformDistribution dist(10);
+    EXPECT_EQ(dist.Name(), "uniform");
+    EXPECT_EQ(dist.KeySpace(), 10u);
+}
+
+TEST(ZipfDistributionTest, SamplesInRange)
+{
+    ZipfDistribution dist(1000, 0.99);
+    Rng rng(2);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_LT(dist.Sample(rng), 1000u);
+}
+
+TEST(ZipfDistributionTest, UnscrambledHeadMass)
+{
+    // Without scrambling, rank 0 is key 0 and should carry ~P(0) mass.
+    ZipfDistribution dist(10000, 0.99, /*scramble=*/false);
+    Rng rng(3);
+    constexpr int kSamples = 200000;
+    int zeros = 0;
+    for (int i = 0; i < kSamples; ++i)
+        zeros += (dist.Sample(rng) == 0);
+    const double p0 = dist.RankProbability(0);
+    EXPECT_NEAR(static_cast<double>(zeros) / kSamples, p0, 0.25 * p0);
+}
+
+TEST(ZipfDistributionTest, SkewOrdersConcentration)
+{
+    // Higher theta ⇒ more mass on the hottest keys. Measure the fraction
+    // of samples covered by the top-1% most frequent keys.
+    auto top1_fraction = [](double theta) {
+        ZipfDistribution dist(10000, theta, /*scramble=*/true);
+        Rng rng(4);
+        std::map<Key, int> counts;
+        constexpr int kSamples = 200000;
+        for (int i = 0; i < kSamples; ++i)
+            counts[dist.Sample(rng)]++;
+        std::vector<int> freq;
+        freq.reserve(counts.size());
+        for (auto &[k, c] : counts)
+            freq.push_back(c);
+        std::sort(freq.rbegin(), freq.rend());
+        const std::size_t top = 100;  // 1% of 10000
+        long covered = 0;
+        for (std::size_t i = 0; i < std::min(top, freq.size()); ++i)
+            covered += freq[i];
+        return static_cast<double>(covered) / kSamples;
+    };
+
+    const double f09 = top1_fraction(0.9);
+    const double f099 = top1_fraction(0.99);
+    EXPECT_GT(f09, 0.3);   // zipf-0.9 is clearly skewed
+    EXPECT_GT(f099, f09);  // zipf-0.99 more so
+}
+
+TEST(ZipfDistributionTest, RankProbabilitiesSumToRoughlyOne)
+{
+    ZipfDistribution dist(1000, 0.9);
+    double total = 0.0;
+    for (std::uint64_t r = 0; r < 1000; ++r)
+        total += dist.RankProbability(r);
+    EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(ZipfDistributionTest, RankProbabilityMonotone)
+{
+    ZipfDistribution dist(1000, 0.99);
+    for (std::uint64_t r = 1; r < 1000; ++r)
+        ASSERT_LE(dist.RankProbability(r), dist.RankProbability(r - 1));
+}
+
+TEST(ZipfDistributionTest, Name)
+{
+    ZipfDistribution d1(10, 0.9);
+    EXPECT_EQ(d1.Name(), "zipf-0.9");
+    ZipfDistribution d2(10, 0.99);
+    EXPECT_EQ(d2.Name(), "zipf-0.99");
+}
+
+TEST(DistributionFactoryTest, ByKind)
+{
+    auto u = MakeDistribution(DistributionKind::kUniform, 10);
+    EXPECT_EQ(u->Name(), "uniform");
+    auto z = MakeDistribution(DistributionKind::kZipf, 10, 0.9);
+    EXPECT_EQ(z->Name(), "zipf-0.9");
+}
+
+TEST(DistributionFactoryTest, ByName)
+{
+    auto u = MakeDistributionByName("uniform", 10);
+    EXPECT_EQ(u->KeySpace(), 10u);
+    auto z = MakeDistributionByName("zipf-0.99", 10);
+    EXPECT_EQ(z->Name(), "zipf-0.99");
+}
+
+TEST(ZipfDistributionTest, DeterministicGivenSeed)
+{
+    ZipfDistribution dist(1 << 20, 0.9);
+    Rng a(9), b(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(dist.Sample(a), dist.Sample(b));
+}
+
+}  // namespace
+}  // namespace frugal

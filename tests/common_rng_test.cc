@@ -1,0 +1,107 @@
+/** Tests for the xoshiro256** generator and its helpers. */
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.NextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.NextDouble();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedStaysInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                (1ULL << 40) + 17}) {
+        for (int i = 0; i < 10000; ++i)
+            ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform)
+{
+    Rng rng(5);
+    constexpr std::uint64_t kBound = 10;
+    constexpr int kSamples = 100000;
+    std::vector<int> counts(kBound, 0);
+    for (int i = 0; i < kSamples; ++i)
+        counts[rng.NextBounded(kBound)]++;
+    for (std::uint64_t v = 0; v < kBound; ++v) {
+        EXPECT_NEAR(counts[v], kSamples / kBound,
+                    0.05 * kSamples / kBound)
+            << "value " << v;
+    }
+}
+
+TEST(RngTest, GaussianMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.NextGaussian(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, MixHash64IsInjectiveOnSmallDomain)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        seen.insert(MixHash64(i));
+    EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(RngTest, SplitMix64AdvancesState)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t a = SplitMix64(s);
+    const std::uint64_t b = SplitMix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace frugal

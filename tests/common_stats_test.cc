@@ -1,0 +1,92 @@
+/** Tests for StatAccumulator and Histogram. */
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace frugal {
+namespace {
+
+TEST(StatAccumulatorTest, EmptyIsZero)
+{
+    StatAccumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.min(), 0.0);
+    EXPECT_EQ(acc.max(), 0.0);
+    EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulatorTest, BasicMoments)
+{
+    StatAccumulator acc;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        acc.Add(x);
+    EXPECT_EQ(acc.count(), 5u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_NEAR(acc.variance(), 2.5, 1e-12);  // sample variance
+}
+
+TEST(StatAccumulatorTest, MergeMatchesSequential)
+{
+    Rng rng(17);
+    StatAccumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.NextGaussian(5, 2);
+        whole.Add(x);
+        (i % 2 ? left : right).Add(x);
+    }
+    left.Merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StatAccumulatorTest, MergeWithEmpty)
+{
+    StatAccumulator a, b;
+    a.Add(1.0);
+    a.Merge(b);  // no-op
+    EXPECT_EQ(a.count(), 1u);
+    b.Merge(a);  // adopt
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered)
+{
+    Histogram h;
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        h.Add(1e-6 * (1 + rng.NextBounded(1000)));
+    EXPECT_LE(h.Percentile(50), h.Percentile(90));
+    EXPECT_LE(h.Percentile(90), h.Percentile(99));
+    EXPECT_LE(h.Percentile(99), h.max());
+}
+
+TEST(HistogramTest, MedianRoughlyCorrect)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.Add(static_cast<double>(i));
+    // Log-bucketed, so allow generous tolerance (one bucket = 25%).
+    EXPECT_NEAR(h.Percentile(50), 500.0, 150.0);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h;
+    h.Add(1.0);
+    h.Reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,231 @@
+/** Tests for dataset specs (Table 2), generators, and traces. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/dataset_spec.h"
+#include "data/kg_dataset.h"
+#include "data/rec_dataset.h"
+#include "data/trace.h"
+
+namespace frugal {
+namespace {
+
+TEST(DatasetSpecTest, AllSixDatasetsPresent)
+{
+    const auto &specs = AllDatasetSpecs();
+    ASSERT_EQ(specs.size(), 6u);
+    std::set<std::string> names;
+    for (const auto &s : specs)
+        names.insert(s.name);
+    for (const char *expected : {"FB15k", "Freebase", "WikiKG", "Avazu",
+                                 "Criteo", "CriteoTB"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(DatasetSpecTest, Table2StatisticsMatchPaper)
+{
+    const DatasetSpec &avazu = DatasetByName("Avazu");
+    EXPECT_EQ(avazu.n_features, 22u);
+    EXPECT_EQ(avazu.n_ids, 49'000'000u);
+    EXPECT_EQ(avazu.embedding_dim, 32u);
+
+    const DatasetSpec &freebase = DatasetByName("Freebase");
+    EXPECT_EQ(freebase.n_relations, 14'800u);
+    EXPECT_EQ(freebase.embedding_dim, 400u);
+    EXPECT_EQ(freebase.default_batch, 2000u);
+
+    const DatasetSpec &criteo_tb = DatasetByName("CriteoTB");
+    EXPECT_EQ(criteo_tb.n_ids, 882'000'000u);
+}
+
+TEST(DatasetSpecTest, ScalingPreservesStructure)
+{
+    const DatasetSpec scaled = DatasetByName("Avazu").Scaled(1000.0);
+    EXPECT_EQ(scaled.n_features, 22u);
+    EXPECT_EQ(scaled.n_ids, 49'000u);
+    EXPECT_EQ(scaled.model_size_bytes,
+              scaled.n_ids * scaled.embedding_dim * sizeof(float));
+}
+
+TEST(DatasetSpecTest, KeySpaceByKind)
+{
+    const DatasetSpec kg = DatasetByName("FB15k");
+    EXPECT_EQ(kg.KeySpace(), kg.n_vertices + kg.n_relations);
+    const DatasetSpec rec = DatasetByName("Criteo");
+    EXPECT_EQ(rec.KeySpace(), rec.n_ids);
+}
+
+TEST(RecDatasetTest, FieldsPartitionKeySpace)
+{
+    const DatasetSpec spec = DatasetByName("Avazu").Scaled(10000.0);
+    RecDatasetGenerator gen(spec, 1);
+    EXPECT_EQ(gen.n_features(), 22u);
+    std::uint64_t total = 0;
+    for (std::uint32_t f = 0; f < gen.n_features(); ++f) {
+        EXPECT_EQ(gen.field_offset(f), total);
+        total += gen.field_size(f);
+        EXPECT_GE(gen.field_size(f), 1u);
+    }
+    EXPECT_EQ(total, gen.key_space());
+    EXPECT_LE(gen.key_space(), spec.n_ids);
+}
+
+TEST(RecDatasetTest, SamplesStayInFieldRanges)
+{
+    const DatasetSpec spec = DatasetByName("Criteo").Scaled(10000.0);
+    RecDatasetGenerator gen(spec, 2);
+    for (int i = 0; i < 1000; ++i) {
+        const RecSample sample = gen.Next();
+        ASSERT_EQ(sample.keys.size(), gen.n_features());
+        for (std::uint32_t f = 0; f < gen.n_features(); ++f) {
+            ASSERT_GE(sample.keys[f], gen.field_offset(f));
+            ASSERT_LT(sample.keys[f],
+                      gen.field_offset(f) + gen.field_size(f));
+        }
+        ASSERT_TRUE(sample.label == 0.0f || sample.label == 1.0f);
+    }
+}
+
+TEST(RecDatasetTest, LabelsAreLearnable)
+{
+    // Ground-truth labels correlate with the hidden weights, so both
+    // classes must appear and the rate must not be degenerate.
+    const DatasetSpec spec = DatasetByName("Avazu").Scaled(10000.0);
+    RecDatasetGenerator gen(spec, 3);
+    int positives = 0;
+    constexpr int kSamples = 5000;
+    for (int i = 0; i < kSamples; ++i)
+        positives += gen.Next().label > 0.5f;
+    EXPECT_GT(positives, kSamples / 10);
+    EXPECT_LT(positives, 9 * kSamples / 10);
+}
+
+TEST(RecDatasetTest, DeterministicForSeed)
+{
+    const DatasetSpec spec = DatasetByName("Avazu").Scaled(10000.0);
+    RecDatasetGenerator a(spec, 7), b(spec, 7);
+    for (int i = 0; i < 100; ++i) {
+        const RecSample sa = a.Next(), sb = b.Next();
+        ASSERT_EQ(sa.keys, sb.keys);
+        ASSERT_EQ(sa.label, sb.label);
+    }
+}
+
+TEST(KgDatasetTest, TriplesInRange)
+{
+    const DatasetSpec spec = DatasetByName("FB15k").Scaled(10.0);
+    KgDatasetGenerator gen(spec, 8, 1);
+    for (int i = 0; i < 1000; ++i) {
+        const KgSample sample = gen.Next();
+        ASSERT_LT(sample.positive.head, gen.n_entities());
+        ASSERT_LT(sample.positive.tail, gen.n_entities());
+        ASSERT_NE(sample.positive.head, sample.positive.tail);
+        ASSERT_LT(sample.positive.relation, gen.n_relations());
+        ASSERT_EQ(sample.negatives.size(), 8u);
+        for (auto e : sample.negatives)
+            ASSERT_LT(e, gen.n_entities());
+    }
+}
+
+TEST(KgDatasetTest, KeyLayoutSeparatesEntitiesAndRelations)
+{
+    const DatasetSpec spec = DatasetByName("FB15k").Scaled(10.0);
+    KgDatasetGenerator gen(spec, 4, 1);
+    EXPECT_EQ(gen.EntityKey(5), 5u);
+    EXPECT_EQ(gen.RelationKey(0), gen.n_entities());
+    EXPECT_EQ(gen.key_space(), gen.n_entities() + gen.n_relations());
+}
+
+TEST(KgDatasetTest, KeysOfCoversSample)
+{
+    const DatasetSpec spec = DatasetByName("FB15k").Scaled(10.0);
+    KgDatasetGenerator gen(spec, 16, 5);
+    const KgSample sample = gen.Next();
+    const auto keys = gen.KeysOf(sample);
+    std::unordered_set<Key> key_set(keys.begin(), keys.end());
+    EXPECT_TRUE(key_set.count(gen.EntityKey(sample.positive.head)));
+    EXPECT_TRUE(key_set.count(gen.EntityKey(sample.positive.tail)));
+    EXPECT_TRUE(
+        key_set.count(gen.RelationKey(sample.positive.relation)));
+    for (auto e : sample.negatives)
+        EXPECT_TRUE(key_set.count(gen.EntityKey(e)));
+    // Deduplicated.
+    EXPECT_EQ(key_set.size(), keys.size());
+}
+
+TEST(TraceTest, SyntheticShape)
+{
+    UniformDistribution dist(1000);
+    Rng rng(1);
+    const Trace trace = Trace::Synthetic(dist, rng, 10, 4, 32);
+    EXPECT_EQ(trace.NumSteps(), 10u);
+    EXPECT_EQ(trace.n_gpus(), 4u);
+    for (std::size_t s = 0; s < 10; ++s) {
+        for (GpuId g = 0; g < 4; ++g) {
+            const auto &keys = trace.KeysFor(s, g);
+            EXPECT_LE(keys.size(), 32u);
+            EXPECT_GT(keys.size(), 0u);
+            std::unordered_set<Key> set(keys.begin(), keys.end());
+            EXPECT_EQ(set.size(), keys.size()) << "dupes in sub-batch";
+        }
+    }
+}
+
+TEST(TraceTest, StatsConsistent)
+{
+    UniformDistribution dist(100);
+    Rng rng(2);
+    const Trace trace = Trace::Synthetic(dist, rng, 20, 2, 16);
+    const TraceStats stats = trace.Stats();
+    EXPECT_EQ(stats.steps, 20u);
+    EXPECT_EQ(stats.n_gpus, 2u);
+    EXPECT_LE(stats.distinct_keys, 100u);
+    EXPECT_GT(stats.total_key_accesses, 0u);
+    EXPECT_NEAR(stats.mean_keys_per_step,
+                static_cast<double>(stats.total_key_accesses) / 20.0,
+                1e-9);
+}
+
+TEST(TraceTest, FromRecKeysMatchGeneratorRanges)
+{
+    const DatasetSpec spec = DatasetByName("Avazu").Scaled(50000.0);
+    RecDatasetGenerator gen(spec, 3);
+    const Trace trace = Trace::FromRec(gen, 5, 2, 8);
+    EXPECT_EQ(trace.key_space(), gen.key_space());
+    for (std::size_t s = 0; s < 5; ++s) {
+        for (GpuId g = 0; g < 2; ++g) {
+            for (Key k : trace.KeysFor(s, g))
+                ASSERT_LT(k, gen.key_space());
+        }
+    }
+}
+
+TEST(TraceTest, FromKgCoversRelationsToo)
+{
+    const DatasetSpec spec = DatasetByName("FB15k").Scaled(10.0);
+    KgDatasetGenerator gen(spec, 8, 4);
+    const Trace trace = Trace::FromKg(gen, 5, 2, 4);
+    bool saw_relation_key = false;
+    for (std::size_t s = 0; s < 5; ++s) {
+        for (GpuId g = 0; g < 2; ++g) {
+            for (Key k : trace.KeysFor(s, g)) {
+                ASSERT_LT(k, gen.key_space());
+                saw_relation_key |= k >= gen.n_entities();
+            }
+        }
+    }
+    EXPECT_TRUE(saw_relation_key);
+}
+
+TEST(DedupeKeysTest, PreservesFirstSeenOrder)
+{
+    std::vector<Key> keys = {5, 3, 5, 1, 3, 9, 1};
+    DedupeKeys(keys);
+    EXPECT_EQ(keys, (std::vector<Key>{5, 3, 1, 9}));
+}
+
+}  // namespace
+}  // namespace frugal

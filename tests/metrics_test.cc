@@ -1,0 +1,57 @@
+/** Tests for the reporting helpers. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/reporter.h"
+
+namespace frugal {
+namespace {
+
+TEST(FormatTest, Count)
+{
+    EXPECT_EQ(FormatCount(12), "12");
+    EXPECT_EQ(FormatCount(1500), "1.5k");
+    EXPECT_EQ(FormatCount(2'500'000), "2.50M");
+    EXPECT_EQ(FormatCount(4.37e9), "4.37B");
+}
+
+TEST(FormatTest, Seconds)
+{
+    EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+    EXPECT_EQ(FormatSeconds(12.3e-3), "12.30 ms");
+    EXPECT_EQ(FormatSeconds(45e-6), "45.00 us");
+    EXPECT_EQ(FormatSeconds(120e-9), "120 ns");
+}
+
+TEST(FormatTest, SpeedupAndBandwidth)
+{
+    EXPECT_EQ(FormatSpeedup(4.257), "4.26x");
+    EXPECT_EQ(FormatBandwidthGbps(2.5e9), "2.50 GB/s");
+    EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+TEST(TablePrinterTest, CsvRoundTrip)
+{
+    TablePrinter table("caption", {"a", "b"});
+    table.AddRow({"1", "x"});
+    table.AddRow({"2", "y"});
+    const std::string path = "/tmp/frugal_metrics_test.csv";
+    table.WriteCsv(path);
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "a,b\n1,x\n2,y\n");
+    std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow)
+{
+    TablePrinter table("caption", {"a", "b"});
+    EXPECT_DEATH(table.AddRow({"only-one"}), "row has");
+}
+
+}  // namespace
+}  // namespace frugal

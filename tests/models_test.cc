@@ -1,0 +1,301 @@
+/**
+ * Model tests: analytic gradients of the MLP and the four KG scorers are
+ * checked against central finite differences, and the replicated-dense
+ * machinery is verified to keep replicas bit-identical.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/kg_scorers.h"
+#include "models/mlp.h"
+
+namespace frugal {
+namespace {
+
+// ---------------------------------------------------------------------
+// KG scorer gradient checks (parameterised over the scorer kind).
+// ---------------------------------------------------------------------
+
+class KgScorerGradTest : public ::testing::TestWithParam<KgScorerKind>
+{
+};
+
+TEST_P(KgScorerGradTest, MatchesFiniteDifferences)
+{
+    const KgScorerKind kind = GetParam();
+    constexpr std::size_t kDim = 8;
+    constexpr double kEps = 1e-3;
+    Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<float> h(kDim), r(kDim), t(kDim);
+        for (std::size_t j = 0; j < kDim; ++j) {
+            h[j] = static_cast<float>(rng.NextGaussian(0, 0.5));
+            r[j] = static_cast<float>(rng.NextGaussian(0, 0.5));
+            t[j] = static_cast<float>(rng.NextGaussian(0, 0.5));
+        }
+        std::vector<float> gh(kDim, 0), gr(kDim, 0), gt(kDim, 0);
+        AccumulateTripleGrad(kind, h.data(), r.data(), t.data(), kDim,
+                             1.0f, gh.data(), gr.data(), gt.data());
+
+        auto check = [&](std::vector<float> &vec,
+                         const std::vector<float> &grad,
+                         const char *name) {
+            for (std::size_t j = 0; j < kDim; ++j) {
+                const float saved = vec[j];
+                vec[j] = saved + static_cast<float>(kEps);
+                const double up = ScoreTriple(kind, h.data(), r.data(),
+                                              t.data(), kDim);
+                vec[j] = saved - static_cast<float>(kEps);
+                const double dn = ScoreTriple(kind, h.data(), r.data(),
+                                              t.data(), kDim);
+                vec[j] = saved;
+                const double fd = (up - dn) / (2 * kEps);
+                EXPECT_NEAR(grad[j], fd, 5e-3)
+                    << name << "[" << j << "] trial " << trial;
+            }
+        };
+        check(h, gh, "h");
+        check(r, gr, "r");
+        check(t, gt, "t");
+    }
+}
+
+TEST_P(KgScorerGradTest, DscaleScalesLinearly)
+{
+    const KgScorerKind kind = GetParam();
+    constexpr std::size_t kDim = 4;
+    std::vector<float> h = {0.1f, -0.2f, 0.3f, 0.4f};
+    std::vector<float> r = {0.2f, 0.1f, -0.3f, 0.2f};
+    std::vector<float> t = {-0.1f, 0.2f, 0.1f, -0.4f};
+    std::vector<float> g1(kDim * 3, 0), g2(kDim * 3, 0);
+    AccumulateTripleGrad(kind, h.data(), r.data(), t.data(), kDim, 1.0f,
+                         g1.data(), g1.data() + kDim,
+                         g1.data() + 2 * kDim);
+    AccumulateTripleGrad(kind, h.data(), r.data(), t.data(), kDim, -2.5f,
+                         g2.data(), g2.data() + kDim,
+                         g2.data() + 2 * kDim);
+    for (std::size_t i = 0; i < g1.size(); ++i)
+        EXPECT_NEAR(g2[i], -2.5f * g1[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorers, KgScorerGradTest,
+                         ::testing::Values(KgScorerKind::kTransE,
+                                           KgScorerKind::kDistMult,
+                                           KgScorerKind::kComplEx,
+                                           KgScorerKind::kSimplE),
+                         [](const auto &info) {
+                             return KgScorerName(info.param);
+                         });
+
+TEST(KgScorerTest, NamesRoundTrip)
+{
+    for (KgScorerKind kind :
+         {KgScorerKind::kTransE, KgScorerKind::kDistMult,
+          KgScorerKind::kComplEx, KgScorerKind::kSimplE}) {
+        EXPECT_EQ(KgScorerByName(KgScorerName(kind)), kind);
+    }
+}
+
+TEST(KgScorerTest, TransEPerfectTripleScoresGamma)
+{
+    // h + r == t ⇒ distance 0 ⇒ score = γ.
+    std::vector<float> h = {0.1f, 0.2f}, r = {0.3f, -0.1f};
+    std::vector<float> t = {0.4f, 0.1f};
+    EXPECT_NEAR(ScoreTriple(KgScorerKind::kTransE, h.data(), r.data(),
+                            t.data(), 2, 12.0),
+                12.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// MLP
+// ---------------------------------------------------------------------
+
+MlpConfig
+SmallMlp()
+{
+    MlpConfig config;
+    config.layers = {6, 8, 4};
+    config.learning_rate = 0.1f;
+    config.seed = 5;
+    return config;
+}
+
+TEST(MlpTest, PredictInUnitInterval)
+{
+    Mlp mlp(SmallMlp());
+    Rng rng(1);
+    std::vector<float> x(6);
+    for (int i = 0; i < 100; ++i) {
+        for (float &v : x)
+            v = static_cast<float>(rng.NextGaussian());
+        const float p = mlp.Predict(x.data());
+        ASSERT_GT(p, 0.0f);
+        ASSERT_LT(p, 1.0f);
+    }
+}
+
+TEST(MlpTest, InputGradientMatchesFiniteDifferences)
+{
+    Mlp mlp(SmallMlp());
+    Rng rng(2);
+    std::vector<float> x(6);
+    for (float &v : x)
+        v = static_cast<float>(rng.NextGaussian(0, 0.5));
+    std::vector<float> gx(6, 0.0f);
+    const float label = 1.0f;
+    // Copy so parameter-gradient accumulation does not disturb checks.
+    Mlp probe(SmallMlp());
+    probe.TrainExample(x.data(), label, gx.data());
+
+    constexpr double kEps = 1e-3;
+    for (std::size_t j = 0; j < 6; ++j) {
+        auto loss_at = [&](float xj) {
+            std::vector<float> xx = x;
+            xx[j] = xj;
+            const float p = mlp.Predict(xx.data());
+            return -std::log(static_cast<double>(p) + 1e-7);
+        };
+        const double fd =
+            (loss_at(x[j] + static_cast<float>(kEps)) -
+             loss_at(x[j] - static_cast<float>(kEps))) /
+            (2 * kEps);
+        EXPECT_NEAR(gx[j], fd, 2e-3) << "input " << j;
+    }
+}
+
+TEST(MlpTest, ParameterGradientMatchesFiniteDifferences)
+{
+    MlpConfig config = SmallMlp();
+    Mlp mlp(config);
+    Rng rng(3);
+    std::vector<float> x(6);
+    for (float &v : x)
+        v = static_cast<float>(rng.NextGaussian(0, 0.5));
+    std::vector<float> gx(6, 0.0f);
+    const float label = 0.0f;
+    mlp.TrainExample(x.data(), label, gx.data());
+    const std::vector<float> grads = mlp.gradients();
+
+    constexpr double kEps = 1e-3;
+    // Spot-check a spread of parameters (checking all ~100 is fine too
+    // but adds nothing).
+    for (std::size_t p = 0; p < mlp.parameter_count();
+         p += mlp.parameter_count() / 17 + 1) {
+        const float saved = mlp.parameters()[p];
+        auto loss_at = [&](float v) {
+            mlp.parameters()[p] = v;
+            const float prob = mlp.Predict(x.data());
+            mlp.parameters()[p] = saved;
+            return -std::log(1.0 - static_cast<double>(prob) + 1e-7);
+        };
+        const double fd =
+            (loss_at(saved + static_cast<float>(kEps)) -
+             loss_at(saved - static_cast<float>(kEps))) /
+            (2 * kEps);
+        EXPECT_NEAR(grads[p], fd, 2e-3) << "param " << p;
+    }
+}
+
+TEST(MlpTest, LearnsLinearlySeparableData)
+{
+    MlpConfig config;
+    config.layers = {4, 16};
+    config.learning_rate = 0.5f;
+    config.seed = 7;
+    Mlp mlp(config);
+    Rng rng(11);
+    std::vector<float> x(4), gx(4);
+    double early = 0.0, late = 0.0;
+    constexpr int kSteps = 2000;
+    for (int i = 0; i < kSteps; ++i) {
+        float sum = 0.0f;
+        for (float &v : x) {
+            v = static_cast<float>(rng.NextGaussian());
+            sum += v;
+        }
+        const float label = sum > 0 ? 1.0f : 0.0f;
+        gx.assign(4, 0.0f);
+        const float loss = mlp.TrainExample(x.data(), label, gx.data());
+        mlp.ApplyAccumulatedGradients(1.0f);
+        if (i < 200)
+            early += loss;
+        if (i >= kSteps - 200)
+            late += loss;
+    }
+    EXPECT_LT(late, 0.6 * early);  // clear learning signal
+}
+
+TEST(MlpTest, ResetRestoresInitialParameters)
+{
+    Mlp a(SmallMlp());
+    const std::vector<float> init = a.parameters();
+    std::vector<float> x(6, 0.5f), gx(6, 0.0f);
+    a.TrainExample(x.data(), 1.0f, gx.data());
+    a.ApplyAccumulatedGradients(1.0f);
+    EXPECT_NE(a.parameters(), init);
+    a.Reset();
+    EXPECT_EQ(a.parameters(), init);
+}
+
+TEST(ReplicatedMlpTest, ReplicasStayBitIdentical)
+{
+    ReplicatedMlp replicas(SmallMlp(), 3);
+    Rng rng(13);
+    std::vector<float> x(6), gx(6);
+    for (int step = 0; step < 20; ++step) {
+        std::size_t examples = 0;
+        for (std::uint32_t g = 0; g < 3; ++g) {
+            for (int i = 0; i < 4; ++i) {
+                for (float &v : x)
+                    v = static_cast<float>(rng.NextGaussian());
+                gx.assign(6, 0.0f);
+                replicas.replica(g).TrainExample(
+                    x.data(), i % 2 ? 1.0f : 0.0f, gx.data());
+                ++examples;
+            }
+        }
+        replicas.AllReduceAndStep(examples);
+        EXPECT_EQ(replicas.replica(0).parameters(),
+                  replicas.replica(1).parameters());
+        EXPECT_EQ(replicas.replica(0).parameters(),
+                  replicas.replica(2).parameters());
+    }
+}
+
+TEST(ReplicatedMlpTest, MatchesSingleReplicaOnSameExamples)
+{
+    // 2 replicas splitting a batch must equal 1 replica seeing the whole
+    // batch (the all-reduce is a mean over all examples).
+    ReplicatedMlp two(SmallMlp(), 2);
+    ReplicatedMlp one(SmallMlp(), 1);
+    Rng rng(17);
+    std::vector<float> x(6), gx(6);
+    std::vector<std::vector<float>> batch;
+    std::vector<float> labels;
+    for (int i = 0; i < 8; ++i) {
+        for (float &v : x)
+            v = static_cast<float>(rng.NextGaussian());
+        batch.push_back(x);
+        labels.push_back(i % 2 ? 1.0f : 0.0f);
+    }
+    for (int i = 0; i < 8; ++i) {
+        gx.assign(6, 0.0f);
+        two.replica(i < 4 ? 0 : 1).TrainExample(batch[i].data(),
+                                                labels[i], gx.data());
+        gx.assign(6, 0.0f);
+        one.replica(0).TrainExample(batch[i].data(), labels[i],
+                                    gx.data());
+    }
+    two.AllReduceAndStep(8);
+    one.AllReduceAndStep(8);
+    const auto &p2 = two.replica(0).parameters();
+    const auto &p1 = one.replica(0).parameters();
+    for (std::size_t i = 0; i < p1.size(); ++i)
+        ASSERT_NEAR(p1[i], p2[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,192 @@
+/** Tests for the g-entry metadata record and the Equation (1) priority. */
+#include "pq/g_entry.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "pq/g_entry_registry.h"
+
+namespace frugal {
+namespace {
+
+/** Convenience: run `fn` with the entry lock held. */
+template <typename Fn>
+auto
+WithLock(GEntry &e, Fn &&fn)
+{
+    std::lock_guard<Spinlock> guard(e.lock());
+    return fn();
+}
+
+TEST(GEntryTest, FreshEntryIsIdle)
+{
+    GEntry e(7);
+    EXPECT_EQ(e.key(), 7u);
+    WithLock(e, [&] {
+        EXPECT_EQ(e.priorityLocked(), kInfiniteStep);
+        EXPECT_FALSE(e.hasWritesLocked());
+        EXPECT_FALSE(e.hasReadsLocked());
+        EXPECT_FALSE(e.enqueuedLocked());
+        return 0;
+    });
+}
+
+TEST(GEntryTest, ReadAloneKeepsInfinitePriority)
+{
+    // Equation (1): priority is ∞ while the W set is empty.
+    GEntry e(1);
+    WithLock(e, [&] {
+        auto [old_p, new_p] = e.AddReadLocked(5);
+        EXPECT_EQ(old_p, kInfiniteStep);
+        EXPECT_EQ(new_p, kInfiniteStep);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, WriteWithPendingReadSetsPriorityToMinRead)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(3);
+        e.AddReadLocked(8);
+        auto [old_p, new_p] = e.AddWriteLocked({2, 0, {}});
+        EXPECT_EQ(old_p, kInfiniteStep);
+        EXPECT_EQ(new_p, 3u);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, WriteWithoutReadsIsInfinite)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        auto [old_p, new_p] = e.AddWriteLocked({2, 0, {}});
+        EXPECT_EQ(new_p, kInfiniteStep);
+        (void)old_p;
+        return 0;
+    });
+}
+
+TEST(GEntryTest, RemoveReadAdvancesPriority)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(3);
+        e.AddReadLocked(8);
+        e.AddWriteLocked({2, 0, {}});
+        auto [old_p, new_p] = e.RemoveReadLocked(3);
+        EXPECT_EQ(old_p, 3u);
+        EXPECT_EQ(new_p, 8u);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, RemoveLastReadGoesInfinite)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(3);
+        e.AddWriteLocked({2, 0, {}});
+        auto [old_p, new_p] = e.RemoveReadLocked(3);
+        EXPECT_EQ(old_p, 3u);
+        EXPECT_EQ(new_p, kInfiniteStep);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, RemoveMiddleRead)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(3);
+        e.AddReadLocked(5);
+        e.AddReadLocked(9);
+        e.AddWriteLocked({1, 0, {}});
+        e.RemoveReadLocked(5);  // not the front
+        EXPECT_EQ(e.priorityLocked(), 3u);
+        EXPECT_EQ(e.readCountLocked(), 2u);
+        e.RemoveReadLocked(3);
+        EXPECT_EQ(e.priorityLocked(), 9u);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, RemoveAbsentReadIsNoOp)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(4);
+        e.AddWriteLocked({1, 0, {}});
+        e.RemoveReadLocked(99);
+        EXPECT_EQ(e.priorityLocked(), 4u);
+        EXPECT_EQ(e.readCountLocked(), 1u);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, DuplicateReadInSameStepDeduped)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(4);
+        e.AddReadLocked(4);
+        EXPECT_EQ(e.readCountLocked(), 1u);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, TakeWritesEmptiesAndRecomputes)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        e.AddReadLocked(6);
+        e.AddWriteLocked({2, 0, {1.0f, 2.0f}});
+        e.AddWriteLocked({4, 1, {3.0f}});
+        auto writes = e.TakeWritesLocked();
+        EXPECT_EQ(writes.size(), 2u);
+        EXPECT_EQ(writes[0].step, 2u);
+        EXPECT_EQ(writes[0].grad.size(), 2u);
+        EXPECT_EQ(writes[1].src, 1u);
+        EXPECT_FALSE(e.hasWritesLocked());
+        // W empty ⇒ priority back to ∞ even with reads pending.
+        EXPECT_EQ(e.priorityLocked(), kInfiniteStep);
+        return 0;
+    });
+}
+
+TEST(GEntryTest, NextReadReported)
+{
+    GEntry e(1);
+    WithLock(e, [&] {
+        EXPECT_EQ(e.nextReadLocked(), kInfiniteStep);
+        e.AddReadLocked(11);
+        EXPECT_EQ(e.nextReadLocked(), 11u);
+        return 0;
+    });
+}
+
+TEST(GEntryRegistryTest, GetOrCreateIsStable)
+{
+    GEntryRegistry registry(8);
+    GEntry &a = registry.GetOrCreate(42);
+    GEntry &b = registry.GetOrCreate(42);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.Find(42), &a);
+    EXPECT_EQ(registry.Find(43), nullptr);
+}
+
+TEST(GEntryRegistryTest, ForEachVisitsAll)
+{
+    GEntryRegistry registry(4);
+    for (Key k = 0; k < 100; ++k)
+        registry.GetOrCreate(k);
+    int visited = 0;
+    registry.ForEach([&](GEntry &) { ++visited; });
+    EXPECT_EQ(visited, 100);
+    EXPECT_EQ(registry.size(), 100u);
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,128 @@
+/** Tests for the TreeHeap baseline queue (Exp #4 comparator). */
+#include "pq/tree_heap_pq.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "pq/pq_ops.h"
+
+namespace frugal {
+namespace {
+
+void
+MakePending(FlushQueue &q, GEntry &e, Step read, Step wrote)
+{
+    RegisterRead(q, e, read);
+    RegisterUpdate(q, e, {wrote, 0, {}});
+}
+
+TEST(TreeHeapPQTest, EmptyQueue)
+{
+    TreeHeapPQ q;
+    EXPECT_EQ(q.SizeApprox(), 0u);
+    EXPECT_FALSE(q.HasPendingAtOrBelow(1000));
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaim(out, 4), 0u);
+}
+
+TEST(TreeHeapPQTest, DequeueInPriorityOrder)
+{
+    TreeHeapPQ q;
+    GEntry e1(1), e2(2), e3(3), e4(4);
+    MakePending(q, e2, 20, 0);
+    MakePending(q, e1, 5, 0);
+    MakePending(q, e4, 700, 0);
+    MakePending(q, e3, 50, 0);
+
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaim(out, 10), 4u);
+    EXPECT_EQ(out[0].entry, &e1);
+    EXPECT_EQ(out[1].entry, &e2);
+    EXPECT_EQ(out[2].entry, &e3);
+    EXPECT_EQ(out[3].entry, &e4);
+}
+
+TEST(TreeHeapPQTest, GatePredicate)
+{
+    TreeHeapPQ q;
+    GEntry e(1);
+    MakePending(q, e, 7, 0);
+    EXPECT_TRUE(q.HasPendingAtOrBelow(7));
+    EXPECT_FALSE(q.HasPendingAtOrBelow(6));
+    std::vector<ClaimTicket> out;
+    ASSERT_EQ(q.DequeueClaim(out, 1), 1u);
+    EXPECT_TRUE(q.HasPendingAtOrBelow(7));  // claimed, still in flight
+    FlushClaimed(q, out[0], [](Key, const WriteRecord &) {});
+    EXPECT_FALSE(q.HasPendingAtOrBelow(7));
+}
+
+TEST(TreeHeapPQTest, LazyInvalidationDiscardsStalePairs)
+{
+    TreeHeapPQ q;
+    GEntry e(1);
+    RegisterRead(q, e, 4);
+    RegisterRead(q, e, 9);
+    RegisterUpdate(q, e, {0, 0, {}});  // pair (4, e)
+    RegisterUpdate(q, e, {4, 0, {}});  // pair (9, e); (4, e) now stale
+
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaim(out, 10), 1u);
+    EXPECT_EQ(out[0].entry, &e);
+    EXPECT_EQ(q.staleDiscards(), 1u);
+}
+
+TEST(TreeHeapPQTest, InfinityPriorityFlushesEventually)
+{
+    TreeHeapPQ q;
+    GEntry deferred(1), urgent(2);
+    RegisterUpdate(q, deferred, {0, 0, {}});  // R empty ⇒ ∞
+    MakePending(q, urgent, 3, 0);
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaim(out, 10), 2u);
+    EXPECT_EQ(out[0].entry, &urgent);
+    EXPECT_EQ(out[1].entry, &deferred);
+}
+
+TEST(TreeHeapPQTest, ManyEntriesHeapOrder)
+{
+    TreeHeapPQ q;
+    std::vector<std::unique_ptr<GEntry>> entries;
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i) {
+        entries.push_back(std::make_unique<GEntry>(i));
+        MakePending(q, *entries.back(), 1 + rng.NextBounded(10000), 0);
+    }
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaim(out, 500), 500u);
+    // Verify non-decreasing next-read order of claimed entries.
+    Step prev = 0;
+    for (const ClaimTicket &ticket : out) {
+        std::lock_guard<Spinlock> guard(ticket.entry->lock());
+        const Step next_read = ticket.entry->nextReadLocked();
+        EXPECT_GE(next_read, prev);
+        prev = next_read;
+    }
+}
+
+TEST(TreeHeapPQTest, ReEnqueueAfterFlush)
+{
+    TreeHeapPQ q;
+    GEntry e(1);
+    MakePending(q, e, 3, 0);
+    std::vector<ClaimTicket> out;
+    ASSERT_EQ(q.DequeueClaim(out, 1), 1u);
+    EXPECT_EQ(FlushClaimed(q, out[0], [](Key, const WriteRecord &) {}),
+              1u);
+    RegisterRead(q, e, 8);
+    RegisterUpdate(q, e, {3, 0, {}});
+    EXPECT_TRUE(q.HasPendingAtOrBelow(8));
+    out.clear();
+    EXPECT_EQ(q.DequeueClaim(out, 1), 1u);
+    EXPECT_EQ(out[0].entry, &e);
+}
+
+}  // namespace
+}  // namespace frugal

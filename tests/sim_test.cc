@@ -1,0 +1,285 @@
+/**
+ * Tests for the timing simulator: cost-model relationships the paper
+ * reports must hold for the default calibration, and the engine
+ * simulators must order systems the way the evaluation does.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cache_sim.h"
+#include "sim/cost_model.h"
+#include "sim/engine_sim.h"
+#include "sim/gpu_spec.h"
+
+namespace frugal {
+namespace {
+
+TEST(GpuSpecTest, Table1Entries)
+{
+    EXPECT_EQ(AllGpuSpecs().size(), 4u);
+    EXPECT_DOUBLE_EQ(A100().tensor_fp32_tflops, 156.0);
+    EXPECT_DOUBLE_EQ(RTX4090().tensor_fp16_tflops, 330.0);
+    EXPECT_TRUE(A100().supports_p2p);
+    EXPECT_FALSE(RTX3090().supports_p2p);
+    EXPECT_TRUE(A30().datacenter);
+}
+
+TEST(GpuSpecTest, CostEffectivenessClaims)
+{
+    // §2.2: RTX 4090 $/TFLOPS is ~18.4% of A100's.
+    const double ratio =
+        RTX4090().DollarPerFp32Tflops() / A100().DollarPerFp32Tflops();
+    EXPECT_NEAR(ratio, 0.184, 0.02);
+    // Exp #9 price ratio.
+    EXPECT_NEAR(A30().price_usd / RTX3090().price_usd, 4.49, 0.01);
+}
+
+TEST(CostModelTest, BouncedAllToAllNearHalfOfP2p)
+{
+    CostModelConfig cost;
+    const double p2p = AllToAllBandwidth(cost, A30(), 4, 100e6);
+    const double bounced = AllToAllBandwidth(cost, RTX3090(), 4, 100e6);
+    // Fig 3b: commodity ≈ 54% of datacenter; accept 0.4–0.6.
+    EXPECT_GT(bounced / p2p, 0.40);
+    EXPECT_LT(bounced / p2p, 0.60);
+    // Both in the low-GB/s regime the paper plots.
+    EXPECT_GT(p2p, 1e9);
+    EXPECT_LT(p2p, 10e9);
+}
+
+TEST(CostModelTest, AllToAllDegradesWithSmallTransfers)
+{
+    CostModelConfig cost;
+    EXPECT_LT(AllToAllBandwidth(cost, RTX3090(), 4, 1e6),
+              AllToAllBandwidth(cost, RTX3090(), 4, 100e6));
+}
+
+TEST(CostModelTest, SingleGpuNeedsNoCollective)
+{
+    CostModelConfig cost;
+    EXPECT_EQ(AllToAllTime(cost, RTX3090(), 1, 1e6), 0.0);
+}
+
+TEST(CostModelTest, UvaPrimitiveSpeedupMatchesFig10)
+{
+    CostModelConfig cost;
+    for (std::uint64_t batch : {128u, 1024u, 2048u}) {
+        const double cpu =
+            HostReadCpuPrimitive(cost, RTX3090(), batch, 128, 4);
+        const double uva =
+            HostReadUvaPath(cost, RTX3090(), batch, 128, 4);
+        EXPECT_GT(cpu / uva, 2.5) << batch;
+        EXPECT_LT(cpu / uva, 4.5) << batch;
+    }
+}
+
+TEST(CostModelTest, CpuPathDominatedBySoftware)
+{
+    CostModelConfig cost;
+    // Engine-level miss path must be far more expensive than the raw
+    // primitive (framework dispatch, routing).
+    EXPECT_GT(HostReadCpuPath(cost, RTX3090(), 1024, 128, 4),
+              5 * HostReadCpuPrimitive(cost, RTX3090(), 1024, 128, 4));
+}
+
+TEST(CostModelTest, DatacenterHostPathCheaper)
+{
+    CostModelConfig cost;
+    EXPECT_LT(HostReadCpuPath(cost, A30(), 1024, 128, 4),
+              HostReadCpuPath(cost, RTX3090(), 1024, 128, 4));
+}
+
+TEST(CostModelTest, FlushCapacityScalesThenInterferes)
+{
+    CostModelConfig cost;
+    const double c2 = FlushCapacity(cost, 2, 128, false, 1000);
+    const double c8 = FlushCapacity(cost, 8, 128, false, 1000);
+    EXPECT_GT(c8, 2.0 * c2);
+    EXPECT_EQ(FlushInterferenceFactor(cost, 8), 1.0);
+    EXPECT_GT(FlushInterferenceFactor(cost, 20), 1.2);
+}
+
+TEST(CostModelTest, TreeHeapOpCostGrowsWithSizeAndThreads)
+{
+    CostModelConfig cost;
+    const double two = PqOpCost(cost, false, 1'000'000, 8);
+    const double tree_small = PqOpCost(cost, true, 1'000, 1);
+    const double tree_big = PqOpCost(cost, true, 1'000'000, 1);
+    const double tree_contended = PqOpCost(cost, true, 1'000'000, 8);
+    EXPECT_GT(tree_small, two);
+    EXPECT_GT(tree_big, tree_small);       // O(log N)
+    EXPECT_GT(tree_contended, tree_big);   // near-root serialisation
+    // Two-level is O(1): size-independent.
+    EXPECT_EQ(PqOpCost(cost, false, 1'000, 1),
+              PqOpCost(cost, false, 1'000'000'000, 64));
+}
+
+TEST(CacheSimTest, LruBehaviour)
+{
+    CacheSim cache(2);
+    EXPECT_FALSE(cache.Access(1));
+    EXPECT_FALSE(cache.Access(2));
+    EXPECT_TRUE(cache.Access(1));   // hit refreshes 1
+    EXPECT_FALSE(cache.Access(3));  // evicts 2
+    EXPECT_TRUE(cache.Access(1));
+    EXPECT_FALSE(cache.Access(2));
+    EXPECT_NEAR(cache.HitRatio(), 2.0 / 6.0, 1e-12);
+}
+
+class SimEngineOrderingTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SimEngineOrderingTest, FrugalWinsAtPaperScale)
+{
+    SimWorkload workload = MakeSyntheticWorkload(GetParam(), 1'000'000,
+                                                 32, 20, 8, 1024);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    system.cache_ratio = 0.05;
+    const double nocache =
+        SimulateEngine(SimEngine::kNoCache, workload, system).throughput;
+    const double cached =
+        SimulateEngine(SimEngine::kCached, workload, system).throughput;
+    const double sync =
+        SimulateEngine(SimEngine::kFrugalSync, workload, system)
+            .throughput;
+    const double frugal =
+        SimulateEngine(SimEngine::kFrugal, workload, system).throughput;
+
+    // The paper's ordering at moderate/large batches (Fig 8).
+    EXPECT_GT(frugal, sync);
+    EXPECT_GT(frugal, nocache);
+    EXPECT_GT(frugal, cached);
+    EXPECT_GT(nocache, cached);  // HugeCTR below PyTorch on commodity
+    // Magnitudes within the paper's reported ranges (loosely).
+    EXPECT_GT(frugal / cached, 2.0);
+    EXPECT_LT(frugal / cached, 15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, SimEngineOrderingTest,
+                         ::testing::Values("uniform", "zipf-0.9",
+                                           "zipf-0.99"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-' || c == '.')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(SimEngineTest, SmallBatchFavoursNoCache)
+{
+    // Fig 8 inset: at batch 128 cache-enabled systems do not beat
+    // PyTorch.
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 1'000'000,
+                                                 32, 20, 8, 128);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    system.cache_ratio = 0.05;
+    const double nocache =
+        SimulateEngine(SimEngine::kNoCache, workload, system).throughput;
+    const double cached =
+        SimulateEngine(SimEngine::kCached, workload, system).throughput;
+    const double frugal =
+        SimulateEngine(SimEngine::kFrugal, workload, system).throughput;
+    EXPECT_GT(nocache, cached);
+    EXPECT_GT(nocache, frugal * 0.9);  // at worst a near-tie
+}
+
+TEST(SimEngineTest, StallReductionMatchesFig9Band)
+{
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 10'000'000,
+                                                 32, 30, 8, 1024);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    system.cache_ratio = 0.01;
+    const SimResult sync =
+        SimulateEngine(SimEngine::kFrugalSync, workload, system);
+    const SimResult frugal =
+        SimulateEngine(SimEngine::kFrugal, workload, system);
+    const double reduction = sync.stall_mean / frugal.stall_mean;
+    EXPECT_GT(reduction, 30.0);   // paper: 34-101x
+    EXPECT_LT(reduction, 300.0);
+}
+
+TEST(SimEngineTest, TreeHeapHurtsFrugal)
+{
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 10'000'000,
+                                                 32, 20, 8, 1024);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    SimSystem tree = system;
+    tree.tree_heap = true;
+    const SimResult two =
+        SimulateEngine(SimEngine::kFrugal, workload, system);
+    const SimResult heap =
+        SimulateEngine(SimEngine::kFrugal, workload, tree);
+    EXPECT_GT(two.throughput, heap.throughput);
+    EXPECT_GT(heap.stall_mean, two.stall_mean);
+    EXPECT_GT(heap.g_entry_update_mean, two.g_entry_update_mean);
+}
+
+TEST(SimEngineTest, FlushThreadSweetSpot)
+{
+    // Fig 17: throughput rises with flush threads, then declines.
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 10'000'000,
+                                                 32, 20, 8, 1024);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    auto thr = [&](int threads) {
+        SimSystem s = system;
+        s.flush_threads = threads;
+        return SimulateEngine(SimEngine::kFrugal, workload, s)
+            .throughput;
+    };
+    EXPECT_GT(thr(12), thr(2));
+    EXPECT_GT(thr(12), thr(30));
+}
+
+TEST(SimEngineTest, DeterministicForSameInputs)
+{
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 100'000, 32,
+                                                 10, 4, 256);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 4;
+    const SimResult a =
+        SimulateEngine(SimEngine::kFrugal, workload, system);
+    const SimResult b =
+        SimulateEngine(SimEngine::kFrugal, workload, system);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_DOUBLE_EQ(a.stall_mean, b.stall_mean);
+}
+
+TEST(SimEngineTest, BreakdownCategoriesBehave)
+{
+    SimWorkload workload = MakeSyntheticWorkload("zipf-0.9", 1'000'000,
+                                                 32, 20, 8, 1024);
+    SimSystem system;
+    system.gpu = RTX3090();
+    system.n_gpus = 8;
+    const SimResult cached =
+        SimulateEngine(SimEngine::kCached, workload, system);
+    const SimResult sync =
+        SimulateEngine(SimEngine::kFrugalSync, workload, system);
+    const SimResult frugal =
+        SimulateEngine(SimEngine::kFrugal, workload, system);
+    // Only the a2a system communicates collectively.
+    EXPECT_GT(cached.mean_iteration.comm, 0.0);
+    EXPECT_EQ(sync.mean_iteration.comm, 0.0);
+    EXPECT_EQ(frugal.mean_iteration.comm, 0.0);
+    // Frugal removes nearly all host-DRAM time from the critical path.
+    EXPECT_LT(frugal.mean_iteration.host_dram,
+              0.1 * sync.mean_iteration.host_dram);
+    EXPECT_LT(frugal.mean_iteration.host_dram,
+              0.1 * cached.mean_iteration.host_dram);
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,170 @@
+/** Tests for the host embedding table and sparse optimizers. */
+#include "table/embedding_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "table/optimizer.h"
+
+namespace frugal {
+namespace {
+
+EmbeddingTableConfig
+SmallConfig()
+{
+    EmbeddingTableConfig config;
+    config.key_space = 100;
+    config.dim = 8;
+    config.init_seed = 7;
+    config.init_scale = 0.05f;
+    return config;
+}
+
+TEST(EmbeddingTableTest, DeterministicInit)
+{
+    HostEmbeddingTable a(SmallConfig()), b(SmallConfig());
+    std::vector<float> ra(8), rb(8);
+    for (Key k = 0; k < 100; ++k) {
+        a.ReadRow(k, ra.data());
+        b.ReadRow(k, rb.data());
+        for (int j = 0; j < 8; ++j)
+            ASSERT_EQ(ra[j], rb[j]) << "key " << k << " elem " << j;
+    }
+}
+
+TEST(EmbeddingTableTest, InitWithinScale)
+{
+    HostEmbeddingTable table(SmallConfig());
+    std::vector<float> row(8);
+    for (Key k = 0; k < 100; ++k) {
+        table.ReadRow(k, row.data());
+        for (float v : row) {
+            ASSERT_GE(v, -0.05f);
+            ASSERT_LT(v, 0.05f);
+        }
+    }
+}
+
+TEST(EmbeddingTableTest, InitialValueMatchesTable)
+{
+    const auto config = SmallConfig();
+    HostEmbeddingTable table(config);
+    std::vector<float> row(8);
+    table.ReadRow(42, row.data());
+    for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(row[j],
+                  HostEmbeddingTable::InitialValue(
+                      config.init_seed, config.init_scale, 42, j));
+    }
+}
+
+TEST(EmbeddingTableTest, ApplyGradientSgd)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SgdOptimizer sgd(0.5f);
+    std::vector<float> before(8), after(8);
+    table.ReadRow(3, before.data());
+    std::vector<float> grad(8, 1.0f);
+    EXPECT_EQ(table.ApplyGradient(3, grad.data(), sgd), 1u);
+    table.ReadRow(3, after.data());
+    for (int j = 0; j < 8; ++j)
+        EXPECT_FLOAT_EQ(after[j], before[j] - 0.5f);
+    EXPECT_EQ(table.RowVersion(3), 1u);
+    EXPECT_EQ(table.RowVersion(4), 0u);
+}
+
+TEST(EmbeddingTableTest, VersionsCountUpdates)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SgdOptimizer sgd(0.1f);
+    std::vector<float> grad(8, 0.0f);
+    for (int i = 0; i < 5; ++i)
+        table.ApplyGradient(9, grad.data(), sgd);
+    EXPECT_EQ(table.RowVersion(9), 5u);
+}
+
+TEST(EmbeddingTableTest, ResetRestoresInit)
+{
+    HostEmbeddingTable table(SmallConfig());
+    SgdOptimizer sgd(0.5f);
+    std::vector<float> grad(8, 1.0f), row(8);
+    table.ApplyGradient(3, grad.data(), sgd);
+    table.ResetParameters();
+    table.ReadRow(3, row.data());
+    for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(row[j], HostEmbeddingTable::InitialValue(7, 0.05f, 3, j));
+    }
+    EXPECT_EQ(table.RowVersion(3), 0u);
+}
+
+TEST(EmbeddingTableTest, SizeBytesMatchesShape)
+{
+    HostEmbeddingTable table(SmallConfig());
+    EXPECT_EQ(table.SizeBytes(), 100u * 8u * sizeof(float));
+}
+
+TEST(EmbeddingTableTest, ConcurrentDisjointApplies)
+{
+    auto config = SmallConfig();
+    config.key_space = 1000;
+    HostEmbeddingTable table(config);
+    SgdOptimizer sgd(1.0f);
+    constexpr int kThreads = 4;
+    constexpr int kApplies = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<float> grad(8, 1.0f);
+            Rng rng(t);
+            for (int i = 0; i < kApplies; ++i)
+                table.ApplyGradient(rng.NextBounded(1000), grad.data(),
+                                    sgd);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::uint64_t total = 0;
+    for (Key k = 0; k < 1000; ++k)
+        total += table.RowVersion(k);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kApplies);
+}
+
+TEST(AdagradTest, ShrinkingEffectiveStep)
+{
+    AdagradOptimizer adagrad(1.0f, 10, 4);
+    std::vector<float> row(4, 0.0f);
+    std::vector<float> grad(4, 1.0f);
+    adagrad.Apply(0, row.data(), grad.data(), 4);
+    const float first_step = -row[0];
+    adagrad.Apply(0, row.data(), grad.data(), 4);
+    const float second_step = -row[0] - first_step;
+    EXPECT_GT(first_step, second_step);  // accumulator grows
+    EXPECT_NEAR(first_step, 1.0f, 1e-4);
+    EXPECT_NEAR(second_step, 1.0f / std::sqrt(2.0f), 1e-4);
+}
+
+TEST(AdagradTest, PerKeyStateIsIndependent)
+{
+    AdagradOptimizer adagrad(1.0f, 10, 2);
+    std::vector<float> row0(2, 0.0f), row1(2, 0.0f);
+    std::vector<float> grad(2, 1.0f);
+    adagrad.Apply(0, row0.data(), grad.data(), 2);
+    adagrad.Apply(0, row0.data(), grad.data(), 2);
+    adagrad.Apply(1, row1.data(), grad.data(), 2);
+    // Key 1's first step is full-size despite key 0's history.
+    EXPECT_NEAR(-row1[0], 1.0f, 1e-4);
+}
+
+TEST(OptimizerFactoryTest, Names)
+{
+    auto sgd = MakeOptimizer("sgd", 0.1f, 10, 4);
+    EXPECT_EQ(sgd->Name(), "sgd");
+    auto ada = MakeOptimizer("adagrad", 0.1f, 10, 4);
+    EXPECT_EQ(ada->Name(), "adagrad");
+}
+
+}  // namespace
+}  // namespace frugal

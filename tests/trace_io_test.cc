@@ -1,0 +1,106 @@
+/** Tests for trace record/replay, plus the umbrella header compiling. */
+#include "frugal/frugal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace frugal {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = "/tmp/frugal_trace_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".bin";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+Trace
+MakeTrace()
+{
+    Rng rng(77);
+    ZipfDistribution dist(1000, 0.9);
+    return Trace::Synthetic(dist, rng, 12, 3, 16);
+}
+
+TEST_F(TraceIoTest, RoundTripExact)
+{
+    const Trace original = MakeTrace();
+    SaveTrace(original, path_);
+    const auto loaded = LoadTrace(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->NumSteps(), original.NumSteps());
+    EXPECT_EQ(loaded->n_gpus(), original.n_gpus());
+    EXPECT_EQ(loaded->key_space(), original.key_space());
+    for (std::size_t s = 0; s < original.NumSteps(); ++s) {
+        for (GpuId g = 0; g < original.n_gpus(); ++g)
+            ASSERT_EQ(loaded->KeysFor(s, g), original.KeysFor(s, g));
+    }
+}
+
+TEST_F(TraceIoTest, ReplayTrainsIdentically)
+{
+    const Trace original = MakeTrace();
+    SaveTrace(original, path_);
+    const auto replayed = LoadTrace(path_);
+    ASSERT_TRUE(replayed.has_value());
+
+    EngineConfig config;
+    config.n_gpus = 3;
+    config.dim = 4;
+    config.key_space = 1000;
+    config.flush_threads = 2;
+    const GradFn task = MakeLinearGradTask();
+
+    FrugalEngine a(config), b(config);
+    a.Run(original, task);
+    b.Run(*replayed, task);
+    EXPECT_TRUE(TablesBitEqual(a.table(), b.table()));
+}
+
+TEST_F(TraceIoTest, MissingFile)
+{
+    EXPECT_FALSE(LoadTrace("/tmp/definitely-missing-trace.bin")
+                     .has_value());
+}
+
+TEST_F(TraceIoTest, CorruptChecksumRejected)
+{
+    SaveTrace(MakeTrace(), path_);
+    {
+        std::fstream file(path_,
+                          std::ios::binary | std::ios::in | std::ios::out);
+        file.seekp(80);
+        char byte = 0x77;
+        file.write(&byte, 1);
+    }
+    EXPECT_FALSE(LoadTrace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, GarbageRejected)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "garbage";
+    out.close();
+    EXPECT_FALSE(LoadTrace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    const Trace empty(std::vector<StepKeys>{}, 10, 2);
+    SaveTrace(empty, path_);
+    const auto loaded = LoadTrace(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->NumSteps(), 0u);
+    EXPECT_EQ(loaded->n_gpus(), 2u);
+}
+
+}  // namespace
+}  // namespace frugal
