@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pq.dir/bench_ablation_pq.cc.o"
+  "CMakeFiles/bench_ablation_pq.dir/bench_ablation_pq.cc.o.d"
+  "bench_ablation_pq"
+  "bench_ablation_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

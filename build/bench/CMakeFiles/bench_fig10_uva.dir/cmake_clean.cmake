@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_uva.dir/bench_fig10_uva.cc.o"
+  "CMakeFiles/bench_fig10_uva.dir/bench_fig10_uva.cc.o.d"
+  "bench_fig10_uva"
+  "bench_fig10_uva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_uva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pq.dir/bench_fig11_pq.cc.o"
+  "CMakeFiles/bench_fig11_pq.dir/bench_fig11_pq.cc.o.d"
+  "bench_fig11_pq"
+  "bench_fig11_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_kg.dir/bench_fig13_kg.cc.o"
+  "CMakeFiles/bench_fig13_kg.dir/bench_fig13_kg.cc.o.d"
+  "bench_fig13_kg"
+  "bench_fig13_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_rec.cc" "bench/CMakeFiles/bench_fig14_rec.dir/bench_fig14_rec.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_rec.dir/bench_fig14_rec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/frugal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frugal_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/frugal_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/frugal_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frugal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

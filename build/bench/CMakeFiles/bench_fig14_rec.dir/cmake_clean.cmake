@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rec.dir/bench_fig14_rec.cc.o"
+  "CMakeFiles/bench_fig14_rec.dir/bench_fig14_rec.cc.o.d"
+  "bench_fig14_rec"
+  "bench_fig14_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_p2f.dir/bench_fig9_p2f.cc.o"
+  "CMakeFiles/bench_fig9_p2f.dir/bench_fig9_p2f.cc.o.d"
+  "bench_fig9_p2f"
+  "bench_fig9_p2f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_p2f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_transe.dir/kg_transe.cpp.o"
+  "CMakeFiles/kg_transe.dir/kg_transe.cpp.o.d"
+  "kg_transe"
+  "kg_transe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_transe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

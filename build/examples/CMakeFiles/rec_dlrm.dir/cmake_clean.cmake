@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_dlrm.dir/rec_dlrm.cpp.o"
+  "CMakeFiles/rec_dlrm.dir/rec_dlrm.cpp.o.d"
+  "rec_dlrm"
+  "rec_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

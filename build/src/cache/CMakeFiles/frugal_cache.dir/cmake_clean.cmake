@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_cache.dir/gpu_cache.cc.o"
+  "CMakeFiles/frugal_cache.dir/gpu_cache.cc.o.d"
+  "libfrugal_cache.a"
+  "libfrugal_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_common.dir/distribution.cc.o"
+  "CMakeFiles/frugal_common.dir/distribution.cc.o.d"
+  "CMakeFiles/frugal_common.dir/logging.cc.o"
+  "CMakeFiles/frugal_common.dir/logging.cc.o.d"
+  "libfrugal_common.a"
+  "libfrugal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

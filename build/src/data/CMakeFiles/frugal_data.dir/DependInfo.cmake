@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_spec.cc" "src/data/CMakeFiles/frugal_data.dir/dataset_spec.cc.o" "gcc" "src/data/CMakeFiles/frugal_data.dir/dataset_spec.cc.o.d"
+  "/root/repo/src/data/kg_dataset.cc" "src/data/CMakeFiles/frugal_data.dir/kg_dataset.cc.o" "gcc" "src/data/CMakeFiles/frugal_data.dir/kg_dataset.cc.o.d"
+  "/root/repo/src/data/rec_dataset.cc" "src/data/CMakeFiles/frugal_data.dir/rec_dataset.cc.o" "gcc" "src/data/CMakeFiles/frugal_data.dir/rec_dataset.cc.o.d"
+  "/root/repo/src/data/trace.cc" "src/data/CMakeFiles/frugal_data.dir/trace.cc.o" "gcc" "src/data/CMakeFiles/frugal_data.dir/trace.cc.o.d"
+  "/root/repo/src/data/trace_io.cc" "src/data/CMakeFiles/frugal_data.dir/trace_io.cc.o" "gcc" "src/data/CMakeFiles/frugal_data.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frugal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

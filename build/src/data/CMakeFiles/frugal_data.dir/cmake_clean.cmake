@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_data.dir/dataset_spec.cc.o"
+  "CMakeFiles/frugal_data.dir/dataset_spec.cc.o.d"
+  "CMakeFiles/frugal_data.dir/kg_dataset.cc.o"
+  "CMakeFiles/frugal_data.dir/kg_dataset.cc.o.d"
+  "CMakeFiles/frugal_data.dir/rec_dataset.cc.o"
+  "CMakeFiles/frugal_data.dir/rec_dataset.cc.o.d"
+  "CMakeFiles/frugal_data.dir/trace.cc.o"
+  "CMakeFiles/frugal_data.dir/trace.cc.o.d"
+  "CMakeFiles/frugal_data.dir/trace_io.cc.o"
+  "CMakeFiles/frugal_data.dir/trace_io.cc.o.d"
+  "libfrugal_data.a"
+  "libfrugal_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

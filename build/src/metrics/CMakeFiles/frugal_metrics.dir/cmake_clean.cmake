@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_metrics.dir/reporter.cc.o"
+  "CMakeFiles/frugal_metrics.dir/reporter.cc.o.d"
+  "libfrugal_metrics.a"
+  "libfrugal_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

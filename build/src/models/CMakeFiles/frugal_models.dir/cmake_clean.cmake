@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_models.dir/dlrm.cc.o"
+  "CMakeFiles/frugal_models.dir/dlrm.cc.o.d"
+  "CMakeFiles/frugal_models.dir/kg_model.cc.o"
+  "CMakeFiles/frugal_models.dir/kg_model.cc.o.d"
+  "CMakeFiles/frugal_models.dir/kg_scorers.cc.o"
+  "CMakeFiles/frugal_models.dir/kg_scorers.cc.o.d"
+  "CMakeFiles/frugal_models.dir/mlp.cc.o"
+  "CMakeFiles/frugal_models.dir/mlp.cc.o.d"
+  "libfrugal_models.a"
+  "libfrugal_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

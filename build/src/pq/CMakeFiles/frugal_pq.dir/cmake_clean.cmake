@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_pq.dir/tree_heap_pq.cc.o"
+  "CMakeFiles/frugal_pq.dir/tree_heap_pq.cc.o.d"
+  "CMakeFiles/frugal_pq.dir/two_level_pq.cc.o"
+  "CMakeFiles/frugal_pq.dir/two_level_pq.cc.o.d"
+  "libfrugal_pq.a"
+  "libfrugal_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_runtime.dir/baseline_engines.cc.o"
+  "CMakeFiles/frugal_runtime.dir/baseline_engines.cc.o.d"
+  "CMakeFiles/frugal_runtime.dir/engine.cc.o"
+  "CMakeFiles/frugal_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/frugal_runtime.dir/frugal_engine.cc.o"
+  "CMakeFiles/frugal_runtime.dir/frugal_engine.cc.o.d"
+  "CMakeFiles/frugal_runtime.dir/oracle.cc.o"
+  "CMakeFiles/frugal_runtime.dir/oracle.cc.o.d"
+  "libfrugal_runtime.a"
+  "libfrugal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

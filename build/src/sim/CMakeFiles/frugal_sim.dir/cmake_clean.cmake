@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_sim.dir/cost_model.cc.o"
+  "CMakeFiles/frugal_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/frugal_sim.dir/engine_sim.cc.o"
+  "CMakeFiles/frugal_sim.dir/engine_sim.cc.o.d"
+  "CMakeFiles/frugal_sim.dir/gpu_spec.cc.o"
+  "CMakeFiles/frugal_sim.dir/gpu_spec.cc.o.d"
+  "libfrugal_sim.a"
+  "libfrugal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

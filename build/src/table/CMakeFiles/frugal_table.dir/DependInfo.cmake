@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/checkpoint.cc" "src/table/CMakeFiles/frugal_table.dir/checkpoint.cc.o" "gcc" "src/table/CMakeFiles/frugal_table.dir/checkpoint.cc.o.d"
+  "/root/repo/src/table/embedding_table.cc" "src/table/CMakeFiles/frugal_table.dir/embedding_table.cc.o" "gcc" "src/table/CMakeFiles/frugal_table.dir/embedding_table.cc.o.d"
+  "/root/repo/src/table/optimizer.cc" "src/table/CMakeFiles/frugal_table.dir/optimizer.cc.o" "gcc" "src/table/CMakeFiles/frugal_table.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frugal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_table.dir/checkpoint.cc.o"
+  "CMakeFiles/frugal_table.dir/checkpoint.cc.o.d"
+  "CMakeFiles/frugal_table.dir/embedding_table.cc.o"
+  "CMakeFiles/frugal_table.dir/embedding_table.cc.o.d"
+  "CMakeFiles/frugal_table.dir/optimizer.cc.o"
+  "CMakeFiles/frugal_table.dir/optimizer.cc.o.d"
+  "libfrugal_table.a"
+  "libfrugal_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

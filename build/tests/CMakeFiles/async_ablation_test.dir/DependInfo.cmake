@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_ablation_test.cc" "tests/CMakeFiles/async_ablation_test.dir/async_ablation_test.cc.o" "gcc" "tests/CMakeFiles/async_ablation_test.dir/async_ablation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/frugal_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/frugal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pq/CMakeFiles/frugal_pq.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/frugal_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/frugal_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/frugal_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frugal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_ablation_test.dir/async_ablation_test.cc.o"
+  "CMakeFiles/async_ablation_test.dir/async_ablation_test.cc.o.d"
+  "async_ablation_test"
+  "async_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

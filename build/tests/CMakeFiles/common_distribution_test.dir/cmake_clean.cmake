@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_distribution_test.dir/common_distribution_test.cc.o"
+  "CMakeFiles/common_distribution_test.dir/common_distribution_test.cc.o.d"
+  "common_distribution_test"
+  "common_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_atomic_slot_set_test.dir/pq_atomic_slot_set_test.cc.o"
+  "CMakeFiles/pq_atomic_slot_set_test.dir/pq_atomic_slot_set_test.cc.o.d"
+  "pq_atomic_slot_set_test"
+  "pq_atomic_slot_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_atomic_slot_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

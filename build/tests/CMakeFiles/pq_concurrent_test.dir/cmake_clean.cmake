@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_concurrent_test.dir/pq_concurrent_test.cc.o"
+  "CMakeFiles/pq_concurrent_test.dir/pq_concurrent_test.cc.o.d"
+  "pq_concurrent_test"
+  "pq_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_g_entry_test.dir/pq_g_entry_test.cc.o"
+  "CMakeFiles/pq_g_entry_test.dir/pq_g_entry_test.cc.o.d"
+  "pq_g_entry_test"
+  "pq_g_entry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_g_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

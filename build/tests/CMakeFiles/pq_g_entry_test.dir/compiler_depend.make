@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pq_g_entry_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_model_test.dir/pq_model_test.cc.o"
+  "CMakeFiles/pq_model_test.dir/pq_model_test.cc.o.d"
+  "pq_model_test"
+  "pq_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_tree_heap_test.dir/pq_tree_heap_test.cc.o"
+  "CMakeFiles/pq_tree_heap_test.dir/pq_tree_heap_test.cc.o.d"
+  "pq_tree_heap_test"
+  "pq_tree_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_tree_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_two_level_test.dir/pq_two_level_test.cc.o"
+  "CMakeFiles/pq_two_level_test.dir/pq_two_level_test.cc.o.d"
+  "pq_two_level_test"
+  "pq_two_level_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_two_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

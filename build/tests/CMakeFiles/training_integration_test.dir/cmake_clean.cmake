@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_integration_test.dir/training_integration_test.cc.o"
+  "CMakeFiles/training_integration_test.dir/training_integration_test.cc.o.d"
+  "training_integration_test"
+  "training_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
