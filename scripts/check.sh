@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# The one-stop pre-merge gate: static checks, then the release and TSan
+# test suites. Everything a CI job needs, runnable locally:
+#
+#   scripts/check.sh            # full gate
+#   scripts/check.sh --static   # static checks only (no builds)
+#
+# clang-format / clang-tidy steps are skipped (with a notice) when the
+# binaries are not installed — the configs (.clang-format, .clang-tidy)
+# still define the contract for environments that have them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STATIC_ONLY=0
+[[ "${1:-}" == "--static" ]] && STATIC_ONLY=1
+
+failures=0
+
+note()  { printf '\n== %s ==\n' "$*"; }
+skip()  { printf -- '-- skipped: %s\n' "$*"; }
+
+# --- 1. formatting -----------------------------------------------------
+note "clang-format (dry run)"
+if command -v clang-format >/dev/null 2>&1; then
+    mapfile -t sources < <(git ls-files \
+        'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+        'examples/*.cpp')
+    if ! clang-format --dry-run --Werror "${sources[@]}"; then
+        failures=$((failures + 1))
+    fi
+else
+    skip "clang-format not installed"
+fi
+
+# --- 2. clang-tidy -----------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t tidy_sources < <(git ls-files 'src/**/*.cc')
+    if ! clang-tidy -p build --quiet "${tidy_sources[@]}"; then
+        failures=$((failures + 1))
+    fi
+else
+    skip "clang-tidy not installed"
+fi
+
+# --- 3. atomics lint ---------------------------------------------------
+note "lint_atomics"
+if ! python3 scripts/lint_atomics.py src tests; then
+    failures=$((failures + 1))
+fi
+
+if [[ "$STATIC_ONLY" == 1 ]]; then
+    note "static-only run done ($failures failure(s))"
+    exit $((failures > 0))
+fi
+
+# --- 4. release build + tests ------------------------------------------
+note "release build + ctest (preset: default)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+if ! ctest --preset default; then
+    failures=$((failures + 1))
+fi
+
+# --- 5. ThreadSanitizer build + tests ----------------------------------
+note "TSan build + ctest (preset: tsan)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+if ! ctest --preset tsan; then
+    failures=$((failures + 1))
+fi
+
+note "done"
+if [[ "$failures" -gt 0 ]]; then
+    echo "check.sh: $failures stage(s) FAILED"
+    exit 1
+fi
+echo "check.sh: all stages passed"

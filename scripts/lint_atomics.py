@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Lint pass: every memory_order_relaxed needs a written justification.
+
+Frugal's correctness argument leans on ~100 hand-picked memory_order
+annotations; `relaxed` is the only one that *removes* an ordering
+guarantee, so each use must say why that is safe. The contract enforced
+here: a `memory_order_relaxed` occurrence must be accompanied by a
+comment containing the tag `relaxed:` followed by the justification,
+either on the same line or within the few lines directly above the
+statement (the conventional spot is a `// relaxed: ...` line right
+above).
+
+Usage:  lint_atomics.py [--window N] PATH [PATH ...]
+
+PATHs may be files or directories (searched recursively for C/C++
+sources). Exits 0 when every occurrence is justified, 1 otherwise,
+listing each offender as file:line.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".c", ".cc", ".cpp", ".cu", ".cuh"}
+RELAXED = re.compile(r"\bmemory_order_relaxed\b|\bmemory_order::relaxed\b")
+JUSTIFICATION = re.compile(r"relaxed:")
+
+
+def strip_line_comment(line: str) -> str:
+    """Removes a trailing // comment (naive but adequate: the codebase
+    contains no // inside string literals on atomic-op lines)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def find_offenders(path: pathlib.Path, window: int):
+    """Yields (line_number, line) for unjustified relaxed uses."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        return
+    for i, line in enumerate(lines):
+        if not RELAXED.search(strip_line_comment(line)):
+            continue
+        context = lines[max(0, i - window) : i + 1]
+        if any(JUSTIFICATION.search(ctx) for ctx in context):
+            continue
+        yield i + 1, line.strip()
+
+
+def collect_sources(paths):
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*")):
+                if child.suffix in SOURCE_SUFFIXES and child.is_file():
+                    yield child
+        elif path.is_file():
+            yield path
+        else:
+            sys.exit(f"lint_atomics: no such path: {raw}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", metavar="PATH")
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=6,
+        metavar="N",
+        help="lines above an occurrence searched for the justification "
+        "comment (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    checked = 0
+    offenders = []
+    for source in collect_sources(args.paths):
+        checked += 1
+        for line_number, text in find_offenders(source, args.window):
+            offenders.append((source, line_number, text))
+
+    if offenders:
+        print(
+            f"lint_atomics: {len(offenders)} memory_order_relaxed use(s) "
+            "without a '// relaxed: ...' justification:",
+            file=sys.stderr,
+        )
+        for source, line_number, text in offenders:
+            print(f"  {source}:{line_number}: {text}", file=sys.stderr)
+        print(
+            "\nEach relaxed atomic must explain why dropping the ordering "
+            "is safe,\neither inline or in a comment within the preceding "
+            f"{args.window} lines, e.g.\n"
+            "    // relaxed: monotonic stat counter, read only after "
+            "joins\n",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"lint_atomics: OK ({checked} files, all relaxed uses justified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,7 +121,7 @@ class GpuCache
 
     const std::size_t capacity_;
     const std::size_t dim_;
-    mutable Spinlock lock_;
+    mutable Spinlock lock_{LockRank::kGpuCache};
     std::vector<float> storage_;
     std::vector<std::size_t> free_slots_;
     std::unordered_map<Key, Entry> map_;

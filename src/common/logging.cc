@@ -29,12 +29,15 @@ LevelName(LogLevel level)
 LogLevel
 GetLogLevel()
 {
+    // relaxed: the level is an independent flag; a marginally stale
+    // read only delays a verbosity change by one record.
     return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
 void
 SetLogLevel(LogLevel level)
 {
+    // relaxed: see GetLogLevel — no data is published via the level.
     g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 

@@ -8,6 +8,11 @@
  *  - FRUGAL_FATAL: the program cannot continue due to a user-level error
  *    (bad configuration, invalid arguments). Exits with status 1.
  *  - FRUGAL_CHECK: invariant assertion, enabled in all build types.
+ *  - FRUGAL_DCHECK: invariant assertion compiled in only when the build
+ *    sets FRUGAL_DCHECK_ENABLED=1 (CMake option FRUGAL_DCHECK; on by
+ *    default in Debug and sanitizer builds). Used on hot concurrent
+ *    paths where an always-on check would distort the measurements the
+ *    benches exist to take.
  */
 #ifndef FRUGAL_COMMON_LOGGING_H_
 #define FRUGAL_COMMON_LOGGING_H_
@@ -15,7 +20,15 @@
 #include <sstream>
 #include <string>
 
+#ifndef FRUGAL_DCHECK_ENABLED
+#define FRUGAL_DCHECK_ENABLED 0
+#endif
+
 namespace frugal {
+
+/** Compile-time mirror of FRUGAL_DCHECK_ENABLED for `if constexpr` /
+ *  plain-`if` use without preprocessor blocks at every call site. */
+inline constexpr bool kDcheckEnabled = FRUGAL_DCHECK_ENABLED != 0;
 
 /** Severity of a log record. */
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
@@ -92,6 +105,36 @@ void SetLogLevel(LogLevel level);
                                           fr_mb__.str());                   \
         }                                                                   \
     } while (0)
+
+/** Debug-gated assertion: FRUGAL_CHECK when FRUGAL_DCHECK_ENABLED,
+ *  otherwise compiled out (the condition is not evaluated, but must
+ *  still compile). */
+#if FRUGAL_DCHECK_ENABLED
+#define FRUGAL_DCHECK(cond) FRUGAL_CHECK(cond)
+#define FRUGAL_DCHECK_MSG(cond, expr) FRUGAL_CHECK_MSG(cond, expr)
+#define FRUGAL_IF_DCHECK(stmt)                                              \
+    do {                                                                    \
+        stmt;                                                               \
+    } while (0)
+#else
+#define FRUGAL_DCHECK(cond)                                                 \
+    do {                                                                    \
+        if (false) {                                                        \
+            (void)(cond);                                                   \
+        }                                                                   \
+    } while (0)
+#define FRUGAL_DCHECK_MSG(cond, expr)                                       \
+    do {                                                                    \
+        if (false) {                                                        \
+            ::frugal::log_internal::MessageBuilder fr_mb__;                 \
+            fr_mb__ << expr;                                                \
+            (void)(cond);                                                   \
+        }                                                                   \
+    } while (0)
+#define FRUGAL_IF_DCHECK(stmt)                                              \
+    do {                                                                    \
+    } while (0)
+#endif
 
 #define FRUGAL_PANIC(expr)                                                  \
     do {                                                                    \

@@ -3,6 +3,11 @@
  * Small synchronisation primitives used throughout the runtime: a TTAS
  * spinlock (also the per-node lock of the TreeHeap baseline, §3.4) and a
  * striped-lock array for sharded structures.
+ *
+ * In FRUGAL_DCHECK builds every Spinlock may carry a LockRank; acquiring
+ * out of the global rank order panics deterministically (see
+ * common/lock_rank.h). Release builds compile the rank machinery out
+ * entirely — the lock is a single atomic<bool>.
  */
 #ifndef FRUGAL_COMMON_SPINLOCK_H_
 #define FRUGAL_COMMON_SPINLOCK_H_
@@ -12,10 +17,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
+
 namespace frugal {
 
 /**
  * Test-and-test-and-set spinlock; satisfies Lockable.
+ *
+ * `lock()` attempts the exchange only after observing the flag clear
+ * (the TTAS discipline): the wait loop spins on a plain load — which
+ * stays in the local cache instead of bouncing the line around in
+ * exclusive state — and when the flag is seen clear, control returns to
+ * the fast path, which *re-checks* the flag before exchanging so a
+ * waiter woken behind a faster rival falls back to waiting instead of
+ * blindly re-exchanging against a held lock.
  *
  * After a short pause-spin burst the waiter yields to the scheduler:
  * critical sections here are tiny, so a contended lock usually means the
@@ -26,6 +41,7 @@ class Spinlock
 {
   public:
     Spinlock() = default;
+    explicit Spinlock(LockRank rank) { SetRank(rank); }
     Spinlock(const Spinlock &) = delete;
     Spinlock &operator=(const Spinlock &) = delete;
 
@@ -33,9 +49,19 @@ class Spinlock
     lock()
     {
         for (;;) {
-            if (!flag_.exchange(true, std::memory_order_acquire))
+            // TTAS fast path: exchange only when the flag was last seen
+            // clear; a set flag sends us straight to the read-only wait
+            // loop without dirtying the cache line.
+            // relaxed: a stale "clear" only costs one failed exchange;
+            // the exchange below carries the acquire ordering.
+            if (!flag_.load(std::memory_order_relaxed) &&
+                !flag_.exchange(true, std::memory_order_acquire)) {
+                RecordAcquire();
                 return;
+            }
             int spins = 0;
+            // relaxed: pure wait loop; ordering comes from the
+            // acquiring exchange once the flag is observed clear.
             while (flag_.load(std::memory_order_relaxed)) {
                 if (++spins < 64) {
 #if defined(__x86_64__) || defined(__i386__)
@@ -49,21 +75,61 @@ class Spinlock
         }
     }
 
-    bool
+    [[nodiscard]] bool
     try_lock()
     {
-        return !flag_.load(std::memory_order_relaxed) &&
-               !flag_.exchange(true, std::memory_order_acquire);
+        // relaxed: advisory pre-check; acquire ordering rides on the
+        // exchange that actually takes the lock.
+        const bool taken =
+            !flag_.load(std::memory_order_relaxed) &&
+            !flag_.exchange(true, std::memory_order_acquire);
+        if (taken)
+            RecordAcquire();
+        return taken;
     }
 
     void
     unlock()
     {
+        RecordRelease();
         flag_.store(false, std::memory_order_release);
     }
 
+    /**
+     * Assigns the lock's rank (see common/lock_rank.h). Call before the
+     * lock is shared between threads; no-op in release builds.
+     */
+    void
+    SetRank(LockRank rank)
+    {
+#if FRUGAL_DCHECK_ENABLED
+        rank_ = rank;
+#else
+        (void)rank;
+#endif
+    }
+
   private:
+    void
+    RecordAcquire()
+    {
+#if FRUGAL_DCHECK_ENABLED
+        lock_rank_internal::OnAcquire(rank_);
+#endif
+    }
+
+    void
+    RecordRelease()
+    {
+#if FRUGAL_DCHECK_ENABLED
+        lock_rank_internal::OnRelease(rank_);
+#endif
+    }
+
     std::atomic<bool> flag_{false};
+#if FRUGAL_DCHECK_ENABLED
+    LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
 /**
@@ -73,13 +139,17 @@ class Spinlock
 class StripedLocks
 {
   public:
-    /** `stripes` is rounded up to a power of two (min 1). */
-    explicit StripedLocks(std::size_t stripes)
+    /** `stripes` is rounded up to a power of two (min 1); every stripe
+     *  gets `rank` (see common/lock_rank.h). */
+    explicit StripedLocks(std::size_t stripes,
+                          LockRank rank = LockRank::kUnranked)
     {
         std::size_t n = 1;
         while (n < stripes)
             n <<= 1;
         locks_ = std::vector<Spinlock>(n);
+        for (Spinlock &lock : locks_)
+            lock.SetRank(rank);
         mask_ = n - 1;
     }
 

@@ -43,6 +43,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "frugal/annotations.h"
 
 namespace frugal {
 
@@ -79,15 +80,27 @@ class AtomicSlotSet
     Insert(T *item)
     {
         FRUGAL_CHECK(item != nullptr);
+        // relaxed: the cursor is a pure index dispenser — uniqueness is
+        // all we need; the slot store below publishes the data.
         const std::size_t index =
             cursor_.fetch_add(1, std::memory_order_relaxed);
         Segment *seg = SegmentFor(index);
         // The cursor hands out each index exactly once, so this slot is
-        // exclusively ours.
+        // exclusively ours. Counters are *announced* before the pointer
+        // is published so "popped ≤ published" holds per segment at
+        // every instant (the invariant auditor checks it mid-run); a
+        // popper that sees the announcement before the pointer merely
+        // treats the slot as mid-publish, which the PopAny contract
+        // already allows.
         occupied_.fetch_add(1, std::memory_order_release);
-        seg->slots[index - seg->base_index].ptr.store(
-            item, std::memory_order_release);
         seg->published.fetch_add(1, std::memory_order_release);
+        Slot &slot = seg->slots[index - seg->base_index];
+        // Declared protocol edge: everything written before this insert
+        // becomes visible to the popper that claims this slot (the
+        // release store establishes it; the annotation documents it at
+        // the protocol level for TSan).
+        FRUGAL_ANNOTATE_HAPPENS_BEFORE(&slot);
+        slot.ptr.store(item, std::memory_order_release);
     }
 
     /**
@@ -120,9 +133,15 @@ class AtomicSlotSet
                         seg->slots[i].ptr.load(std::memory_order_acquire);
                     if (item == nullptr)
                         continue;
+                    // relaxed: on CAS failure we only learn "someone
+                    // else claimed it"; no data is read through the
+                    // observed value.
                     if (seg->slots[i].ptr.compare_exchange_strong(
                             item, nullptr, std::memory_order_acq_rel,
                             std::memory_order_relaxed)) {
+                        // Matching edge of the Insert-side annotation:
+                        // the claim is ordered after the publish.
+                        FRUGAL_ANNOTATE_HAPPENS_AFTER(&seg->slots[i]);
                         seg->popped.fetch_add(1, std::memory_order_release);
                         occupied_.fetch_sub(1, std::memory_order_release);
                         return item;
@@ -143,6 +162,47 @@ class AtomicSlotSet
     }
 
     bool empty() const { return size() == 0; }
+
+    /** Accounting snapshot taken by AuditAccounting(). */
+    struct AccountingSnapshot
+    {
+        std::size_t announced = 0;  ///< Σ per-segment published counters
+        std::size_t popped = 0;     ///< Σ per-segment popped counters
+        std::size_t segments = 0;   ///< chain length
+        /** Every segment satisfied popped ≤ published ≤ capacity. */
+        bool per_segment_consistent = true;
+    };
+
+    /**
+     * Walks the whole segment chain checking the slot-accounting
+     * invariant: per segment, popped ≤ published ≤ capacity at every
+     * instant (Insert announces its counter *before* publishing the
+     * pointer, so this holds even mid-publish). Safe to call
+     * concurrently with Insert/PopAny; counters are a racy-but-safe
+     * snapshot. At quiescence, announced − popped == size() exactly.
+     */
+    AccountingSnapshot
+    AuditAccounting() const
+    {
+        AccountingSnapshot snap;
+        for (const Segment *seg = head_; seg != nullptr;
+             seg = seg->next.load(std::memory_order_acquire)) {
+            // Load popped before published: a racing Insert can only
+            // raise published, a racing PopAny only raises popped, so
+            // this order can under-count popped but never fabricate
+            // popped > published.
+            const std::size_t popped =
+                seg->popped.load(std::memory_order_acquire);
+            const std::size_t published =
+                seg->published.load(std::memory_order_acquire);
+            if (popped > published || published > segment_slots_)
+                snap.per_segment_consistent = false;
+            snap.announced += published;
+            snap.popped += popped;
+            ++snap.segments;
+        }
+        return snap;
+    }
 
   private:
     struct Slot

@@ -103,6 +103,22 @@ class FlushQueue
     virtual std::size_t SizeApprox() const = 0;
 
     /**
+     * Implementation self-audit (see pq/invariant_auditor.h): verifies
+     * queue-internal accounting — e.g. per-bucket logical/in-flight
+     * counters never negative, slot-set popped ≤ published — logging
+     * each breach. With `quiescent` the caller asserts no operation is
+     * concurrently in flight, enabling exact checks (all counters
+     * drained to zero). Safe to call concurrently when !quiescent.
+     * @return the number of violated invariants (0 = clean).
+     */
+    virtual std::size_t
+    AuditInvariants(bool quiescent) const
+    {
+        (void)quiescent;
+        return 0;
+    }
+
+    /**
      * Advances the scan-range hints (§3.4 "scan range compression"):
      * no live entry can have a finite priority below `floor` (the current
      * training step) or above `horizon` (current step + lookahead L).

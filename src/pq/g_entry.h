@@ -146,7 +146,7 @@ class GEntry
     }
 
     const Key key_;
-    Spinlock lock_;
+    Spinlock lock_{LockRank::kGEntry};
     std::deque<Step> r_set_;
     std::vector<WriteRecord> w_set_;
     Priority priority_ = kInfiniteStep;

@@ -85,7 +85,7 @@ class GEntryRegistry
   private:
     struct Shard
     {
-        mutable Spinlock lock;
+        mutable Spinlock lock{LockRank::kRegistryShard};
         std::unordered_map<Key, std::unique_ptr<GEntry>> entries;
     };
 

@@ -100,6 +100,7 @@ TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
             }
             out.push_back(ClaimTicket{node.entry, node.priority});
         } else {
+            // relaxed: monotonic stat counter.
             stale_discards_.fetch_add(1, std::memory_order_relaxed);
         }
     }
@@ -138,6 +139,45 @@ TreeHeapPQ::SizeApprox() const
 {
     std::lock_guard<Spinlock> guard(heap_lock_);
     return live_.size();
+}
+
+std::size_t
+TreeHeapPQ::AuditInvariants(bool quiescent) const
+{
+    std::size_t violations = 0;
+    std::lock_guard<Spinlock> guard(heap_lock_);
+    // Heap order: every parent ≤ both children.
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+        const std::size_t parent = (i - 1) / 2;
+        if (heap_[parent].priority > heap_[i].priority) {
+            ++violations;
+            FRUGAL_ERROR("tree-heap audit: heap order broken at node "
+                         << i << " (parent " << heap_[parent].priority
+                         << " > child " << heap_[i].priority << ")");
+        }
+    }
+    // Every live priority has a physical pair; stale pairs only ever
+    // add to the heap, so live can never exceed the physical size.
+    if (live_.size() > heap_.size()) {
+        ++violations;
+        FRUGAL_ERROR("tree-heap audit: " << live_.size()
+                                         << " live priorities but only "
+                                         << heap_.size()
+                                         << " physical heap nodes");
+    }
+    if (quiescent && !live_.empty()) {
+        ++violations;
+        FRUGAL_ERROR("tree-heap audit: " << live_.size()
+                                         << " live priorities remain at "
+                                            "quiescence");
+    }
+    if (quiescent && !in_flight_.empty()) {
+        ++violations;
+        FRUGAL_ERROR("tree-heap audit: " << in_flight_.size()
+                                         << " in-flight claims remain at "
+                                            "quiescence");
+    }
+    return violations;
 }
 
 }  // namespace frugal

@@ -43,11 +43,13 @@ class TreeHeapPQ final : public FlushQueue
     void Unenqueue(GEntry *entry, Priority priority) override;
     bool HasPendingAtOrBelow(Step step) const override;
     std::size_t SizeApprox() const override;
+    std::size_t AuditInvariants(bool quiescent) const override;
     std::string Name() const override { return "tree-heap"; }
 
     /** Stale (lazily invalidated) pairs discarded so far. */
     std::uint64_t staleDiscards() const
     {
+        // relaxed: monotonic stat counter, read for reporting only.
         return stale_discards_.load(std::memory_order_relaxed);
     }
 
@@ -64,7 +66,7 @@ class TreeHeapPQ final : public FlushQueue
      *  non-empty. */
     HeapNode PopMinLocked();
 
-    mutable Spinlock heap_lock_;
+    mutable Spinlock heap_lock_{LockRank::kFlushQueue};
     std::vector<HeapNode> heap_;
     std::multiset<Priority> live_;
     std::multiset<Priority> in_flight_;

@@ -9,6 +9,8 @@ TwoLevelPQ::TwoLevelPQ(const TwoLevelPQConfig &config)
       infinity_index_(static_cast<std::size_t>(config.max_step) + 1),
       buckets_(static_cast<std::size_t>(config.max_step) + 2)
 {
+    // relaxed: single-threaded construction; publication of the whole
+    // object happens-before any concurrent use.
     scan_horizon_.store(config.max_step, std::memory_order_relaxed);
 }
 
@@ -53,6 +55,7 @@ TwoLevelPQ::Enqueue(GEntry *entry, Priority priority)
     // Logical count first: the gate must never observe "no pending entry"
     // while one is being published.
     bucket.logical.fetch_add(1, std::memory_order_release);
+    // relaxed: approximate global size (SizeApprox contract).
     size_.fetch_add(1, std::memory_order_relaxed);
     EnsureSet(bucket).Insert(entry);
 }
@@ -96,6 +99,7 @@ TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
             entry->setEnqueuedLocked(false);
             bucket.in_flight.fetch_add(1, std::memory_order_release);
             bucket.logical.fetch_sub(1, std::memory_order_release);
+            // relaxed: approximate global size (SizeApprox contract).
             size_.fetch_sub(1, std::memory_order_relaxed);
             out.push_back(ClaimTicket{entry, priority});
             ++claimed;
@@ -103,6 +107,7 @@ TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
             // A lazily deleted copy left behind by AdjustPriority (or a
             // duplicate from a former ∞ residence). Drop it; the live
             // copy, if any, sits in the bucket of its current priority.
+            // relaxed: monotonic stat counter.
             stale_discards_.fetch_add(1, std::memory_order_relaxed);
         }
     }
@@ -124,6 +129,7 @@ TwoLevelPQ::DequeueClaim(std::vector<ClaimTicket> &out,
     const std::size_t high =
         BucketIndex(std::min(horizon, config_.max_step));
     for (std::size_t i = low; i <= high && out.size() < max_entries; ++i) {
+        // relaxed: monotonic stat counter (ablation instrumentation).
         buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
         if (buckets_[i].logical.load(std::memory_order_acquire) <= 0)
             continue;
@@ -134,6 +140,7 @@ TwoLevelPQ::DequeueClaim(std::vector<ClaimTicket> &out,
     if (out.size() < max_entries &&
         buckets_[infinity_index_].logical.load(std::memory_order_acquire) >
             0) {
+        // relaxed: monotonic stat counter (ablation instrumentation).
         buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
         DrainBucket(infinity_index_, kInfiniteStep, out, max_entries);
     }
@@ -143,16 +150,26 @@ TwoLevelPQ::DequeueClaim(std::vector<ClaimTicket> &out,
 void
 TwoLevelPQ::OnFlushed(const ClaimTicket &ticket)
 {
-    buckets_[BucketIndex(ticket.priority)].in_flight.fetch_sub(
-        1, std::memory_order_release);
+    const std::int64_t prev =
+        buckets_[BucketIndex(ticket.priority)].in_flight.fetch_sub(
+            1, std::memory_order_release);
+    FRUGAL_DCHECK_MSG(prev >= 1, "OnFlushed with no matching claim at "
+                                 "priority " << ticket.priority);
+    (void)prev;
 }
 
 void
 TwoLevelPQ::Unenqueue(GEntry *entry, Priority priority)
 {
     (void)entry;  // the physical copy is discarded lazily by a dequeuer
-    buckets_[BucketIndex(priority)].logical.fetch_sub(
-        1, std::memory_order_release);
+    const std::int64_t prev =
+        buckets_[BucketIndex(priority)].logical.fetch_sub(
+            1, std::memory_order_release);
+    FRUGAL_DCHECK_MSG(prev >= 1, "Unenqueue with no standing enqueue at "
+                                 "priority " << priority);
+    (void)prev;
+    // relaxed: approximate global size; exactness is audited at
+    // quiescence, not per-operation.
     size_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -183,13 +200,94 @@ void
 TwoLevelPQ::SetScanBounds(Step floor, Step horizon)
 {
     // Monotone advance; concurrent publishers only ever move forward.
+    // relaxed: the CAS loop only needs an atomic max — the bound is a
+    // scan *hint*; correctness of skipped buckets comes from the gate
+    // invariant, not from ordering on this variable.
     Step current = scan_floor_.load(std::memory_order_relaxed);
     while (floor > current &&
-           !scan_floor_.compare_exchange_weak(current, floor,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed)) {
+           !scan_floor_.compare_exchange_weak(
+               current, floor, std::memory_order_release,
+               std::memory_order_relaxed /* relaxed: retry reload */)) {
     }
     scan_horizon_.store(horizon, std::memory_order_release);
+}
+
+std::size_t
+TwoLevelPQ::AuditInvariants(bool quiescent) const
+{
+    std::size_t violations = 0;
+    auto fail = [&violations](const log_internal::MessageBuilder &mb) {
+        ++violations;
+        FRUGAL_ERROR("two-level-pq audit: " << mb.str());
+    };
+    std::size_t stale_resident = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const Bucket &bucket = buckets_[i];
+        const std::int64_t logical =
+            bucket.logical.load(std::memory_order_acquire);
+        const std::int64_t in_flight =
+            bucket.in_flight.load(std::memory_order_acquire);
+        // Never negative at any instant: every decrement follows its
+        // paired increment in real time (OnPriorityChange raises the
+        // new bucket before dropping the old; claims/Unenqueues retire
+        // enqueues that happened-before them).
+        if (logical < 0) {
+            fail(log_internal::MessageBuilder()
+                 << "bucket " << i << " logical count " << logical
+                 << " < 0");
+        }
+        if (in_flight < 0) {
+            fail(log_internal::MessageBuilder()
+                 << "bucket " << i << " in-flight count " << in_flight
+                 << " < 0");
+        }
+        if (quiescent && logical != 0) {
+            fail(log_internal::MessageBuilder()
+                 << "bucket " << i << " logical count " << logical
+                 << " != 0 at quiescence");
+        }
+        if (quiescent && in_flight != 0) {
+            fail(log_internal::MessageBuilder()
+                 << "bucket " << i << " in-flight count " << in_flight
+                 << " != 0 at quiescence");
+        }
+        const AtomicSlotSet<GEntry> *set =
+            bucket.set.load(std::memory_order_acquire);
+        if (set == nullptr)
+            continue;
+        const auto snap = set->AuditAccounting();
+        if (!snap.per_segment_consistent) {
+            fail(log_internal::MessageBuilder()
+                 << "bucket " << i
+                 << " slot-set accounting broken: announced "
+                 << snap.announced << ", popped " << snap.popped
+                 << " across " << snap.segments << " segment(s)");
+        }
+        if (quiescent) {
+            // Exact at quiescence: residents are announced-not-popped.
+            const std::size_t resident = snap.announced - snap.popped;
+            if (resident != set->size()) {
+                fail(log_internal::MessageBuilder()
+                     << "bucket " << i << " slot-set size "
+                     << set->size() << " != announced-popped residue "
+                     << resident);
+            }
+            // Residents at quiescence can only be lazily deleted
+            // (stale) copies — the live count is zero (checked above).
+            stale_resident += resident;
+        }
+    }
+    if (quiescent) {
+        const std::size_t size = SizeApprox();
+        if (size != 0) {
+            fail(log_internal::MessageBuilder()
+                 << "global size " << size << " != 0 at quiescence");
+        }
+        FRUGAL_DEBUG("two-level-pq audit: quiescent with "
+                     << stale_resident
+                     << " stale resident copies awaiting lazy discard");
+    }
+    return violations;
 }
 
 }  // namespace frugal

@@ -84,11 +84,13 @@ class TwoLevelPQ final : public FlushQueue
     bool HasPendingAtOrBelow(Step step) const override;
     std::size_t SizeApprox() const override;
     void SetScanBounds(Step floor, Step horizon) override;
+    std::size_t AuditInvariants(bool quiescent) const override;
     std::string Name() const override { return "two-level-pq"; }
 
     /** Number of stale (lazily deleted) copies discarded so far. */
     std::uint64_t staleDiscards() const
     {
+        // relaxed: monotonic stat counter, read for reporting only.
         return stale_discards_.load(std::memory_order_relaxed);
     }
 
@@ -96,6 +98,7 @@ class TwoLevelPQ final : public FlushQueue
      *  range compression ablation). */
     std::uint64_t bucketsScanned() const
     {
+        // relaxed: monotonic stat counter, read for reporting only.
         return buckets_scanned_.load(std::memory_order_relaxed);
     }
 

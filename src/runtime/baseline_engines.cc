@@ -100,6 +100,8 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
             const double commit = Seconds(commit_start, commit_end);
             commit_seconds_total += commit;
             commit_per_step.Add(commit);
+            // relaxed: only this committer thread advances the step, so
+            // its own prior store is always visible to it.
             const Step s = current_step.load(std::memory_order_relaxed);
             if (step_hook)
                 step_hook(s);
@@ -122,6 +124,8 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
                     switch (mode) {
                       case SyncMode::kNoCache:
                         table.ReadRow(key, out);
+                        // relaxed: monotonic stat counter, read after
+                        // joins.
                         host_reads.fetch_add(1, std::memory_order_relaxed);
                         break;
                       case SyncMode::kCached: {
@@ -129,11 +133,15 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
                         // all_to_all query when the owner differs.
                         const GpuId owner = ownership.OwnerOf(key);
                         if (owner != g) {
+                            // relaxed: monotonic stat counter, read
+                            // after joins.
                             remote_queries.fetch_add(
                                 1, std::memory_order_relaxed);
                         }
                         if (!caches[owner]->TryGet(key, out)) {
                             table.ReadRow(key, out);
+                            // relaxed: monotonic stat counter, read
+                            // after joins.
                             host_reads.fetch_add(
                                 1, std::memory_order_relaxed);
                             caches[owner]->Put(key, out);
@@ -145,6 +153,8 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
                         if (owner == g) {
                             if (!caches[g]->TryGet(key, out)) {
                                 table.ReadRow(key, out);
+                                // relaxed: monotonic stat counter, read
+                                // after joins.
                                 host_reads.fetch_add(
                                     1, std::memory_order_relaxed);
                                 caches[g]->Put(key, out);
@@ -152,6 +162,8 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
                         } else {
                             // Direct UVA host read; never cached locally.
                             table.ReadRow(key, out);
+                            // relaxed: monotonic stat counter, read
+                            // after joins.
                             host_reads.fetch_add(
                                 1, std::memory_order_relaxed);
                         }

@@ -11,6 +11,7 @@
 #include "common/blocking_queue.h"
 #include "common/logging.h"
 #include "pq/g_entry_registry.h"
+#include "pq/invariant_auditor.h"
 #include "pq/pq_ops.h"
 #include "pq/tree_heap_pq.h"
 #include "pq/two_level_pq.h"
@@ -93,12 +94,29 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::atomic<std::uint64_t> audit_violations{0};
     std::atomic<std::uint64_t> gate_waits{0};
 
+#if FRUGAL_DCHECK_ENABLED
+    // The invariant auditor (§3.3 safety argument, machine-checked).
+    // Disarmed for the async ablation: disable_gate_unsafe *exists* to
+    // break the invariant, and its violations are reported through
+    // report.audit_violations instead of a shutdown panic.
+    InvariantAuditor::Options auditor_options;
+    auditor_options.expect_sorted_batches = !config_.use_tree_heap;
+    InvariantAuditor auditor(auditor_options);
+    const bool auditor_armed = !config_.disable_gate_unsafe;
+#endif
+
     // End-of-step barrier; its completion runs single-threaded.
     std::barrier step_barrier(
         static_cast<std::ptrdiff_t>(n_gpus), [&]() noexcept {
+            // relaxed: the completion callback is the only writer and
+            // runs single-threaded between steps.
             const Step s = current_step.load(std::memory_order_relaxed);
             if (step_hook)
                 step_hook(s);
+#if FRUGAL_DCHECK_ENABLED
+            if (auditor_armed)
+                auditor.OnStepBoundary(s, *queue);
+#endif
             current_step.store(s + 1, std::memory_order_release);
             { std::lock_guard<std::mutex> lock(gate_mutex); }
             gate_cv.notify_all();
@@ -109,6 +127,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     // --- prefetch thread (the sample queue, §3.2) ---------------------
     std::thread prefetcher([&] {
         while (true) {
+            // relaxed: only the prefetcher itself advances the frontier,
+            // so its own prior store is always visible to it.
             Step frontier = prefetch_frontier.load(std::memory_order_relaxed);
             if (frontier >= n_steps)
                 return;
@@ -186,6 +206,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             auto apply = [&](Key key, const WriteRecord &record) {
                 table_->ApplyGradient(key, record.grad.data(),
                                       *optimizer_);
+                // relaxed: monotonic stat counter, read after joins.
                 updates_applied.fetch_add(1, std::memory_order_relaxed);
             };
             auto refresh_cache = [&](Key key) {
@@ -213,10 +234,12 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // nothing below the current step is pending; without the
                 // gate (async ablation) stale priorities survive below
                 // it, so the floor must stay at zero.
-                queue->SetScanBounds(
+                const Step scan_floor =
                     config_.disable_gate_unsafe
                         ? 0
-                        : current_step.load(std::memory_order_acquire),
+                        : current_step.load(std::memory_order_acquire);
+                queue->SetScanBounds(
+                    scan_floor,
                     prefetch_frontier.load(std::memory_order_acquire));
                 claimed.clear();
                 if (queue->DequeueClaim(claimed, config_.flush_batch) ==
@@ -226,6 +249,11 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     std::this_thread::yield();
                     continue;
                 }
+#if FRUGAL_DCHECK_ENABLED
+                if (auditor_armed)
+                    auditor.OnClaimBatch(claimed, scan_floor);
+#endif
+                // relaxed: monotonic stat counter, read after joins.
                 entry_claims.fetch_add(claimed.size(),
                                        std::memory_order_relaxed);
                 for (const ClaimTicket &ticket : claimed) {
@@ -262,6 +290,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 };
                 const auto wait_start = std::chrono::steady_clock::now();
                 if (!gate_open()) {
+                    // relaxed: monotonic stat counter, read after joins.
                     gate_waits.fetch_add(1, std::memory_order_relaxed);
                     std::unique_lock<std::mutex> lock(gate_mutex);
                     gate_cv.wait(lock, gate_open);
@@ -278,18 +307,27 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 for (std::size_t i = 0; i < keys.size(); ++i) {
                     const Key key = keys[i];
                     float *out = values.data() + i * config_.dim;
-                    if (config_.audit_consistency) {
+                    if (config_.audit_consistency || kDcheckEnabled) {
                         GEntry &entry = registry.GetOrCreate(key);
                         std::lock_guard<Spinlock> guard(entry.lock());
                         // Invariant (2): no pending (unflushed) update
                         // from an earlier step may exist when we read.
-                        if (entry.hasWritesLocked())
+                        if (entry.hasWritesLocked()) {
+                            // relaxed: monotonic stat counter, read
+                            // after joins.
                             audit_violations.fetch_add(
                                 1, std::memory_order_relaxed);
+#if FRUGAL_DCHECK_ENABLED
+                            if (auditor_armed)
+                                auditor.OnReadViolation(key, s);
+#endif
+                        }
                     }
                     if (ownership_.OwnerOf(key) == g) {
                         if (!caches[g]->TryGet(key, out)) {
                             table_->ReadRow(key, out);
+                            // relaxed: monotonic stat counter, read
+                            // after joins.
                             host_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
                             caches[g]->Put(key, out);
@@ -297,6 +335,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     } else {
                         // Non-owned: zero-copy UVA read of host memory.
                         table_->ReadRow(key, out);
+                        // relaxed: monotonic stat counter, read after
+                        // joins.
                         host_reads.fetch_add(1, std::memory_order_relaxed);
                     }
                 }
@@ -316,6 +356,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                         grads.begin() + static_cast<std::ptrdiff_t>(
                                             (i + 1) * config_.dim));
                     FRUGAL_CHECK(staging.Push(std::move(msg)));
+                    // relaxed: monotonic stat counter, read after joins.
                     updates_emitted.fetch_add(1,
                                               std::memory_order_relaxed);
                 }
@@ -376,6 +417,16 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             FRUGAL_CHECK(!entry.enqueuedLocked());
         });
     }
+#if FRUGAL_DCHECK_ENABLED
+    if (auditor_armed) {
+        // Quiescent accounting: queue counters exactly drained, every
+        // g-entry back to the (W = ∅, dequeued, priority = ∞) state.
+        auditor.OnQuiescent(*queue, registry);
+        auditor.ExpectClean();
+        FRUGAL_DEBUG("invariant auditor: " << auditor.checks()
+                                           << " checks, 0 violations");
+    }
+#endif
     return report;
 }
 

@@ -8,7 +8,7 @@ HostEmbeddingTable::HostEmbeddingTable(const EmbeddingTableConfig &config)
     : config_(config),
       values_(static_cast<std::size_t>(config.key_space) * config.dim),
       versions_(new std::atomic<std::uint64_t>[config.key_space]),
-      row_locks_(config.lock_stripes)
+      row_locks_(config.lock_stripes, LockRank::kTableRow)
 {
     FRUGAL_CHECK_MSG(config.key_space > 0, "empty key space");
     FRUGAL_CHECK_MSG(config.dim > 0, "zero embedding dimension");
@@ -38,6 +38,8 @@ HostEmbeddingTable::ResetParameters()
             row[j] = InitialValue(config_.init_seed, config_.init_scale,
                                   key, j);
         }
+        // relaxed: ResetParameters runs single-threaded before workers
+        // start; publication happens via thread creation.
         versions_[key].store(0, std::memory_order_relaxed);
     }
 }
@@ -49,6 +51,8 @@ HostEmbeddingTable::ReadRow(Key key, float *out) const
     const float *row = values_.data() + RowOffset(key);
     for (std::size_t j = 0; j < config_.dim; ++j)
         out[j] = row[j];
+    // relaxed: the row lock already orders this load against the
+    // writer's version bump (both run under the same stripe lock).
     return versions_[key].load(std::memory_order_relaxed);
 }
 
