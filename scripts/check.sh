@@ -72,6 +72,16 @@ if ! ctest --preset tsan; then
     failures=$((failures + 1))
 fi
 
+# --- 6. AddressSanitizer pass over the fault-tolerance suites -----------
+# Recovery paths (claim reclamation, flusher respawn, checkpoint staging)
+# juggle raw buffers and thread lifetimes; run them under ASan too.
+note "ASan build + ctest -L faulttol (preset: asan)"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+if ! ctest --preset asan -L faulttol; then
+    failures=$((failures + 1))
+fi
+
 note "done"
 if [[ "$failures" -gt 0 ]]; then
     echo "check.sh: $failures stage(s) FAILED"

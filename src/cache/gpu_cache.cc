@@ -92,4 +92,15 @@ GpuCache::Contains(Key key) const
     return map_.find(key) != map_.end();
 }
 
+void
+GpuCache::Clear()
+{
+    std::lock_guard<Spinlock> guard(lock_);
+    map_.clear();
+    lru_.clear();
+    free_slots_.clear();
+    for (std::size_t i = 0; i < capacity_; ++i)
+        free_slots_.push_back(capacity_ - 1 - i);
+}
+
 }  // namespace frugal

@@ -20,6 +20,7 @@
 #ifndef FRUGAL_CACHE_GPU_CACHE_H_
 #define FRUGAL_CACHE_GPU_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -87,6 +88,14 @@ class GpuCache
     /** Whether `key` is currently cached (no LRU effect). */
     bool Contains(Key key) const;
 
+    /**
+     * Drops every cached row (stats are kept). Used when ownership is
+     * remapped away from a dead trainer: the survivor must not serve
+     * the victim's stale copies, and the victim's cache is simply
+     * emptied rather than migrated.
+     */
+    void Clear();
+
     std::size_t capacity() const { return capacity_; }
     std::size_t dim() const { return dim_; }
 
@@ -129,25 +138,78 @@ class GpuCache
     GpuCacheStats stats_;
 };
 
-/** Key-ownership partition across GPUs (sharding policy). */
+/**
+ * Key-ownership partition across GPUs (sharding policy).
+ *
+ * Keys hash into `n_gpus` *shards*; each shard maps to an owning GPU.
+ * The healthy mapping is the identity (shard i → GPU i, matching the
+ * paper's `owner(k) = hash(k) % n_gpus`). Degraded mode rewrites the
+ * mapping: when a trainer dies mid-run, Remap() points its shard at a
+ * survivor, so the survivor's cache takes over the dead GPU's keys
+ * without rehashing anything. Shard owners are atomics so trainers and
+ * flush threads can consult ownership lock-free while the recovery
+ * path rewrites it.
+ */
 class KeyOwnership
 {
   public:
-    explicit KeyOwnership(std::uint32_t n_gpus) : n_gpus_(n_gpus)
+    explicit KeyOwnership(std::uint32_t n_gpus)
+        : n_gpus_(n_gpus), shard_owner_(n_gpus)
     {
         FRUGAL_CHECK(n_gpus > 0);
+        // relaxed: single-threaded construction; publication to other
+        // threads happens via whatever hands them the object.
+        for (std::uint32_t i = 0; i < n_gpus; ++i)
+            shard_owner_[i].store(static_cast<GpuId>(i),
+                                  std::memory_order_relaxed);
+    }
+
+    KeyOwnership(const KeyOwnership &) = delete;
+    KeyOwnership &operator=(const KeyOwnership &) = delete;
+
+    /** The hash shard of `key` (stable across remaps). */
+    std::uint32_t
+    ShardOf(Key key) const
+    {
+        return static_cast<std::uint32_t>(MixHash64(key) % n_gpus_);
     }
 
     GpuId
     OwnerOf(Key key) const
     {
-        return static_cast<GpuId>(MixHash64(key) % n_gpus_);
+        // acquire: a reader that observes a remapped owner must also
+        // observe the cache invalidation recovery published before it.
+        return shard_owner_[ShardOf(key)].load(std::memory_order_acquire);
+    }
+
+    /**
+     * Reassigns every shard owned by `from` to `to` (degraded mode).
+     * @return the number of shards remapped.
+     */
+    std::uint32_t
+    Remap(GpuId from, GpuId to)
+    {
+        FRUGAL_CHECK(from != to);
+        std::uint32_t remapped = 0;
+        for (auto &owner : shard_owner_) {
+            GpuId expected = from;
+            // release: pairs with the acquire in OwnerOf (see above).
+            // relaxed: failure order only — on mismatch nothing is
+            // read from the loaded value beyond the inequality itself.
+            if (owner.compare_exchange_strong(expected, to,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+                ++remapped;
+            }
+        }
+        return remapped;
     }
 
     std::uint32_t n_gpus() const { return n_gpus_; }
 
   private:
     std::uint32_t n_gpus_;
+    std::vector<std::atomic<GpuId>> shard_owner_;
 };
 
 }  // namespace frugal

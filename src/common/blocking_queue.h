@@ -8,6 +8,7 @@
 #ifndef FRUGAL_COMMON_BLOCKING_QUEUE_H_
 #define FRUGAL_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -49,7 +50,7 @@ class BlockingQueue
     }
 
     /** Non-blocking push; returns false when full or closed. */
-    bool
+    [[nodiscard]] bool
     TryPush(T item)
     {
         {
@@ -77,8 +78,63 @@ class BlockingQueue
         return item;
     }
 
-    /** Non-blocking pop. */
+    /**
+     * Pops one element, waiting at most `timeout`. Returns nullopt on
+     * timeout *or* when the queue is closed and drained — callers that
+     * must distinguish the two (e.g. a watchdog deciding between "no
+     * work yet" and "producer gone") check closed() on nullopt. A Close
+     * racing the wait wakes it immediately rather than running out the
+     * deadline.
+     */
+    template <typename Rep, typename Period>
     std::optional<T>
+    PopFor(std::chrono::duration<Rep, Period> timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!not_empty_.wait_for(lock, timeout, [&] {
+                return !items_.empty() || closed_;
+            })) {
+            return std::nullopt;  // timed out
+        }
+        if (items_.empty())
+            return std::nullopt;  // closed and drained
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Pops up to `max_items` elements, waiting at most `timeout` for the
+     * first. An empty result means timeout or closed-and-drained (check
+     * closed()); a timed drain loop built on this cannot hang on a dead
+     * producer the way PopBatch can.
+     */
+    template <typename Rep, typename Period>
+    std::vector<T>
+    PopBatchFor(std::size_t max_items,
+                std::chrono::duration<Rep, Period> timeout)
+    {
+        std::vector<T> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!not_empty_.wait_for(lock, timeout, [&] {
+                return !items_.empty() || closed_;
+            })) {
+            return batch;  // timed out
+        }
+        while (!items_.empty() && batch.size() < max_items) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        if (!batch.empty())
+            not_full_.notify_all();
+        return batch;
+    }
+
+    /** Non-blocking pop. */
+    [[nodiscard]] std::optional<T>
     TryPop()
     {
         std::unique_lock<std::mutex> lock(mutex_);

@@ -12,11 +12,20 @@
  * The rank order, lowest acquired first (see DESIGN.md "Concurrency
  * model" for the full derivation):
  *
- *   kRegistryShard < kGEntry < kFlushQueue < kTableRow < kGpuCache
+ *   kRegistryShard < kRecoverySlot < kGEntry < kFlushQueue < kTableRow
+ *     < kGpuCache
  *
  *  - GEntryRegistry shard locks protect only the Key→GEntry map; the
  *    registry's ForEach visits entries (which lock themselves) under
  *    the shard lock, so shards rank below entries.
+ *  - Flusher-slot locks (the crash-recovery claim ledgers each flush
+ *    thread publishes for the watchdog) guard only a ticket vector.
+ *    They are designed as leaves — bookkeeping happens before or after
+ *    a flush, never around it — but rank below kGEntry so that even a
+ *    future caller that flushes while holding one stays ordered. The
+ *    watchdog's sampling path in particular must never hold a rank
+ *    ≥ kGEntry: it reads slot ledgers and atomics only, so a stalled
+ *    flush thread can never block the component that diagnoses stalls.
  *  - GEntry locks are held across FlushQueue calls (Enqueue /
  *    OnPriorityChange / the claim-validation protocol), so entries rank
  *    below queue-internal locks (TreeHeapPQ's heap lock; TwoLevelPQ has
@@ -47,6 +56,7 @@ namespace frugal {
 enum class LockRank : std::uint8_t {
     kUnranked = 0,       ///< excluded from order checking (leaf-only)
     kRegistryShard = 10, ///< GEntryRegistry shard map locks
+    kRecoverySlot = 15,  ///< flusher-slot claim ledgers (watchdog recovery)
     kGEntry = 20,        ///< per-parameter g-entry locks
     kFlushQueue = 30,    ///< FlushQueue-internal locks (TreeHeapPQ heap)
     kTableRow = 40,      ///< HostEmbeddingTable striped row locks

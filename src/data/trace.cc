@@ -102,4 +102,17 @@ Trace::Stats() const
     return stats;
 }
 
+Trace
+Trace::Slice(std::size_t begin, std::size_t end) const
+{
+    if (end > steps_.size())
+        end = steps_.size();
+    FRUGAL_CHECK_MSG(begin <= end, "trace slice begin past end");
+    std::vector<StepKeys> sliced(steps_.begin() +
+                                     static_cast<std::ptrdiff_t>(begin),
+                                 steps_.begin() +
+                                     static_cast<std::ptrdiff_t>(end));
+    return Trace(std::move(sliced), key_space_, n_gpus_);
+}
+
 }  // namespace frugal

@@ -99,6 +99,13 @@ class Trace
 
     TraceStats Stats() const;
 
+    /**
+     * The sub-trace covering steps [begin, end) — what a resumed run
+     * replays after restoring a checkpoint whose cursor is `begin`.
+     * `end` is clamped to NumSteps().
+     */
+    Trace Slice(std::size_t begin, std::size_t end) const;
+
   private:
     std::vector<StepKeys> steps_;
     std::uint64_t key_space_;

@@ -127,6 +127,19 @@ class FlushQueue
     virtual void SetScanBounds(Step floor, Step horizon) { (void)floor;
                                                            (void)horizon; }
 
+    /**
+     * Best-effort human-readable state dump for stall diagnosis (the
+     * watchdog prints it when the pipeline freezes): top priority,
+     * per-bucket logical/in-flight counts, scan bounds. Must be safe to
+     * call concurrently with every other operation and must not take
+     * locks of rank ≥ kGEntry — a wedged flush thread may hold those.
+     */
+    virtual std::string
+    DebugDump() const
+    {
+        return {};
+    }
+
     /** Implementation name for reports. */
     virtual std::string Name() const = 0;
 };

@@ -1,6 +1,7 @@
 #include "pq/two_level_pq.h"
 
 #include <mutex>
+#include <sstream>
 
 namespace frugal {
 
@@ -288,6 +289,45 @@ TwoLevelPQ::AuditInvariants(bool quiescent) const
                      << " stale resident copies awaiting lazy discard");
     }
     return violations;
+}
+
+std::string
+TwoLevelPQ::DebugDump() const
+{
+    // Lock-free by construction: only atomics are read, so a wedged
+    // flush thread holding entry locks cannot block this dump.
+    std::ostringstream out;
+    // relaxed: diagnostic snapshot; values may be mutually inconsistent
+    // under concurrency, which the dump's caption acknowledges.
+    const Step floor = scan_floor_.load(std::memory_order_relaxed);
+    const Step horizon = scan_horizon_.load(std::memory_order_relaxed);
+    out << "two-level-pq: size≈" << size_.load(std::memory_order_relaxed)
+        << " scan=[" << floor << ", " << horizon << "] ∪ {∞}\n";
+    std::size_t listed = 0;
+    constexpr std::size_t kMaxListed = 16;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        // relaxed: diagnostic snapshot (see above).
+        const auto logical =
+            buckets_[i].logical.load(std::memory_order_relaxed);
+        const auto in_flight =
+            buckets_[i].in_flight.load(std::memory_order_relaxed);
+        if (logical == 0 && in_flight == 0)
+            continue;
+        if (++listed > kMaxListed) {
+            out << "  ... more non-empty buckets elided\n";
+            break;
+        }
+        out << "  bucket ";
+        if (i == infinity_index_)
+            out << "∞";
+        else
+            out << i;
+        out << ": logical=" << logical << " in-flight=" << in_flight
+            << "\n";
+    }
+    if (listed == 0)
+        out << "  (all buckets empty)\n";
+    return out.str();
 }
 
 }  // namespace frugal

@@ -85,6 +85,7 @@ class TwoLevelPQ final : public FlushQueue
     std::size_t SizeApprox() const override;
     void SetScanBounds(Step floor, Step horizon) override;
     std::size_t AuditInvariants(bool quiescent) const override;
+    std::string DebugDump() const override;
     std::string Name() const override { return "two-level-pq"; }
 
     /** Number of stale (lazily deleted) copies discarded so far. */

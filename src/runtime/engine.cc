@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "runtime/baseline_engines.h"
 #include "runtime/frugal_engine.h"
+#include "table/checkpoint.h"
 
 namespace frugal {
 
@@ -28,6 +29,34 @@ Engine::ResetParameters()
     // Stateful optimizers (Adagrad) restart from zero accumulators.
     optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate,
                                config_.key_space, config_.dim);
+}
+
+std::optional<Step>
+Engine::ResumeFrom(const std::string &path)
+{
+    CheckpointInfo info;
+    if (!ProbeCheckpoint(path, &info)) {
+        FRUGAL_WARN("cannot resume: no readable checkpoint at " << path);
+        return std::nullopt;
+    }
+    if (info.optimizer_name != optimizer_->Name()) {
+        FRUGAL_WARN("cannot resume: checkpoint optimizer '"
+                    << info.optimizer_name << "' != engine optimizer '"
+                    << optimizer_->Name() << "'");
+        return std::nullopt;
+    }
+    CheckpointExtras extras;
+    if (!LoadCheckpoint(*table_, path, &extras))
+        return std::nullopt;
+    if (!optimizer_->ImportState(extras.optimizer_state)) {
+        // The table is already overwritten but the caller was warned —
+        // a half-resume must not run, so reset to a known state.
+        ResetParameters();
+        FRUGAL_WARN("cannot resume: optimizer state rejected; engine "
+                    "reset to initial parameters");
+        return std::nullopt;
+    }
+    return extras.next_step;
 }
 
 std::unique_ptr<Engine>

@@ -25,13 +25,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "cache/gpu_cache.h"
 #include "data/trace.h"
+#include "metrics/recovery_metrics.h"
 #include "table/embedding_table.h"
 #include "table/optimizer.h"
 
@@ -91,6 +94,36 @@ struct EngineConfig
      *  (simulates a slow host-memory path / overloaded flusher). */
     int flush_delay_us = 0;
 
+    /**
+     * Optional armed fault injector (FrugalEngine only); the caller
+     * owns it and keeps it alive across Run. Plans containing
+     * kFlushThreadDeath rules require `watchdog` — only the watchdog
+     * reclaims abandoned claims, so without it the run would hang.
+     */
+    FaultInjector *fault_injector = nullptr;
+
+    /** Run the stall watchdog alongside the pipeline (FrugalEngine). */
+    bool watchdog = true;
+    int watchdog_poll_ms = 10;
+    int watchdog_stall_ms = 2000;
+
+    /** Max attempts for one transiently failing host-table write; the
+     *  flush thread backs off exponentially between attempts. */
+    int write_retry_limit = 12;
+
+    /**
+     * Take a consistent checkpoint every N steps (0 = never). The
+     * barrier runs at the step boundary: trainers are held, staging +
+     * PQ + in-flight claims drain, then the table, optimizer state and
+     * trace cursor are snapshotted to `checkpoint_path`.
+     */
+    std::size_t checkpoint_every_steps = 0;
+    std::string checkpoint_path;
+
+    /** Global step number of the trace's first step (resumed runs
+     *  replay a suffix; the cursor stored in checkpoints is global). */
+    Step step_offset = 0;
+
     /** Per-GPU cache capacity in rows implied by the ratio. */
     std::size_t
     CacheRowsPerGpu() const
@@ -140,6 +173,9 @@ struct RunReport
     std::uint64_t flush_entry_claims = 0;///< g-entries claimed by flushers
     std::uint64_t audit_violations = 0;  ///< invariant (2) breaches seen
     std::uint64_t gate_waits = 0;        ///< steps that actually blocked
+
+    /** Fault-tolerance counters (all zero on a fault-free run). */
+    RecoveryCounters recovery;
 };
 
 /** A functional multi-GPU training engine. */
@@ -162,6 +198,16 @@ class Engine
 
     /** Restores initial parameters (and optimizer state) for a rerun. */
     void ResetParameters();
+
+    /**
+     * Restores a mid-training checkpoint (table rows, optimizer state,
+     * trace cursor) saved by a checkpoint barrier. Validates that the
+     * file's optimizer matches this engine's before touching anything.
+     * @return the global step the resumed run should execute first, or
+     *         nullopt if the checkpoint is missing/corrupt/mismatched
+     *         (engine state is untouched).
+     */
+    std::optional<Step> ResumeFrom(const std::string &path);
 
   protected:
     EngineConfig config_;

@@ -4,17 +4,23 @@
 #include <barrier>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
+#include "common/spinlock.h"
 #include "pq/g_entry_registry.h"
 #include "pq/invariant_auditor.h"
 #include "pq/pq_ops.h"
 #include "pq/tree_heap_pq.h"
 #include "pq/two_level_pq.h"
+#include "runtime/watchdog.h"
+#include "table/checkpoint.h"
 
 namespace frugal {
 
@@ -28,6 +34,33 @@ struct UpdateMsg
     GpuId src = 0;
     std::vector<float> grad;
     bool end_marker = false;
+};
+
+/**
+ * One flush thread's crash-recovery slot. The *claim ledger* mirrors
+ * the tickets the thread has dequeued but not yet flushed: claims are
+ * invisible to the queue (that is the point of claiming), so without
+ * the ledger a dying flush thread would take its in-flight work to the
+ * grave and the gate would never open again. The watchdog reads `dead`
+ * ledgers, reclaims their tickets, and respawns the thread.
+ *
+ * The slot lock guards only the ticket vector and is a designed leaf
+ * (rank kRecoverySlot, below kGEntry): bookkeeping happens strictly
+ * before or after a flush, never around it, so the watchdog can sample
+ * ledgers without ever waiting on a wedged flush thread.
+ */
+struct FlusherSlot
+{
+    explicit FlusherSlot(std::size_t slot_index) : index(slot_index) {}
+
+    const std::size_t index;
+    Spinlock lock{LockRank::kRecoverySlot};
+    std::vector<ClaimTicket> claimed;
+    /** Set by the thread itself on injected death (definitive). */
+    std::atomic<bool> dead{false};
+    /** True while a dequeued batch is being processed. */
+    std::atomic<bool> busy{false};
+    std::thread thread;
 };
 
 double
@@ -50,6 +83,20 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                         << " GPUs, engine has " << n_gpus);
     FRUGAL_CHECK_MSG(trace.key_space() <= config_.key_space,
                      "trace key space exceeds the table");
+
+    FaultInjector *const injector = config_.fault_injector;
+    if (injector != nullptr) {
+        // Flush-thread deaths park claims in the slot ledgers; only the
+        // watchdog reclaims those, so without it the run would hang.
+        FRUGAL_CHECK_MSG(
+            !injector->plan().HasRuleFor(FaultSite::kFlushThreadDeath) ||
+                config_.watchdog,
+            "flush-thread-death fault plans require the watchdog");
+        FRUGAL_CHECK_MSG(
+            !injector->plan().HasRuleFor(FaultSite::kTrainerDeath) ||
+                n_gpus >= 2,
+            "trainer-death fault plans require at least 2 GPUs");
+    }
 
     // --- run-scoped shared state -------------------------------------
     std::unique_ptr<FlushQueue> queue;
@@ -76,12 +123,25 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::atomic<Step> drained_steps{0};      // steps fully in g-entries
     std::atomic<Step> current_step{0};
     std::atomic<bool> drain_done{false};
+    std::atomic<bool> run_complete{false};
     std::mutex gate_mutex;
     std::condition_variable gate_cv;
     auto nudge_gate = [&] {
         { std::lock_guard<std::mutex> lock(gate_mutex); }
         gate_cv.notify_all();
     };
+
+    // Degraded-mode execution map: executor[g] is the trainer thread
+    // currently executing trace GPU g's work (identity while healthy;
+    // rewritten by the trainer-death recovery at a step boundary).
+    std::vector<std::atomic<GpuId>> executor(n_gpus);
+    std::vector<std::atomic<bool>> trainer_dead(n_gpus);
+    for (std::uint32_t g = 0; g < n_gpus; ++g) {
+        // relaxed: single-threaded setup before any thread is spawned.
+        executor[g].store(static_cast<GpuId>(g),
+                          std::memory_order_relaxed);
+        trainer_dead[g].store(false, std::memory_order_relaxed);
+    }
 
     RunReport report;
     report.engine = Name();
@@ -93,6 +153,17 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::atomic<std::uint64_t> entry_claims{0};
     std::atomic<std::uint64_t> audit_violations{0};
     std::atomic<std::uint64_t> gate_waits{0};
+    std::atomic<std::uint64_t> write_retries{0};
+    std::atomic<std::uint64_t> flusher_deaths{0};
+    std::atomic<std::uint64_t> flusher_respawns{0};
+    std::atomic<std::uint64_t> claims_reclaimed{0};
+    // Written only by the single-threaded barrier completion; read after
+    // the trainer joins, which provide the happens-before edge.
+    std::uint64_t trainer_death_count = 0;
+    std::uint64_t ownership_remap_count = 0;
+    std::uint64_t checkpoint_barriers = 0;
+    double checkpoint_pause_seconds = 0.0;
+    double checkpoint_save_seconds = 0.0;
 
 #if FRUGAL_DCHECK_ENABLED
     // The invariant auditor (§3.3 safety argument, machine-checked).
@@ -117,6 +188,113 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             if (auditor_armed)
                 auditor.OnStepBoundary(s, *queue);
 #endif
+            // --- consistent checkpoint barrier --------------------
+            // All trainers are parked in the barrier, so no new updates
+            // can be produced: wait for the pipeline to drain (staging
+            // empties, the drainer registers step s's writes, flushers
+            // apply them all), then the host table + optimizer state IS
+            // the model as of the end of step s.
+            if (config_.checkpoint_every_steps > 0 &&
+                !config_.checkpoint_path.empty() &&
+                static_cast<std::size_t>(s + 1) %
+                        config_.checkpoint_every_steps ==
+                    0) {
+                const auto pause_start = std::chrono::steady_clock::now();
+                auto quiescent = [&] {
+                    return drained_steps.load(std::memory_order_acquire) >=
+                               s + 1 &&
+                           staging.size() == 0 &&
+                           queue->SizeApprox() == 0 &&
+                           // relaxed: trainers are parked in this
+                           // barrier, so emitted is frozen; only
+                           // applied needs to synchronize.
+                           updates_applied.load(
+                               std::memory_order_acquire) >=
+                               updates_emitted.load(
+                                   std::memory_order_relaxed);
+                };
+                {
+                    std::unique_lock<std::mutex> lock(gate_mutex);
+                    while (!quiescent()) {
+                        gate_cv.wait_for(lock,
+                                         std::chrono::milliseconds(1));
+                    }
+                }
+                const auto save_start = std::chrono::steady_clock::now();
+                CheckpointExtras extras;
+                extras.optimizer_name = optimizer_->Name();
+                extras.optimizer_state = optimizer_->ExportState();
+                extras.next_step = config_.step_offset + s + 1;
+                if (!SaveCheckpoint(*table_, extras,
+                                    config_.checkpoint_path, injector)) {
+                    FRUGAL_WARN("checkpoint barrier after step "
+                                << s
+                                << " failed to persist; training "
+                                   "continues");
+                }
+                ++checkpoint_barriers;
+                const auto save_end = std::chrono::steady_clock::now();
+                checkpoint_pause_seconds += Seconds(pause_start,
+                                                    save_start);
+                checkpoint_save_seconds += Seconds(save_start, save_end);
+            }
+            // --- trainer death → degraded mode --------------------
+            if (auto victim_payload =
+                    FaultPoint(injector, FaultSite::kTrainerDeath,
+                               static_cast<std::uint64_t>(s))) {
+                const GpuId victim =
+                    static_cast<GpuId>(*victim_payload % n_gpus);
+                std::uint32_t live = 0;
+                for (std::uint32_t i = 0; i < n_gpus; ++i) {
+                    // relaxed: only this single-threaded callback
+                    // writes the dead flags.
+                    live += trainer_dead[i].load(std::memory_order_relaxed)
+                                ? 0u
+                                : 1u;
+                }
+                if (trainer_dead[victim].load(std::memory_order_relaxed)) {
+                    FRUGAL_WARN("fault injection: trainer "
+                                << victim << " is already dead; ignored");
+                } else if (live < 2) {
+                    FRUGAL_WARN("fault injection: refusing to kill the "
+                                "last live trainer");
+                } else {
+                    GpuId successor = victim;
+                    for (std::uint32_t c = 0; c < n_gpus; ++c) {
+                        // relaxed: see the live count above.
+                        if (static_cast<GpuId>(c) != victim &&
+                            !trainer_dead[c].load(
+                                std::memory_order_relaxed)) {
+                            successor = static_cast<GpuId>(c);
+                            break;
+                        }
+                    }
+                    FRUGAL_WARN("fault injection: trainer "
+                                << victim << " dies after step " << s
+                                << "; degraded mode, successor "
+                                << successor);
+                    // Rewire execution and ownership before publishing
+                    // the death: a trainer that observes its dead flag
+                    // (acquire) must also observe the rewired map.
+                    for (std::uint32_t g = 0; g < n_gpus; ++g) {
+                        // relaxed: only this callback writes executor.
+                        if (executor[g].load(std::memory_order_relaxed) ==
+                            victim) {
+                            executor[g].store(successor,
+                                              std::memory_order_release);
+                        }
+                    }
+                    // The victim's cache is dropped, not migrated: its
+                    // rows are all committed (gate invariant), so the
+                    // successor re-fills from host memory on demand.
+                    caches[victim]->Clear();
+                    ownership_remap_count +=
+                        ownership_.Remap(victim, successor);
+                    trainer_dead[victim].store(true,
+                                               std::memory_order_release);
+                    ++trainer_death_count;
+                }
+            }
             current_step.store(s + 1, std::memory_order_release);
             { std::lock_guard<std::mutex> lock(gate_mutex); }
             gate_cv.notify_all();
@@ -134,12 +312,18 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 return;
             {
                 std::unique_lock<std::mutex> lock(gate_mutex);
-                gate_cv.wait(lock, [&] {
+                auto can_prefetch = [&] {
                     const Step horizon =
                         current_step.load(std::memory_order_acquire) +
                         config_.lookahead;
                     return frontier < std::min<Step>(n_steps, horizon);
-                });
+                };
+                // Timed re-check: recovery paths can lose a wakeup; the
+                // deadline bounds any missed notify to one period.
+                while (!gate_cv.wait_for(lock,
+                                         std::chrono::milliseconds(50),
+                                         can_prefetch)) {
+                }
             }
             for (std::uint32_t g = 0; g < n_gpus; ++g) {
                 for (Key key : trace.KeysFor(frontier, g)) {
@@ -158,9 +342,16 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         std::vector<std::vector<UpdateMsg>> step_buffers(n_steps);
         std::vector<std::uint32_t> markers(n_steps, 0);
         while (true) {
-            auto batch = staging.PopBatch(512);
-            if (batch.empty())
-                break;  // closed and drained
+            // Timed pop: a drain loop that can wake on its own never
+            // hangs on a dead producer, and the watchdog can observe
+            // staging_size while we are parked here.
+            auto batch = staging.PopBatchFor(
+                std::size_t{512}, std::chrono::milliseconds(100));
+            if (batch.empty()) {
+                if (staging.closed())
+                    break;  // closed and drained
+                continue;   // timed out; keep waiting
+            }
             for (UpdateMsg &msg : batch) {
                 if (!msg.end_marker) {
                     step_buffers[msg.step].push_back(std::move(msg));
@@ -168,6 +359,16 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 }
                 if (++markers[msg.step] < n_gpus)
                     continue;
+                if (auto stall_ms = FaultPoint(
+                        injector, FaultSite::kStagingDrainStall,
+                        static_cast<std::uint64_t>(msg.step))) {
+                    FRUGAL_WARN("fault injection: staging drain stalls "
+                                << *stall_ms << " ms at step "
+                                << msg.step);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            std::max<std::uint32_t>(*stall_ms, 1)));
+                }
                 // Step complete everywhere: now its R-set removals and
                 // W-set insertions are safe. Register in (key, src)
                 // order so a key's W records always *arrive* in canonical
@@ -197,24 +398,54 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         nudge_gate();
     });
 
-    // --- flush threads (§3.4 parallel flushing) -----------------------
-    std::vector<std::thread> flushers;
-    for (std::size_t f = 0; f < config_.flush_threads; ++f) {
-        flushers.emplace_back([&] {
+    // --- flush threads (§3.4 parallel flushing + recovery slots) ------
+    auto apply_update = [&](Key key, const WriteRecord &record) {
+        // Transient host-write failures retry with bounded exponential
+        // backoff. This runs under the g-entry lock, so a retry storm
+        // delays only this parameter's flush.
+        int attempt = 0;
+        while (FaultPoint(injector, FaultSite::kHostWriteTransient,
+                          static_cast<std::uint64_t>(key))) {
+            ++attempt;
+            // relaxed: monotonic stat counter, read after joins.
+            write_retries.fetch_add(1, std::memory_order_relaxed);
+            FRUGAL_CHECK_MSG(attempt <= config_.write_retry_limit,
+                             "host-table write for key "
+                                 << key << " still failing after "
+                                 << attempt
+                                 << " attempts; giving up (permanent "
+                                    "failure, not transient)");
+            const long backoff_us = std::min<long>(
+                1L << std::min(attempt, 10), 1000);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(backoff_us));
+        }
+        table_->ApplyGradient(key, record.grad.data(), *optimizer_);
+        // release: pairs with the checkpoint barrier's acquire load. A
+        // reader observing applied == emitted must also observe every
+        // row/optimizer write committed before each increment.
+        updates_applied.fetch_add(1, std::memory_order_release);
+    };
+    auto refresh_cache = [&](Key key) {
+        // "H2D": copy the committed row into the owner's cache. Also
+        // runs on the watchdog thread when reclaiming abandoned claims,
+        // hence the thread-local row buffer.
+        thread_local std::vector<float> row;
+        row.resize(config_.dim);
+        const GpuId owner = ownership_.OwnerOf(key);
+        table_->ReadRow(key, row.data());
+        caches[owner]->UpdateIfPresent(key, row.data());
+    };
+
+    std::vector<std::unique_ptr<FlusherSlot>> flusher_slots;
+    for (std::size_t f = 0; f < config_.flush_threads; ++f)
+        flusher_slots.push_back(std::make_unique<FlusherSlot>(f));
+
+    // The flusher body is a named function so the watchdog can respawn
+    // a dead slot with the identical loop.
+    std::function<void(FlusherSlot *)> flusher_body =
+        [&](FlusherSlot *slot) {
             std::vector<ClaimTicket> claimed;
-            std::vector<float> row(config_.dim);
-            auto apply = [&](Key key, const WriteRecord &record) {
-                table_->ApplyGradient(key, record.grad.data(),
-                                      *optimizer_);
-                // relaxed: monotonic stat counter, read after joins.
-                updates_applied.fetch_add(1, std::memory_order_relaxed);
-            };
-            auto refresh_cache = [&](Key key) {
-                // "H2D": copy the committed row into the owner's cache.
-                const GpuId owner = ownership_.OwnerOf(key);
-                table_->ReadRow(key, row.data());
-                caches[owner]->UpdateIfPresent(key, row.data());
-            };
             while (true) {
                 if (queue->SizeApprox() == 0) {
                     if (drain_done.load(std::memory_order_acquire))
@@ -242,10 +473,12 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     scan_floor,
                     prefetch_frontier.load(std::memory_order_acquire));
                 claimed.clear();
+                slot->busy.store(true, std::memory_order_release);
                 if (queue->DequeueClaim(claimed, config_.flush_batch) ==
                     0) {
                     // Entries exist but are momentarily unclaimable
                     // (mid-publish or taken by a peer); back off briefly.
+                    slot->busy.store(false, std::memory_order_release);
                     std::this_thread::yield();
                     continue;
                 }
@@ -256,18 +489,188 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // relaxed: monotonic stat counter, read after joins.
                 entry_claims.fetch_add(claimed.size(),
                                        std::memory_order_relaxed);
+                // Publish the batch to the claim ledger *before*
+                // flushing: from here on, death leaves a trail the
+                // watchdog can reclaim.
+                {
+                    std::lock_guard<Spinlock> guard(slot->lock);
+                    slot->claimed.insert(slot->claimed.end(),
+                                         claimed.begin(), claimed.end());
+                }
                 for (const ClaimTicket &ticket : claimed) {
+                    if (FaultPoint(injector,
+                                   FaultSite::kFlushThreadDeath,
+                                   slot->index)
+                            .has_value()) {
+                        // Injected death mid-claim: vanish with the
+                        // unflushed tail still in the ledger. The gate
+                        // stays blocked (in-flight counts unretired)
+                        // until the watchdog reclaims them.
+                        std::size_t orphaned = 0;
+                        {
+                            std::lock_guard<Spinlock> guard(slot->lock);
+                            orphaned = slot->claimed.size();
+                        }
+                        FRUGAL_WARN("fault injection: flush thread "
+                                    << slot->index << " dies holding "
+                                    << orphaned << " claim(s)");
+                        // relaxed: monotonic stat counter, read after
+                        // joins.
+                        flusher_deaths.fetch_add(
+                            1, std::memory_order_relaxed);
+                        slot->dead.store(true, std::memory_order_release);
+                        slot->busy.store(false,
+                                         std::memory_order_release);
+                        nudge_gate();
+                        return;
+                    }
                     if (config_.flush_delay_us > 0) {
                         // Fault injection: a slow host-memory path.
                         std::this_thread::sleep_for(
                             std::chrono::microseconds(
                                 config_.flush_delay_us));
                     }
-                    FlushClaimed(*queue, ticket, apply, refresh_cache);
+                    FlushClaimed(*queue, ticket, apply_update,
+                                 refresh_cache);
+                    {
+                        std::lock_guard<Spinlock> guard(slot->lock);
+                        for (auto it = slot->claimed.begin();
+                             it != slot->claimed.end(); ++it) {
+                            if (it->entry == ticket.entry &&
+                                it->priority == ticket.priority) {
+                                slot->claimed.erase(it);
+                                break;
+                            }
+                        }
+                    }
                 }
+                slot->busy.store(false, std::memory_order_release);
                 nudge_gate();
             }
-        });
+        };
+    for (auto &slot : flusher_slots)
+        slot->thread = std::thread(flusher_body, slot.get());
+
+    // --- watchdog ------------------------------------------------------
+    std::unique_ptr<Watchdog> watchdog;
+    if (config_.watchdog) {
+        Watchdog::Config wd_config;
+        wd_config.poll = std::chrono::milliseconds(
+            std::max(1, config_.watchdog_poll_ms));
+        wd_config.stall_deadline = std::chrono::milliseconds(
+            std::max(config_.watchdog_poll_ms, config_.watchdog_stall_ms));
+        // Sampling reads atomics and leaf-ranked slot ledgers only —
+        // never a lock of rank ≥ kGEntry (a wedged flush thread may
+        // hold those; the diagnoser must not join it in the wedge).
+        auto snapshot = [&]() {
+            ProgressSnapshot snap;
+            snap.current_step =
+                current_step.load(std::memory_order_acquire);
+            snap.drained_steps =
+                drained_steps.load(std::memory_order_acquire);
+            snap.prefetch_frontier =
+                prefetch_frontier.load(std::memory_order_acquire);
+            // relaxed: diagnostic snapshot; the two counters may be
+            // mutually skewed, which Classify tolerates.
+            snap.updates_emitted =
+                updates_emitted.load(std::memory_order_relaxed);
+            // relaxed: diagnostic snapshot (see above).
+            snap.updates_applied =
+                updates_applied.load(std::memory_order_relaxed);
+            snap.staging_size = staging.size();
+            snap.pq_size = queue->SizeApprox();
+            for (const auto &slot : flusher_slots) {
+                if (slot->dead.load(std::memory_order_acquire)) {
+                    ++snap.dead_flushers;
+                    std::lock_guard<Spinlock> guard(slot->lock);
+                    snap.abandoned_claims += slot->claimed.size();
+                }
+            }
+            snap.run_complete =
+                run_complete.load(std::memory_order_acquire);
+            return snap;
+        };
+        auto recover = [&](StallKind kind) -> bool {
+            if (kind == StallKind::kEmptyQueueIdle ||
+                kind == StallKind::kUnknown) {
+                // Cheap, safe, idempotent: re-deliver a possibly lost
+                // gate wakeup. Not counted as a recovery — if the nudge
+                // fixes it, progress resumes and the stall clears.
+                nudge_gate();
+                return false;
+            }
+            if (kind != StallKind::kDeadFlusher)
+                return false;
+            bool acted = false;
+            for (auto &slot : flusher_slots) {
+                if (!slot->dead.load(std::memory_order_acquire))
+                    continue;
+                // The thread has already returned (it set `dead` on its
+                // way out); join reaps it so the slot can be reused.
+                if (slot->thread.joinable())
+                    slot->thread.join();
+                std::vector<ClaimTicket> abandoned;
+                {
+                    std::lock_guard<Spinlock> guard(slot->lock);
+                    abandoned.swap(slot->claimed);
+                }
+                // Reclaim each abandoned ticket: apply its entry's
+                // pending writes and retire the in-flight count. If a
+                // live flusher already took the writes through the
+                // zombie re-enqueue path, the W set is empty and the
+                // call just retires the claim — both outcomes keep the
+                // per-key canonical order, because W records only ever
+                // leave an entry through a sorted take.
+                for (const ClaimTicket &ticket : abandoned) {
+                    FlushClaimed(*queue, ticket, apply_update,
+                                 refresh_cache);
+                    // relaxed: monotonic stat counter, reporting only.
+                    claims_reclaimed.fetch_add(1,
+                                               std::memory_order_relaxed);
+                }
+                slot->dead.store(false, std::memory_order_release);
+                slot->thread = std::thread(flusher_body, slot.get());
+                // relaxed: monotonic stat counter, reporting only.
+                flusher_respawns.fetch_add(1, std::memory_order_relaxed);
+                FRUGAL_WARN("watchdog: respawned flush thread "
+                            << slot->index << " after reclaiming "
+                            << abandoned.size() << " claim(s)");
+                acted = true;
+            }
+            if (acted)
+                nudge_gate();
+            return acted;
+        };
+        auto diagnose = [&]() -> std::string {
+            std::ostringstream out;
+            out << queue->DebugDump();
+            out << "staging size " << staging.size()
+                << ", drained through step "
+                << drained_steps.load(std::memory_order_acquire)
+                << ", prefetch frontier "
+                << prefetch_frontier.load(std::memory_order_acquire)
+                << "\n";
+            for (const auto &slot : flusher_slots) {
+                std::size_t ledger = 0;
+                {
+                    std::lock_guard<Spinlock> guard(slot->lock);
+                    ledger = slot->claimed.size();
+                }
+                out << "flusher " << slot->index << ": "
+                    << (slot->dead.load(std::memory_order_acquire)
+                            ? "DEAD"
+                            : "alive")
+                    << (slot->busy.load(std::memory_order_acquire)
+                            ? " busy"
+                            : " idle")
+                    << ", " << ledger << " claim(s) in ledger\n";
+            }
+            return out.str();
+        };
+        watchdog = std::make_unique<Watchdog>(
+            wd_config, std::move(snapshot), std::move(recover),
+            std::move(diagnose));
+        watchdog->Start();
     }
 
     // --- trainer threads ----------------------------------------------
@@ -275,10 +678,17 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::vector<double> stall_seconds(n_gpus, 0.0);
     std::vector<StatAccumulator> stall_stats(n_gpus);
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
-        trainers.emplace_back([&, g] {
+        trainers.emplace_back([&, t = static_cast<GpuId>(g)] {
             std::vector<float> values;
             std::vector<float> grads;
             for (Step s = 0; s < n_steps; ++s) {
+                if (trainer_dead[t].load(std::memory_order_acquire)) {
+                    // Injected death: leave the barrier for good. The
+                    // early arrival completes this phase; later phases
+                    // expect one fewer participant.
+                    step_barrier.arrive_and_drop();
+                    return;
+                }
                 // --- the P²F gate ---
                 auto gate_open = [&] {
                     return prefetch_frontier.load(
@@ -293,78 +703,101 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     // relaxed: monotonic stat counter, read after joins.
                     gate_waits.fetch_add(1, std::memory_order_relaxed);
                     std::unique_lock<std::mutex> lock(gate_mutex);
-                    gate_cv.wait(lock, gate_open);
+                    // Timed re-check: a recovery action (flusher
+                    // respawn, claim reclaim) may race a notify; the
+                    // deadline bounds any lost wakeup to one period.
+                    while (!gate_cv.wait_for(
+                        lock, std::chrono::milliseconds(50), gate_open)) {
+                    }
                 }
                 const auto wait_end = std::chrono::steady_clock::now();
                 const double stall = Seconds(wait_start, wait_end);
-                stall_seconds[g] += stall;
-                stall_stats[g].Add(stall);
+                stall_seconds[t] += stall;
+                stall_stats[t].Add(stall);
 
-                // --- gather (forward) ---
-                const std::vector<Key> &keys = trace.KeysFor(s, g);
-                values.resize(keys.size() * config_.dim);
-                grads.assign(keys.size() * config_.dim, 0.0f);
-                for (std::size_t i = 0; i < keys.size(); ++i) {
-                    const Key key = keys[i];
-                    float *out = values.data() + i * config_.dim;
-                    if (config_.audit_consistency || kDcheckEnabled) {
-                        GEntry &entry = registry.GetOrCreate(key);
-                        std::lock_guard<Spinlock> guard(entry.lock());
-                        // Invariant (2): no pending (unflushed) update
-                        // from an earlier step may exist when we read.
-                        if (entry.hasWritesLocked()) {
-                            // relaxed: monotonic stat counter, read
-                            // after joins.
-                            audit_violations.fetch_add(
-                                1, std::memory_order_relaxed);
+                // Execute every trace GPU assigned to this thread —
+                // just its own while healthy, plus a dead trainer's
+                // share in degraded mode.
+                for (std::uint32_t tg = 0; tg < n_gpus; ++tg) {
+                    const GpuId trace_gpu = static_cast<GpuId>(tg);
+                    if (executor[tg].load(std::memory_order_acquire) != t)
+                        continue;
+
+                    // --- gather (forward) ---
+                    const std::vector<Key> &keys =
+                        trace.KeysFor(s, trace_gpu);
+                    values.resize(keys.size() * config_.dim);
+                    grads.assign(keys.size() * config_.dim, 0.0f);
+                    for (std::size_t i = 0; i < keys.size(); ++i) {
+                        const Key key = keys[i];
+                        float *out = values.data() + i * config_.dim;
+                        if (config_.audit_consistency || kDcheckEnabled) {
+                            GEntry &entry = registry.GetOrCreate(key);
+                            std::lock_guard<Spinlock> guard(entry.lock());
+                            // Invariant (2): no pending (unflushed)
+                            // update from an earlier step may exist when
+                            // we read.
+                            if (entry.hasWritesLocked()) {
+                                // relaxed: monotonic stat counter, read
+                                // after joins.
+                                audit_violations.fetch_add(
+                                    1, std::memory_order_relaxed);
 #if FRUGAL_DCHECK_ENABLED
-                            if (auditor_armed)
-                                auditor.OnReadViolation(key, s);
+                                if (auditor_armed)
+                                    auditor.OnReadViolation(key, s);
 #endif
+                            }
                         }
-                    }
-                    if (ownership_.OwnerOf(key) == g) {
-                        if (!caches[g]->TryGet(key, out)) {
+                        // Cache by *executing* trainer: after a remap
+                        // the successor owns the dead GPU's shard, so
+                        // its cache serves those keys too.
+                        if (ownership_.OwnerOf(key) == t) {
+                            if (!caches[t]->TryGet(key, out)) {
+                                table_->ReadRow(key, out);
+                                // relaxed: monotonic stat counter, read
+                                // after joins.
+                                host_reads.fetch_add(
+                                    1, std::memory_order_relaxed);
+                                caches[t]->Put(key, out);
+                            }
+                        } else {
+                            // Non-owned: zero-copy UVA read of host
+                            // memory.
                             table_->ReadRow(key, out);
                             // relaxed: monotonic stat counter, read
                             // after joins.
                             host_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
-                            caches[g]->Put(key, out);
                         }
-                    } else {
-                        // Non-owned: zero-copy UVA read of host memory.
-                        table_->ReadRow(key, out);
-                        // relaxed: monotonic stat counter, read after
-                        // joins.
-                        host_reads.fetch_add(1, std::memory_order_relaxed);
                     }
-                }
 
-                // --- model (forward+backward) ---
-                grad_fn(g, s, keys, values, &grads);
+                    // --- model (forward+backward) ---
+                    grad_fn(trace_gpu, s, keys, values, &grads);
 
-                // --- emit updates + end marker ---
-                for (std::size_t i = 0; i < keys.size(); ++i) {
-                    UpdateMsg msg;
-                    msg.key = keys[i];
-                    msg.step = s;
-                    msg.src = g;
-                    msg.grad.assign(
-                        grads.begin() +
-                            static_cast<std::ptrdiff_t>(i * config_.dim),
-                        grads.begin() + static_cast<std::ptrdiff_t>(
-                                            (i + 1) * config_.dim));
-                    FRUGAL_CHECK(staging.Push(std::move(msg)));
-                    // relaxed: monotonic stat counter, read after joins.
-                    updates_emitted.fetch_add(1,
-                                              std::memory_order_relaxed);
+                    // --- emit updates + end marker ---
+                    for (std::size_t i = 0; i < keys.size(); ++i) {
+                        UpdateMsg msg;
+                        msg.key = keys[i];
+                        msg.step = s;
+                        msg.src = trace_gpu;
+                        msg.grad.assign(
+                            grads.begin() + static_cast<std::ptrdiff_t>(
+                                                i * config_.dim),
+                            grads.begin() + static_cast<std::ptrdiff_t>(
+                                                (i + 1) * config_.dim));
+                        FRUGAL_CHECK(staging.Push(std::move(msg)));
+                        // relaxed: monotonic stat counter; trainer
+                        // barrier arrivals order it before the
+                        // checkpoint barrier's read.
+                        updates_emitted.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                    UpdateMsg marker;
+                    marker.step = s;
+                    marker.src = trace_gpu;
+                    marker.end_marker = true;
+                    FRUGAL_CHECK(staging.Push(std::move(marker)));
                 }
-                UpdateMsg marker;
-                marker.step = s;
-                marker.src = g;
-                marker.end_marker = true;
-                FRUGAL_CHECK(staging.Push(std::move(marker)));
 
                 step_barrier.arrive_and_wait();
             }
@@ -379,8 +812,47 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     staging.Close();
     drainer.join();
     prefetcher.join();
-    for (auto &t : flushers)
-        t.join();
+    run_complete.store(true, std::memory_order_release);
+
+    if (watchdog != nullptr) {
+        // Recovery-aware wind-down: a flusher may die on the very last
+        // batch, after drain_done. Wait until every slot is quiet and
+        // all updates are applied — the watchdog keeps respawning dead
+        // slots and reclaiming their claims meanwhile.
+        while (true) {
+            bool clean = drain_done.load(std::memory_order_acquire) &&
+                         queue->SizeApprox() == 0;
+            if (clean) {
+                for (const auto &slot : flusher_slots) {
+                    if (slot->dead.load(std::memory_order_acquire) ||
+                        slot->busy.load(std::memory_order_acquire)) {
+                        clean = false;
+                        break;
+                    }
+                    std::lock_guard<Spinlock> guard(slot->lock);
+                    if (!slot->claimed.empty()) {
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            // relaxed: trainers are already joined, emitted is final;
+            // acquire on applied makes the flushed writes visible.
+            if (clean &&
+                updates_applied.load(std::memory_order_acquire) >=
+                    updates_emitted.load(std::memory_order_relaxed)) {
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // Stop before joining the slots so recovery can't touch a slot
+        // thread concurrently with the join below.
+        watchdog->Stop();
+    }
+    for (auto &slot : flusher_slots) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
 
     const auto run_end = std::chrono::steady_clock::now();
 
@@ -404,6 +876,19 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     report.flush_entry_claims = entry_claims.load();
     report.audit_violations = audit_violations.load();
     report.gate_waits = gate_waits.load();
+    report.recovery.faults_injected =
+        injector != nullptr ? injector->total_fires() : 0;
+    report.recovery.write_retries = write_retries.load();
+    report.recovery.flusher_deaths = flusher_deaths.load();
+    report.recovery.flusher_respawns = flusher_respawns.load();
+    report.recovery.claims_reclaimed = claims_reclaimed.load();
+    report.recovery.trainer_deaths = trainer_death_count;
+    report.recovery.ownership_remaps = ownership_remap_count;
+    report.recovery.checkpoint_barriers = checkpoint_barriers;
+    report.recovery.checkpoint_pause_seconds = checkpoint_pause_seconds;
+    report.recovery.checkpoint_save_seconds = checkpoint_save_seconds;
+    if (watchdog != nullptr)
+        watchdog->Harvest(&report.recovery);
 
     FRUGAL_CHECK_MSG(report.updates_applied == report.updates_emitted,
                      "flush pipeline lost updates: emitted "

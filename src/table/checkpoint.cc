@@ -1,18 +1,24 @@
 #include "table/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "common/logging.h"
-#include "common/rng.h"
 
 namespace frugal {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4652554741'4c5442ULL;  // "FRUGAL TB"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kOptNameBytes = 16;
 
 struct Header
 {
@@ -21,57 +27,221 @@ struct Header
     std::uint32_t dim = 0;
     std::uint64_t key_space = 0;
     std::uint64_t init_seed = 0;
+    std::uint64_t next_step = 0;
+    std::uint64_t opt_state_floats = 0;
+    char opt_name[kOptNameBytes] = {};
+};
+static_assert(sizeof(Header) == 64, "checkpoint header layout drifted");
+
+/** FNV-1a over 32-bit words. */
+class Fnv1a
+{
+  public:
+    void
+    Mix32(std::uint32_t word)
+    {
+        hash_ ^= word;
+        hash_ *= 0x100000001b3ULL;
+    }
+
+    void
+    MixFloat(float v)
+    {
+        std::uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        Mix32(bits);
+    }
+
+    void
+    Mix64(std::uint64_t v)
+    {
+        Mix32(static_cast<std::uint32_t>(v));
+        Mix32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-/** FNV-1a over the row bytes, mixed per 64-bit word. */
+/**
+ * Checksum over everything that must be consistent: rows, optimizer
+ * state, and the resume cursor. Covering the cursor matters — a bit
+ * flip there would replay or skip steps while rows still verify.
+ */
 std::uint64_t
-ChecksumRows(const HostEmbeddingTable &table)
+ComputeChecksum(const std::vector<float> &rows,
+                const std::vector<float> &opt_state, Step next_step)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    std::vector<float> row(table.dim());
-    for (Key k = 0; k < table.key_space(); ++k) {
-        table.ReadRow(k, row.data());
-        for (float v : row) {
-            std::uint32_t bits;
-            static_assert(sizeof(bits) == sizeof(v));
-            __builtin_memcpy(&bits, &v, sizeof(bits));
-            hash ^= bits;
-            hash *= 0x100000001b3ULL;
+    Fnv1a fnv;
+    for (float v : rows)
+        fnv.MixFloat(v);
+    for (float v : opt_state)
+        fnv.MixFloat(v);
+    fnv.Mix64(static_cast<std::uint64_t>(next_step));
+    return fnv.value();
+}
+
+/** errno values meaning the destination can never work as given. */
+bool
+IsUserPathError(int err)
+{
+    return err == ENOENT || err == ENOTDIR || err == EACCES ||
+           err == EROFS || err == EISDIR || err == ENAMETOOLONG;
+}
+
+/** Loops a full write; false on any failure. */
+bool
+WriteAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
         }
+        p += n;
+        len -= static_cast<std::size_t>(n);
     }
-    return hash;
+    return true;
+}
+
+/** fsyncs the directory containing `path` so the rename is durable. */
+bool
+FsyncParentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
 }
 
 }  // namespace
 
-void
-SaveCheckpoint(const HostEmbeddingTable &table, const std::string &path)
+bool
+SaveCheckpoint(const HostEmbeddingTable &table,
+               const CheckpointExtras &extras, const std::string &path,
+               FaultInjector *injector)
 {
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out.good())
-            FRUGAL_FATAL("cannot open checkpoint file " << tmp);
-        Header header;
-        header.dim = static_cast<std::uint32_t>(table.dim());
-        header.key_space = table.key_space();
-        out.write(reinterpret_cast<const char *>(&header),
-                  sizeof(header));
-        std::vector<float> row(table.dim());
-        for (Key k = 0; k < table.key_space(); ++k) {
-            table.ReadRow(k, row.data());
-            out.write(reinterpret_cast<const char *>(row.data()),
-                      static_cast<std::streamsize>(row.size() *
-                                                   sizeof(float)));
+
+    Header header;
+    header.dim = static_cast<std::uint32_t>(table.dim());
+    header.key_space = table.key_space();
+    header.next_step = static_cast<std::uint64_t>(extras.next_step);
+    header.opt_state_floats = extras.optimizer_state.size();
+    std::strncpy(header.opt_name, extras.optimizer_name.c_str(),
+                 kOptNameBytes - 1);
+
+    std::vector<float> rows(static_cast<std::size_t>(table.key_space()) *
+                            table.dim());
+    for (Key k = 0; k < table.key_space(); ++k)
+        table.ReadRow(k, rows.data() + static_cast<std::size_t>(k) *
+                                           table.dim());
+    const std::uint64_t checksum =
+        ComputeChecksum(rows, extras.optimizer_state, extras.next_step);
+
+    // O_RDWR (not O_WRONLY): the corruption injector reads a byte back
+    // through the same descriptor before flipping it.
+    const int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        const int err = errno;
+        if (IsUserPathError(err)) {
+            FRUGAL_FATAL("cannot open checkpoint file "
+                         << tmp << ": " << std::strerror(err));
         }
-        const std::uint64_t checksum = ChecksumRows(table);
-        out.write(reinterpret_cast<const char *>(&checksum),
-                  sizeof(checksum));
-        if (!out.good())
-            FRUGAL_FATAL("short write to checkpoint file " << tmp);
+        FRUGAL_WARN("transient failure opening checkpoint file "
+                    << tmp << ": " << std::strerror(err));
+        return false;
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        FRUGAL_FATAL("cannot rename " << tmp << " to " << path);
+
+    bool ok = WriteAll(fd, &header, sizeof(header)) &&
+              WriteAll(fd, rows.data(), rows.size() * sizeof(float)) &&
+              (extras.optimizer_state.empty() ||
+               WriteAll(fd, extras.optimizer_state.data(),
+                        extras.optimizer_state.size() * sizeof(float))) &&
+              WriteAll(fd, &checksum, sizeof(checksum));
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+
+    if (ok) {
+        // Injected torn / bit-rotted writes land *after* the fsync, so
+        // the damaged bytes are exactly what a crash-then-rename would
+        // have committed; Load must reject them.
+        const std::size_t payload_bytes =
+            rows.size() * sizeof(float) +
+            extras.optimizer_state.size() * sizeof(float);
+        if (auto p = FaultPoint(injector, FaultSite::kCheckpointTruncate)) {
+            const off_t full = static_cast<off_t>(
+                sizeof(Header) + payload_bytes + sizeof(checksum));
+            const off_t keep =
+                *p == 0 ? full / 2
+                        : std::min<off_t>(static_cast<off_t>(*p), full);
+            FRUGAL_WARN("fault injection: truncating checkpoint temp to "
+                        << keep << " of " << full << " bytes");
+            if (::ftruncate(fd, keep) != 0 || ::fsync(fd) != 0)
+                ok = false;
+        }
+        if (ok && FaultPoint(injector, FaultSite::kCheckpointCorrupt)
+                      .has_value()) {
+            const off_t offset = static_cast<off_t>(
+                sizeof(Header) + payload_bytes / 2);
+            char byte = 0;
+            if (::pread(fd, &byte, 1, offset) != 1)
+                ok = false;
+            byte = static_cast<char>(byte ^ 0x40);
+            if (ok && (::pwrite(fd, &byte, 1, offset) != 1 ||
+                       ::fsync(fd) != 0)) {
+                ok = false;
+            }
+            FRUGAL_WARN("fault injection: flipped checkpoint byte at "
+                        << offset);
+        }
+    }
+
+    if (::close(fd) != 0)
+        ok = false;
+    if (!ok) {
+        FRUGAL_WARN("transient write failure on checkpoint file " << tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        if (IsUserPathError(err)) {
+            FRUGAL_FATAL("cannot rename " << tmp << " to " << path << ": "
+                                          << std::strerror(err));
+        }
+        FRUGAL_WARN("transient failure renaming " << tmp << " to " << path
+                                                  << ": "
+                                                  << std::strerror(err));
+        return false;
+    }
+    if (!FsyncParentDir(path)) {
+        // The file is in place but the rename may not be durable yet;
+        // report failure so the caller re-checkpoints rather than
+        // trusting an unsynced directory entry.
+        FRUGAL_WARN("cannot fsync parent directory of " << path);
+        return false;
+    }
+    return true;
+}
+
+bool
+SaveCheckpoint(const HostEmbeddingTable &table, const std::string &path)
+{
+    return SaveCheckpoint(table, CheckpointExtras{}, path, nullptr);
 }
 
 bool
@@ -82,61 +252,90 @@ ProbeCheckpoint(const std::string &path, CheckpointInfo *info)
         return false;
     Header header;
     in.read(reinterpret_cast<char *>(&header), sizeof(header));
-    if (!in.good() || header.magic != kMagic ||
-        header.version != kVersion) {
+    if (!in.good() || header.magic != kMagic)
         return false;
-    }
     if (info != nullptr) {
+        info->version = header.version;
         info->key_space = header.key_space;
         info->dim = header.dim;
         info->init_seed = header.init_seed;
+        info->next_step = static_cast<Step>(header.next_step);
+        header.opt_name[kOptNameBytes - 1] = '\0';
+        info->optimizer_name = header.opt_name;
+        info->opt_state_floats = header.opt_state_floats;
     }
     return true;
 }
 
 bool
-LoadCheckpoint(HostEmbeddingTable &table, const std::string &path)
+LoadCheckpoint(HostEmbeddingTable &table, const std::string &path,
+               CheckpointExtras *extras)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in.good())
         return false;
     Header header;
     in.read(reinterpret_cast<char *>(&header), sizeof(header));
-    if (!in.good() || header.magic != kMagic ||
-        header.version != kVersion ||
-        header.key_space != table.key_space() ||
-        header.dim != table.dim()) {
+    if (!in.good() || header.magic != kMagic)
+        return false;
+    if (header.version != kVersion) {
+        FRUGAL_WARN("checkpoint " << path << " has version "
+                                  << header.version << ", expected "
+                                  << kVersion << "; ignored");
         return false;
     }
-    // Stage into a buffer so a corrupt file never half-overwrites the
-    // live table.
-    std::vector<float> staged(
-        static_cast<std::size_t>(header.key_space) * header.dim);
+    if (header.key_space != table.key_space() ||
+        header.dim != table.dim()) {
+        FRUGAL_WARN("checkpoint " << path << " shape mismatch ("
+                                  << header.key_space << "x" << header.dim
+                                  << " vs table " << table.key_space()
+                                  << "x" << table.dim() << "); ignored");
+        return false;
+    }
+    // Bound the state size before allocating: a corrupt header must not
+    // drive a multi-GB allocation. No optimizer stores more than a few
+    // floats per table element.
+    const std::size_t row_floats =
+        static_cast<std::size_t>(header.key_space) * header.dim;
+    if (header.opt_state_floats > 4 * static_cast<std::uint64_t>(row_floats))
+        return false;
+
+    // Stage into buffers so a corrupt file never half-overwrites the
+    // live table or optimizer.
+    std::vector<float> staged(row_floats);
     in.read(reinterpret_cast<char *>(staged.data()),
             static_cast<std::streamsize>(staged.size() * sizeof(float)));
+    std::vector<float> opt_state(
+        static_cast<std::size_t>(header.opt_state_floats));
+    if (!opt_state.empty()) {
+        in.read(reinterpret_cast<char *>(opt_state.data()),
+                static_cast<std::streamsize>(opt_state.size() *
+                                             sizeof(float)));
+    }
     std::uint64_t stored_checksum = 0;
     in.read(reinterpret_cast<char *>(&stored_checksum),
             sizeof(stored_checksum));
     if (!in.good())
         return false;
 
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (float v : staged) {
-        std::uint32_t bits;
-        __builtin_memcpy(&bits, &v, sizeof(bits));
-        hash ^= bits;
-        hash *= 0x100000001b3ULL;
-    }
-    if (hash != stored_checksum) {
+    const Step next_step = static_cast<Step>(header.next_step);
+    if (ComputeChecksum(staged, opt_state, next_step) != stored_checksum) {
         FRUGAL_WARN("checkpoint " << path << " failed checksum; ignored");
         return false;
     }
+
     for (Key k = 0; k < table.key_space(); ++k) {
         float *row = table.MutableRow(k);
         const float *src =
             staged.data() + static_cast<std::size_t>(k) * table.dim();
         for (std::size_t j = 0; j < table.dim(); ++j)
             row[j] = src[j];
+    }
+    if (extras != nullptr) {
+        header.opt_name[kOptNameBytes - 1] = '\0';
+        extras->optimizer_name = header.opt_name;
+        extras->optimizer_state = std::move(opt_state);
+        extras->next_step = next_step;
     }
     return true;
 }

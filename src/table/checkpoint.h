@@ -5,17 +5,34 @@
  * Production embedding training (the paper's target application) runs
  * continuously and must persist O(100 GB) host-resident tables; this
  * module provides the minimal durable format: a self-describing binary
- * file with a header (magic, version, shape, seed), the row data, and a
- * trailing checksum. Save is only meaningful at a synchronous-consistency
- * point — after Engine::Run returns, every pending update has been
- * flushed (§3.3), so the host table *is* the model.
+ * file with a header (magic, version, shape, seed, resume cursor), the
+ * row data, optimizer state, and a trailing checksum.
+ *
+ * Format v2 makes a checkpoint a *complete* training state: alongside
+ * the rows it carries the optimizer's exported state (Adagrad
+ * accumulators) and the trace cursor (`next_step`), so a resumed run
+ * replays bit-identically to one that never stopped. v1 files (rows
+ * only) are rejected as version skew — silently resuming without
+ * optimizer state would diverge, which is worse than failing loudly.
+ *
+ * Durability: Save writes a temp file, fsyncs it, renames it over
+ * `path`, then fsyncs the parent directory — the full
+ * write/fsync/rename/fsync-dir dance, without which a crash can leave
+ * either a torn file under the final name or a rename that the
+ * directory never persisted. Transient I/O failures return false (the
+ * caller retries or skips the checkpoint); only user errors — a path
+ * that cannot ever work (missing directory, permission denied) — are
+ * fatal.
  */
 #ifndef FRUGAL_TABLE_CHECKPOINT_H_
 #define FRUGAL_TABLE_CHECKPOINT_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/fault_injector.h"
+#include "common/types.h"
 #include "table/embedding_table.h"
 
 namespace frugal {
@@ -23,27 +40,60 @@ namespace frugal {
 /** Result of probing a checkpoint file. */
 struct CheckpointInfo
 {
+    std::uint32_t version = 0;
     std::uint64_t key_space = 0;
     std::uint32_t dim = 0;
     std::uint64_t init_seed = 0;
-    std::uint64_t checksum = 0;
+    /** First trace step the resumed run should execute. */
+    Step next_step = 0;
+    std::string optimizer_name;
+    /** Number of optimizer-state floats stored after the rows. */
+    std::uint64_t opt_state_floats = 0;
 };
 
 /**
- * Writes `table` to `path` (atomically: temp file + rename).
- * Fatal on I/O errors that indicate user problems (bad path, disk
- * full).
+ * Everything beyond the raw rows that a *consistent* mid-training
+ * snapshot must carry.
  */
-void SaveCheckpoint(const HostEmbeddingTable &table,
-                    const std::string &path);
+struct CheckpointExtras
+{
+    /** Optimizer::Name() at save time; load validates it matches. */
+    std::string optimizer_name = "sgd";
+    /** Optimizer::ExportState() at save time (may be empty). */
+    std::vector<float> optimizer_state;
+    /** First trace step the resumed run should execute. */
+    Step next_step = 0;
+};
 
 /**
- * Loads a checkpoint into `table`; the file's shape must match the
- * table's. Verifies the checksum.
- * @return false (leaving the table untouched) if the file is missing,
- *         malformed, corrupt, or shape-mismatched.
+ * Writes `table` plus `extras` to `path` (atomically: temp file +
+ * fsync + rename + directory fsync).
+ * @param injector optional armed fault injector; kCheckpointTruncate /
+ *        kCheckpointCorrupt rules damage the temp file post-fsync to
+ *        simulate torn or bit-rotted writes surviving a crash.
+ * @return false on transient I/O failure (temp file removed, `path`
+ *         untouched). Fatal only for user errors: a destination whose
+ *         directory is missing or unwritable.
  */
-bool LoadCheckpoint(HostEmbeddingTable &table, const std::string &path);
+[[nodiscard]] bool SaveCheckpoint(const HostEmbeddingTable &table,
+                                  const CheckpointExtras &extras,
+                                  const std::string &path,
+                                  FaultInjector *injector = nullptr);
+
+/** Convenience overload: end-of-run snapshot with no optimizer state. */
+[[nodiscard]] bool SaveCheckpoint(const HostEmbeddingTable &table,
+                                  const std::string &path);
+
+/**
+ * Loads a checkpoint into `table` (and `extras`, when non-null); the
+ * file's shape must match the table's. Verifies the checksum over rows,
+ * optimizer state, and cursor.
+ * @return false (leaving the table untouched) if the file is missing,
+ *         malformed, truncated, corrupt, version-skewed, or
+ *         shape-mismatched.
+ */
+bool LoadCheckpoint(HostEmbeddingTable &table, const std::string &path,
+                    CheckpointExtras *extras = nullptr);
 
 /** Reads just the header; returns false if missing/malformed. */
 bool ProbeCheckpoint(const std::string &path, CheckpointInfo *info);

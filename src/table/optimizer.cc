@@ -29,6 +29,19 @@ AdagradOptimizer::Apply(Key key, float *row, const float *grad,
     }
 }
 
+bool
+AdagradOptimizer::ImportState(const std::vector<float> &state)
+{
+    if (state.size() != accumulators_.size()) {
+        FRUGAL_WARN("adagrad state size mismatch: got "
+                    << state.size() << " floats, expected "
+                    << accumulators_.size() << "; state not imported");
+        return false;
+    }
+    accumulators_ = state;
+    return true;
+}
+
 std::unique_ptr<Optimizer>
 MakeOptimizer(const std::string &name, float learning_rate,
               std::size_t key_space, std::size_t dim)

@@ -39,6 +39,26 @@ class Optimizer
                        std::size_t dim) = 0;
 
     virtual std::string Name() const = 0;
+
+    /**
+     * Serialises the optimizer's full state as a flat float vector
+     * (empty for stateless optimizers). Together with the table rows
+     * this makes a checkpoint a *complete* training state: resuming
+     * without it silently restarts stateful optimizers (Adagrad) from
+     * zero accumulators and diverges from an uninterrupted run.
+     */
+    virtual std::vector<float> ExportState() const { return {}; }
+
+    /**
+     * Restores state produced by ExportState on an identically shaped
+     * optimizer. @return false (leaving the state untouched) on a
+     * size/shape mismatch.
+     */
+    virtual bool
+    ImportState(const std::vector<float> &state)
+    {
+        return state.empty();
+    }
 };
 
 /** Plain SGD: row -= lr * grad. Stateless and commutative per row. */
@@ -80,6 +100,13 @@ class AdagradOptimizer final : public Optimizer
                std::size_t dim) override;
 
     std::string Name() const override { return "adagrad"; }
+
+    std::vector<float> ExportState() const override
+    {
+        return accumulators_;
+    }
+
+    bool ImportState(const std::vector<float> &state) override;
 
   private:
     float learning_rate_;

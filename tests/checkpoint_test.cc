@@ -1,4 +1,4 @@
-/** Tests for embedding-table checkpointing. */
+/** Tests for embedding-table checkpointing (format v2). */
 #include "table/checkpoint.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/distribution.h"
+#include "common/fault_injector.h"
 #include "runtime/frugal_engine.h"
 #include "runtime/microtask.h"
 #include "runtime/oracle.h"
@@ -22,6 +23,52 @@ SmallConfig()
     config.dim = 8;
     config.init_seed = 9;
     return config;
+}
+
+/** Overwrites one byte at `offset` in the file. */
+void
+PatchByte(const std::string &path, std::streamoff offset, char byte)
+{
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekp(offset);
+    file.write(&byte, 1);
+    ASSERT_TRUE(file.good());
+}
+
+/** XORs one byte at `offset` (guaranteed to change it). */
+void
+FlipByte(const std::string &path, std::streamoff offset)
+{
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    ASSERT_TRUE(file.good());
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(offset);
+    file.write(&byte, 1);
+    ASSERT_TRUE(file.good());
+}
+
+std::size_t
+FileSize(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<std::size_t>(in.tellg()) : 0;
+}
+
+void
+TruncateFile(const std::string &path, std::size_t keep)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(std::min(keep, contents.size())));
 }
 
 class CheckpointTest : public ::testing::Test
@@ -45,7 +92,7 @@ TEST_F(CheckpointTest, RoundTripBitExact)
     for (Key k = 0; k < 64; k += 3)
         table.ApplyGradient(k, grad.data(), sgd);
 
-    SaveCheckpoint(table, path_);
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
     HostEmbeddingTable restored(SmallConfig());
     ASSERT_TRUE(LoadCheckpoint(restored, path_));
     EXPECT_TRUE(TablesBitEqual(table, restored));
@@ -54,11 +101,53 @@ TEST_F(CheckpointTest, RoundTripBitExact)
 TEST_F(CheckpointTest, ProbeReadsHeader)
 {
     HostEmbeddingTable table(SmallConfig());
-    SaveCheckpoint(table, path_);
+    CheckpointExtras extras;
+    extras.optimizer_name = "sgd";
+    extras.next_step = 123;
+    ASSERT_TRUE(SaveCheckpoint(table, extras, path_));
     CheckpointInfo info;
     ASSERT_TRUE(ProbeCheckpoint(path_, &info));
+    EXPECT_EQ(info.version, 2u);
     EXPECT_EQ(info.key_space, 64u);
     EXPECT_EQ(info.dim, 8u);
+    EXPECT_EQ(info.next_step, 123u);
+    EXPECT_EQ(info.optimizer_name, "sgd");
+    EXPECT_EQ(info.opt_state_floats, 0u);
+}
+
+TEST_F(CheckpointTest, AdagradStateRoundTrip)
+{
+    HostEmbeddingTable table(SmallConfig());
+    AdagradOptimizer adagrad(0.1f, 64, 8);
+    std::vector<float> grad(8, 0.5f);
+    for (Key k = 0; k < 64; k += 5)
+        table.ApplyGradient(k, grad.data(), adagrad);
+
+    CheckpointExtras extras;
+    extras.optimizer_name = adagrad.Name();
+    extras.optimizer_state = adagrad.ExportState();
+    extras.next_step = 17;
+    ASSERT_TRUE(SaveCheckpoint(table, extras, path_));
+
+    HostEmbeddingTable restored(SmallConfig());
+    AdagradOptimizer fresh(0.1f, 64, 8);
+    CheckpointExtras loaded;
+    ASSERT_TRUE(LoadCheckpoint(restored, path_, &loaded));
+    EXPECT_EQ(loaded.optimizer_name, "adagrad");
+    EXPECT_EQ(loaded.next_step, 17u);
+    ASSERT_TRUE(fresh.ImportState(loaded.optimizer_state));
+    EXPECT_TRUE(TablesBitEqual(table, restored));
+    EXPECT_EQ(fresh.ExportState(), adagrad.ExportState());
+}
+
+TEST_F(CheckpointTest, ImportStateRejectsWrongShape)
+{
+    AdagradOptimizer adagrad(0.1f, 64, 8);
+    EXPECT_FALSE(adagrad.ImportState(std::vector<float>(7, 0.0f)));
+    // Stateless SGD accepts only the empty state.
+    SgdOptimizer sgd(0.1f);
+    EXPECT_TRUE(sgd.ImportState({}));
+    EXPECT_FALSE(sgd.ImportState(std::vector<float>(3, 0.0f)));
 }
 
 TEST_F(CheckpointTest, MissingFile)
@@ -71,25 +160,36 @@ TEST_F(CheckpointTest, MissingFile)
 TEST_F(CheckpointTest, ShapeMismatchRejected)
 {
     HostEmbeddingTable table(SmallConfig());
-    SaveCheckpoint(table, path_);
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
     EmbeddingTableConfig other = SmallConfig();
     other.key_space = 128;
-    HostEmbeddingTable wrong(other);
-    EXPECT_FALSE(LoadCheckpoint(wrong, path_));
+    HostEmbeddingTable wrong_rows(other);
+    EXPECT_FALSE(LoadCheckpoint(wrong_rows, path_));
+    other = SmallConfig();
+    other.dim = 16;
+    HostEmbeddingTable wrong_dim(other);
+    EXPECT_FALSE(LoadCheckpoint(wrong_dim, path_));
+}
+
+TEST_F(CheckpointTest, VersionSkewRejected)
+{
+    HostEmbeddingTable table(SmallConfig());
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    // The version field sits at byte 8, after the 8-byte magic.
+    PatchByte(path_, 8, 1);
+    CheckpointInfo info;
+    ASSERT_TRUE(ProbeCheckpoint(path_, &info));  // magic still valid
+    EXPECT_EQ(info.version, 1u);
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
 }
 
 TEST_F(CheckpointTest, CorruptPayloadRejectedAndTableUntouched)
 {
     HostEmbeddingTable table(SmallConfig());
-    SaveCheckpoint(table, path_);
-    {
-        // Flip a byte in the row payload.
-        std::fstream file(path_,
-                          std::ios::binary | std::ios::in | std::ios::out);
-        file.seekp(64);
-        char byte = 0x5a;
-        file.write(&byte, 1);
-    }
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    FlipByte(path_, 64);  // first row byte, just past the header
+
     HostEmbeddingTable restored(SmallConfig());
     SgdOptimizer sgd(1.0f);
     std::vector<float> grad(8, 2.0f);
@@ -101,19 +201,45 @@ TEST_F(CheckpointTest, CorruptPayloadRejectedAndTableUntouched)
     EXPECT_TRUE(TablesBitEqual(restored, snapshot));  // untouched
 }
 
-TEST_F(CheckpointTest, TruncatedFileRejected)
+TEST_F(CheckpointTest, CorruptChecksumRejected)
 {
     HostEmbeddingTable table(SmallConfig());
-    SaveCheckpoint(table, path_);
-    // Truncate to header + half the payload.
-    std::ifstream in(path_, std::ios::binary);
-    std::string contents((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-    in.close();
-    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size() / 2));
-    out.close();
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    const std::size_t size = FileSize(path_);
+    ASSERT_GT(size, 8u);
+    FlipByte(path_, static_cast<std::streamoff>(size - 1));
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+}
+
+TEST_F(CheckpointTest, CorruptResumeCursorRejected)
+{
+    // The cursor is checksummed too: a flipped step count must not load
+    // (it would silently replay or skip training steps).
+    HostEmbeddingTable table(SmallConfig());
+    CheckpointExtras extras;
+    extras.next_step = 40;
+    ASSERT_TRUE(SaveCheckpoint(table, extras, path_));
+    FlipByte(path_, 32);  // Header::next_step
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+}
+
+TEST_F(CheckpointTest, TruncatedHeaderRejected)
+{
+    HostEmbeddingTable table(SmallConfig());
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    TruncateFile(path_, 32);  // half a header
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+    EXPECT_FALSE(ProbeCheckpoint(path_, nullptr));
+}
+
+TEST_F(CheckpointTest, TruncatedRowsRejected)
+{
+    HostEmbeddingTable table(SmallConfig());
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    TruncateFile(path_, FileSize(path_) / 2);
     HostEmbeddingTable restored(SmallConfig());
     EXPECT_FALSE(LoadCheckpoint(restored, path_));
 }
@@ -126,6 +252,50 @@ TEST_F(CheckpointTest, GarbageFileRejected)
     HostEmbeddingTable table(SmallConfig());
     EXPECT_FALSE(LoadCheckpoint(table, path_));
     EXPECT_FALSE(ProbeCheckpoint(path_, nullptr));
+}
+
+TEST_F(CheckpointTest, OversizedOptStateHeaderRejected)
+{
+    // A corrupt opt_state_floats field must not drive a huge allocation
+    // or a successful load.
+    HostEmbeddingTable table(SmallConfig());
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    PatchByte(path_, 40 + 5, 0x7f);  // Header::opt_state_floats, high byte
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+}
+
+TEST_F(CheckpointTest, InjectedTruncationRejectedOnLoad)
+{
+    // The injector damages the temp file *after* fsync — exactly the
+    // torn write a crash-before-rename would leave. Save reports
+    // success (the damage is invisible to it); Load must reject.
+    HostEmbeddingTable table(SmallConfig());
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::kCheckpointTruncate;
+    plan.rules.push_back(rule);
+    FaultInjector injector(plan);
+    ASSERT_TRUE(
+        SaveCheckpoint(table, CheckpointExtras{}, path_, &injector));
+    EXPECT_EQ(injector.fires(FaultSite::kCheckpointTruncate), 1u);
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
+}
+
+TEST_F(CheckpointTest, InjectedBitFlipRejectedOnLoad)
+{
+    HostEmbeddingTable table(SmallConfig());
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::kCheckpointCorrupt;
+    plan.rules.push_back(rule);
+    FaultInjector injector(plan);
+    ASSERT_TRUE(
+        SaveCheckpoint(table, CheckpointExtras{}, path_, &injector));
+    EXPECT_EQ(injector.fires(FaultSite::kCheckpointCorrupt), 1u);
+    HostEmbeddingTable restored(SmallConfig());
+    EXPECT_FALSE(LoadCheckpoint(restored, path_));
 }
 
 TEST_F(CheckpointTest, TrainSaveResumeMatchesContinuousRun)
@@ -141,26 +311,77 @@ TEST_F(CheckpointTest, TrainSaveResumeMatchesContinuousRun)
     Rng rng(4);
     ZipfDistribution dist(64, 0.9);
     const Trace trace = Trace::Synthetic(dist, rng, 80, 2, 8);
-
-    std::vector<StepKeys> first_half, second_half;
-    for (std::size_t s = 0; s < 40; ++s)
-        first_half.push_back(trace.StepAt(s));
-    for (std::size_t s = 40; s < 80; ++s)
-        second_half.push_back(trace.StepAt(s));
     const GradFn task = MakeLinearGradTask();
 
     FrugalEngine continuous(config);
     continuous.Run(trace, task);
 
     FrugalEngine phase1(config);
-    phase1.Run(Trace(std::move(first_half), 64, 2), task);
-    SaveCheckpoint(phase1.table(), path_);
+    phase1.Run(trace.Slice(0, 40), task);
+    ASSERT_TRUE(SaveCheckpoint(phase1.table(), path_));
 
     FrugalEngine phase2(config);
     ASSERT_TRUE(LoadCheckpoint(phase2.table(), path_));
-    phase2.Run(Trace(std::move(second_half), 64, 2), task);
+    phase2.Run(trace.Slice(40, 80), task);
 
     EXPECT_TRUE(TablesBitEqual(phase2.table(), continuous.table()));
+}
+
+TEST_F(CheckpointTest, MidTrainingCheckpointResumeBitEqual)
+{
+    // The real interrupt/restore protocol: an engine with checkpoint
+    // barriers armed trains with Adagrad, "crashes" after its last
+    // barrier, and a fresh engine resumes from the file — replaying the
+    // trace suffix must land bit-equal to an uninterrupted run, table
+    // AND accumulator state.
+    EngineConfig config;
+    config.n_gpus = 2;
+    config.dim = 8;
+    config.key_space = 64;
+    config.flush_threads = 2;
+    config.optimizer = "adagrad";
+    Rng rng(11);
+    ZipfDistribution dist(64, 0.9);
+    const Trace trace = Trace::Synthetic(dist, rng, 40, 2, 8);
+    const GradFn task = MakeLinearGradTask();
+
+    EngineConfig oracle_config = config;
+    FrugalEngine oracle(oracle_config);
+    oracle.Run(trace, task);
+
+    EngineConfig ckpt_config = config;
+    ckpt_config.checkpoint_every_steps = 16;
+    ckpt_config.checkpoint_path = path_;
+    FrugalEngine interrupted(ckpt_config);
+    const RunReport report = interrupted.Run(trace, task);
+    EXPECT_EQ(report.recovery.checkpoint_barriers, 2u);  // steps 16, 32
+
+    // "Crash": discard `interrupted`; restore its last barrier (cursor
+    // 32) into a brand-new engine and replay the remaining steps.
+    FrugalEngine resumed(config);
+    const auto cursor = resumed.ResumeFrom(path_);
+    ASSERT_TRUE(cursor.has_value());
+    EXPECT_EQ(*cursor, 32u);
+    resumed.Run(trace.Slice(*cursor, trace.NumSteps()), task);
+
+    EXPECT_TRUE(TablesBitEqual(resumed.table(), oracle.table()));
+    EXPECT_EQ(resumed.optimizer().ExportState(),
+              oracle.optimizer().ExportState());
+}
+
+TEST_F(CheckpointTest, ResumeFromRejectsOptimizerMismatch)
+{
+    EngineConfig config;
+    config.n_gpus = 1;
+    config.dim = 8;
+    config.key_space = 64;
+    FrugalEngine sgd_engine(config);  // optimizer defaults to "sgd"
+    CheckpointExtras extras;
+    extras.optimizer_name = "adagrad";
+    extras.optimizer_state.assign(64 * 8, 0.0f);
+    extras.next_step = 10;
+    ASSERT_TRUE(SaveCheckpoint(sgd_engine.table(), extras, path_));
+    EXPECT_FALSE(sgd_engine.ResumeFrom(path_).has_value());
 }
 
 }  // namespace

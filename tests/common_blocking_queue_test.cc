@@ -109,6 +109,97 @@ TEST(BlockingQueueTest, MpmcNoLossNoDuplication)
     EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(BlockingQueueTest, PopForTimesOutOnEmpty)
+{
+    BlockingQueue<int> q(2);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(20)).has_value());
+    EXPECT_GE(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(20));
+    EXPECT_FALSE(q.closed());  // nullopt meant timeout, not shutdown
+}
+
+TEST(BlockingQueueTest, PopForSeesLatePush)
+{
+    BlockingQueue<int> q(2);
+    std::thread pusher([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ASSERT_TRUE(q.Push(42));
+    });
+    EXPECT_EQ(q.PopFor(std::chrono::seconds(5)).value(), 42);
+    pusher.join();
+}
+
+TEST(BlockingQueueTest, PopForDrainsThenSignalsClose)
+{
+    BlockingQueue<int> q(4);
+    ASSERT_TRUE(q.Push(1));
+    q.Close();
+    EXPECT_EQ(q.PopFor(std::chrono::milliseconds(5)).value(), 1);
+    EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(5)).has_value());
+    EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueueTest, PopBatchForTimesOutEmptyHanded)
+{
+    BlockingQueue<int> q(4);
+    EXPECT_TRUE(q.PopBatchFor(8, std::chrono::milliseconds(10)).empty());
+    EXPECT_FALSE(q.closed());
+}
+
+TEST(BlockingQueueTest, PopBatchForTakesAvailableItems)
+{
+    BlockingQueue<int> q(8);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(q.Push(i));
+    const auto batch = q.PopBatchFor(8, std::chrono::seconds(1));
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0], 0);
+    EXPECT_EQ(batch[2], 2);
+}
+
+TEST(BlockingQueueTest, PopBatchForWakesOnCloseBeforeDeadline)
+{
+    BlockingQueue<int> q(4);
+    const auto start = std::chrono::steady_clock::now();
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.Close();
+    });
+    EXPECT_TRUE(q.PopBatchFor(4, std::chrono::seconds(30)).empty());
+    // Close must cut the wait short, not run out the 30 s deadline.
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(10));
+    EXPECT_TRUE(q.closed());
+    closer.join();
+}
+
+TEST(BlockingQueueTest, TimedPopRacesCloseWithoutLoss)
+{
+    // A consumer using short timed pops races a producer that pushes one
+    // item and immediately closes: the item must never be lost and the
+    // consumer must always terminate via closed().
+    for (int round = 0; round < 200; ++round) {
+        BlockingQueue<int> q(2);
+        int received = 0;
+        std::thread producer([&] {
+            ASSERT_TRUE(q.Push(7));
+            q.Close();
+        });
+        while (true) {
+            auto v = q.PopFor(std::chrono::milliseconds(1));
+            if (v.has_value()) {
+                received += *v;
+                continue;
+            }
+            if (q.closed() && q.size() == 0)
+                break;
+        }
+        producer.join();
+        EXPECT_EQ(received, 7) << "round " << round;
+    }
+}
+
 TEST(BlockingQueueTest, BlockingPushUnblocksOnPop)
 {
     BlockingQueue<int> q(1);
