@@ -64,6 +64,48 @@ if ! ctest --preset default; then
     failures=$((failures + 1))
 fi
 
+# --- 4b. hot-path microbenchmark smoke + baseline diff -------------------
+# Runs bench_hotpath in smoke mode (small sizes, seconds) as a build/run
+# canary, then compares the fresh metrics against the committed baseline
+# BENCH_hotpath.json. The diff is WARN-ONLY: absolute numbers vary by
+# host; the point is to notice a vanished metric or an order-of-magnitude
+# regression, not to gate on machine noise.
+note "bench_hotpath smoke + baseline diff (warn-only)"
+if ./build/bench/bench_hotpath --smoke --out build/BENCH_hotpath.json; then
+    python3 - <<'EOF' || true
+import json
+
+def load(path):
+    with open(path) as fh:
+        return {m["metric"]: m for m in json.load(fh)}
+
+try:
+    baseline = load("BENCH_hotpath.json")
+except OSError:
+    print("WARN: no committed BENCH_hotpath.json baseline")
+    raise SystemExit(0)
+fresh = load("build/BENCH_hotpath.json")
+
+for name in sorted(set(baseline) | set(fresh)):
+    if name not in fresh:
+        print(f"WARN: metric '{name}' in baseline but not produced")
+    elif name not in baseline:
+        print(f"WARN: new metric '{name}' missing from the baseline")
+    elif baseline[name]["unit"] != fresh[name]["unit"]:
+        print(f"WARN: metric '{name}' changed unit "
+              f"{baseline[name]['unit']} -> {fresh[name]['unit']}")
+    else:
+        old, new = baseline[name]["value"], fresh[name]["value"]
+        if old > 0 and new < old / 10:
+            print(f"WARN: metric '{name}' collapsed {old:.3g} -> "
+                  f"{new:.3g} (>10x below baseline; smoke sizes, "
+                  f"but worth a look)")
+print("bench_hotpath baseline diff done (warnings are non-fatal)")
+EOF
+else
+    failures=$((failures + 1))
+fi
+
 # --- 5. ThreadSanitizer build + tests ----------------------------------
 note "TSan build + ctest (preset: tsan)"
 cmake --preset tsan >/dev/null

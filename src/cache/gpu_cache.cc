@@ -2,35 +2,69 @@
 
 #include <mutex>
 
+#include "table/row_kernels.h"
+
 namespace frugal {
 
 GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
     : capacity_(capacity_rows),
       dim_(dim),
-      storage_(capacity_rows * dim)
+      storage_(capacity_rows * dim),
+      map_(capacity_rows),
+      slot_key_(capacity_rows, kInvalidKey),
+      lru_prev_(capacity_rows, kNilSlot),
+      lru_next_(capacity_rows, kNilSlot)
 {
     FRUGAL_CHECK_MSG(capacity_rows > 0, "cache capacity must be positive");
+    FRUGAL_CHECK_MSG(capacity_rows < kNilSlot,
+                     "cache capacity exceeds the u32 slot index space");
     FRUGAL_CHECK_MSG(dim > 0, "embedding dimension must be positive");
-    free_slots_.reserve(capacity_rows);
-    for (std::size_t i = 0; i < capacity_rows; ++i)
-        free_slots_.push_back(capacity_rows - 1 - i);
-    map_.reserve(capacity_rows * 2);
+    // Thread all slots onto the free list, lowest index first.
+    for (std::size_t i = capacity_rows; i-- > 0;) {
+        lru_next_[i] = free_head_;
+        free_head_ = static_cast<std::uint32_t>(i);
+    }
+}
+
+void
+GpuCache::DetachLocked(std::uint32_t slot)
+{
+    const std::uint32_t prev = lru_prev_[slot];
+    const std::uint32_t next = lru_next_[slot];
+    if (prev == kNilSlot)
+        lru_head_ = next;
+    else
+        lru_next_[prev] = next;
+    if (next == kNilSlot)
+        lru_tail_ = prev;
+    else
+        lru_prev_[next] = prev;
+}
+
+void
+GpuCache::PushFrontLocked(std::uint32_t slot)
+{
+    lru_prev_[slot] = kNilSlot;
+    lru_next_[slot] = lru_head_;
+    if (lru_head_ != kNilSlot)
+        lru_prev_[lru_head_] = slot;
+    lru_head_ = slot;
+    if (lru_tail_ == kNilSlot)
+        lru_tail_ = slot;
 }
 
 bool
 GpuCache::TryGet(Key key, float *out)
 {
     std::lock_guard<Spinlock> guard(lock_);
-    auto it = map_.find(key);
-    if (it == map_.end()) {
+    const std::uint32_t *slot = map_.Find(key);
+    if (slot == nullptr) {
         ++stats_.misses;
         return false;
     }
     ++stats_.hits;
-    const float *row = storage_.data() + it->second.slot * dim_;
-    for (std::size_t j = 0; j < dim_; ++j)
-        out[j] = row[j];
-    lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh to MRU
+    RowCopy(out, storage_.data() + *slot * dim_, dim_);
+    MoveToFrontLocked(*slot);  // refresh to MRU
     return true;
 }
 
@@ -38,35 +72,30 @@ Key
 GpuCache::Put(Key key, const float *row)
 {
     std::lock_guard<Spinlock> guard(lock_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-        float *dst = storage_.data() + it->second.slot * dim_;
-        for (std::size_t j = 0; j < dim_; ++j)
-            dst[j] = row[j];
-        lru_.splice(lru_.begin(), lru_, it->second.lru);
+    if (const std::uint32_t *existing = map_.Find(key)) {
+        RowCopy(storage_.data() + *existing * dim_, row, dim_);
+        MoveToFrontLocked(*existing);
         return kInvalidKey;
     }
 
     Key evicted = kInvalidKey;
-    std::size_t slot;
-    if (!free_slots_.empty()) {
-        slot = free_slots_.back();
-        free_slots_.pop_back();
+    std::uint32_t slot;
+    if (free_head_ != kNilSlot) {
+        slot = free_head_;
+        free_head_ = lru_next_[slot];
     } else {
-        evicted = lru_.back();
-        lru_.pop_back();
-        auto victim = map_.find(evicted);
-        FRUGAL_CHECK(victim != map_.end());
-        slot = victim->second.slot;
-        map_.erase(victim);
+        slot = lru_tail_;
+        FRUGAL_CHECK(slot != kNilSlot);
+        evicted = slot_key_[slot];
+        DetachLocked(slot);
+        map_.Erase(evicted);
         ++stats_.evictions;
     }
 
-    lru_.push_front(key);
-    map_.emplace(key, Entry{slot, lru_.begin()});
-    float *dst = storage_.data() + slot * dim_;
-    for (std::size_t j = 0; j < dim_; ++j)
-        dst[j] = row[j];
+    slot_key_[slot] = key;
+    map_.TryEmplace(key, slot);
+    PushFrontLocked(slot);
+    RowCopy(storage_.data() + slot * dim_, row, dim_);
     ++stats_.insertions;
     return evicted;
 }
@@ -75,12 +104,10 @@ bool
 GpuCache::UpdateIfPresent(Key key, const float *row)
 {
     std::lock_guard<Spinlock> guard(lock_);
-    auto it = map_.find(key);
-    if (it == map_.end())
+    const std::uint32_t *slot = map_.Find(key);
+    if (slot == nullptr)
         return false;
-    float *dst = storage_.data() + it->second.slot * dim_;
-    for (std::size_t j = 0; j < dim_; ++j)
-        dst[j] = row[j];
+    RowCopy(storage_.data() + *slot * dim_, row, dim_);
     ++stats_.flush_writes;
     return true;
 }
@@ -89,18 +116,22 @@ bool
 GpuCache::Contains(Key key) const
 {
     std::lock_guard<Spinlock> guard(lock_);
-    return map_.find(key) != map_.end();
+    return map_.Contains(key);
 }
 
 void
 GpuCache::Clear()
 {
     std::lock_guard<Spinlock> guard(lock_);
-    map_.clear();
-    lru_.clear();
-    free_slots_.clear();
-    for (std::size_t i = 0; i < capacity_; ++i)
-        free_slots_.push_back(capacity_ - 1 - i);
+    map_.Clear();
+    lru_head_ = lru_tail_ = kNilSlot;
+    free_head_ = kNilSlot;
+    for (std::size_t i = capacity_; i-- > 0;) {
+        slot_key_[i] = kInvalidKey;
+        lru_prev_[i] = kNilSlot;
+        lru_next_[i] = free_head_;
+        free_head_ = static_cast<std::uint32_t>(i);
+    }
 }
 
 }  // namespace frugal

@@ -16,17 +16,23 @@
  * threads write committed values into cached rows ("H2D" in the real
  * system). A single cache lock arbitrates — adequate because each cache
  * has exactly one reader thread and writers touch disjoint keys.
+ *
+ * Layout (data-plane overhaul): the index is a FlatMap Key → slot
+ * (open addressing, no per-entry heap node) and the LRU order is an
+ * intrusive doubly linked list threaded through two u32 arrays indexed
+ * by slot — an LRU refresh is four array stores instead of a
+ * std::list splice over heap nodes, and the whole cache performs zero
+ * allocations after construction.
  */
 #ifndef FRUGAL_CACHE_GPU_CACHE_H_
 #define FRUGAL_CACHE_GPU_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/spinlock.h"
@@ -122,19 +128,33 @@ class GpuCache
     }
 
   private:
-    struct Entry
+    /** Slot index sentinel (list end / no free slot). */
+    static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+    // LRU intrusive-list helpers; cache lock held.
+    void DetachLocked(std::uint32_t slot);
+    void PushFrontLocked(std::uint32_t slot);
+
+    void
+    MoveToFrontLocked(std::uint32_t slot)
     {
-        std::size_t slot;              ///< row index into storage_
-        std::list<Key>::iterator lru;  ///< position in lru_ (front = MRU)
-    };
+        if (lru_head_ == slot)
+            return;
+        DetachLocked(slot);
+        PushFrontLocked(slot);
+    }
 
     const std::size_t capacity_;
     const std::size_t dim_;
     mutable Spinlock lock_{LockRank::kGpuCache};
-    std::vector<float> storage_;
-    std::vector<std::size_t> free_slots_;
-    std::unordered_map<Key, Entry> map_;
-    std::list<Key> lru_;
+    std::vector<float> storage_;           ///< capacity_ × dim_ rows
+    FlatMap<Key, std::uint32_t> map_;      ///< key → slot
+    std::vector<Key> slot_key_;            ///< slot → key (for eviction)
+    std::vector<std::uint32_t> lru_prev_;  ///< towards MRU
+    std::vector<std::uint32_t> lru_next_;  ///< towards LRU
+    std::uint32_t lru_head_ = kNilSlot;    ///< MRU slot
+    std::uint32_t lru_tail_ = kNilSlot;    ///< LRU slot (eviction victim)
+    std::uint32_t free_head_ = kNilSlot;   ///< free list via lru_next_
     GpuCacheStats stats_;
 };
 

@@ -7,15 +7,24 @@
  * (§3.3). Entries are created lazily on first touch and retained for the
  * life of the run — the FlushQueue holds raw pointers into this registry,
  * so stability of addresses is part of the contract.
+ *
+ * Data-plane layout: each shard is a FlatMap Key → GEntry* over a
+ * chunked arena that owns the entries. The arena bump-allocates entries
+ * into sealed blocks whose addresses never move (preserving the
+ * raw-pointer contract above) and gives entries created together cache
+ * locality; the flat map resolves get-or-create in one probe walk with
+ * no per-entry heap node. The old layout paid two unordered_map lookups
+ * (find, then emplace) plus a unique_ptr node allocation per entry.
  */
 #ifndef FRUGAL_PQ_G_ENTRY_REGISTRY_H_
 #define FRUGAL_PQ_G_ENTRY_REGISTRY_H_
 
-#include <memory>
+#include <algorithm>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/spinlock.h"
 #include "pq/g_entry.h"
@@ -26,26 +35,40 @@ namespace frugal {
 class GEntryRegistry
 {
   public:
-    explicit GEntryRegistry(std::size_t shards = 64) : shards_(shards)
+    /**
+     * @param shards        lock shards (> 0)
+     * @param expected_keys optional capacity hint: pre-sizes each
+     *        shard's index so the steady-state run never rehashes.
+     *        Capped per shard, so a huge sparse key space does not
+     *        translate into a huge up-front allocation.
+     */
+    explicit GEntryRegistry(std::size_t shards = 64,
+                            std::size_t expected_keys = 0)
+        : shards_(shards)
     {
         FRUGAL_CHECK(shards > 0);
+        if (expected_keys > 0) {
+            const std::size_t per_shard = std::min<std::size_t>(
+                expected_keys / shards + 1, kMaxShardHint);
+            for (Shard &shard : shards_)
+                shard.entries.Reserve(per_shard);
+        }
     }
 
     GEntryRegistry(const GEntryRegistry &) = delete;
     GEntryRegistry &operator=(const GEntryRegistry &) = delete;
 
-    /** Returns the entry for `key`, creating it if absent. */
+    /** Returns the entry for `key`, creating it if absent — one probe
+     *  walk either way. */
     GEntry &
     GetOrCreate(Key key)
     {
         Shard &shard = ShardFor(key);
         std::lock_guard<Spinlock> guard(shard.lock);
-        auto it = shard.entries.find(key);
-        if (it == shard.entries.end()) {
-            it = shard.entries.emplace(key, std::make_unique<GEntry>(key))
-                     .first;
-        }
-        return *it->second;
+        auto [entry, inserted] = shard.entries.TryEmplace(key, nullptr);
+        if (inserted)
+            *entry = shard.arena.Create(key);
+        return **entry;
     }
 
     /** Returns the entry for `key` or nullptr. */
@@ -54,8 +77,8 @@ class GEntryRegistry
     {
         Shard &shard = ShardFor(key);
         std::lock_guard<Spinlock> guard(shard.lock);
-        auto it = shard.entries.find(key);
-        return it == shard.entries.end() ? nullptr : it->second.get();
+        GEntry *const *entry = shard.entries.Find(key);
+        return entry == nullptr ? nullptr : *entry;
     }
 
     /** Visits every entry; `fn` must not call back into the registry.
@@ -66,8 +89,9 @@ class GEntryRegistry
     {
         for (Shard &shard : shards_) {
             std::lock_guard<Spinlock> guard(shard.lock);
-            for (auto &[key, entry] : shard.entries)
-                fn(*entry);
+            // The arena iterates entries in creation order with block
+            // locality (cheaper than walking the hash index).
+            shard.arena.ForEach([&fn](GEntry &entry) { fn(entry); });
         }
     }
 
@@ -77,21 +101,30 @@ class GEntryRegistry
         std::size_t total = 0;
         for (const Shard &shard : shards_) {
             std::lock_guard<Spinlock> guard(shard.lock);
-            total += shard.entries.size();
+            total += shard.arena.size();
         }
         return total;
     }
 
   private:
+    /** Per-shard Reserve cap: 8k entries ≈ 128 KiB of index per shard
+     *  worst case; beyond that, growth amortises fine. */
+    static constexpr std::size_t kMaxShardHint = 8192;
+
     struct Shard
     {
         mutable Spinlock lock{LockRank::kRegistryShard};
-        std::unordered_map<Key, std::unique_ptr<GEntry>> entries;
+        FlatMap<Key, GEntry *> entries;
+        ChunkArena<GEntry> arena{256};
     };
 
     Shard &
     ShardFor(Key key)
     {
+        // Low bits pick the shard; the shard's FlatMap homes slots with
+        // the TOP bits of the same hash (see FlatMap::HomeOf), so the
+        // identical low-bit pattern every key in a shard shares cannot
+        // cluster its home slots.
         return shards_[MixHash64(key) % shards_.size()];
     }
 

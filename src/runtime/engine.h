@@ -60,7 +60,8 @@ struct EngineConfig
     /** Entries claimed per dequeue (batched dequeue, §3.4). */
     std::size_t flush_batch = 8;
 
-    /** Update staging queue capacity (messages). */
+    /** Update staging queue capacity, in per-(step, GPU) batches (each
+     *  batch carries one trace GPU's whole step of gradients). */
     std::size_t staging_capacity = 1 << 15;
 
     /** "sgd" or "adagrad". */

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/cacheline.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/spinlock.h"
@@ -26,14 +27,41 @@ namespace frugal {
 
 namespace {
 
-/** One message in the update staging queue. */
-struct UpdateMsg
+/**
+ * One message in the update staging queue: everything one trace GPU
+ * produced in one step, as a unit.
+ *
+ * The old pipeline staged one heap-allocated message (with its own
+ * vector<float>) per key plus an end marker per (step, GPU); the
+ * staging queue paid a lock round-trip and an allocation per
+ * parameter. A batch carries the whole key list and one contiguous
+ * gradient buffer, and — because a trainer emits everything for
+ * (step, src) at once — the batch itself IS the end marker: a step is
+ * complete when n_gpus batches for it arrived.
+ */
+struct UpdateBatch
 {
-    Key key = 0;
     Step step = 0;
     GpuId src = 0;
-    std::vector<float> grad;
-    bool end_marker = false;
+    /** The step's deduplicated key list. Points into the Trace, which
+     *  outlives the run; the drainer only reads it. */
+    const std::vector<Key> *keys = nullptr;
+    /** keys->size() × dim gradients; row i starts at i * dim. */
+    std::vector<float> grads;
+};
+
+/**
+ * Per-trainer hot-loop counters, folded into the shared atomics right
+ * before each step-barrier arrival. The trainer loop previously bumped
+ * shared atomics per key; with several trainers that is pure cache-line
+ * ping-pong. CacheAligned keeps neighbouring trainers' slots off each
+ * other's lines.
+ */
+struct TrainerLocalStats
+{
+    std::uint64_t host_reads = 0;
+    std::uint64_t updates_emitted = 0;
+    std::uint64_t gate_waits = 0;
 };
 
 /**
@@ -111,8 +139,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         queue = std::move(two_level);
     }
 
-    GEntryRegistry registry;
-    BlockingQueue<UpdateMsg> staging(config_.staging_capacity);
+    GEntryRegistry registry(64, config_.key_space);
+    BlockingQueue<UpdateBatch> staging(config_.staging_capacity);
     std::vector<std::unique_ptr<GpuCache>> caches;
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
         caches.push_back(std::make_unique<GpuCache>(
@@ -339,58 +367,84 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
 
     // --- staging drain thread -----------------------------------------
     std::thread drainer([&] {
-        std::vector<std::vector<UpdateMsg>> step_buffers(n_steps);
-        std::vector<std::uint32_t> markers(n_steps, 0);
+        const std::size_t dim = config_.dim;
+        std::vector<std::vector<UpdateBatch>> step_batches(n_steps);
+        /** Row reference used to order one step's records canonically. */
+        struct RowRef
+        {
+            Key key;
+            GpuId src;
+            std::uint32_t batch;
+            std::uint32_t row;
+        };
+        std::vector<RowRef> order;
         while (true) {
             // Timed pop: a drain loop that can wake on its own never
             // hangs on a dead producer, and the watchdog can observe
             // staging_size while we are parked here.
-            auto batch = staging.PopBatchFor(
-                std::size_t{512}, std::chrono::milliseconds(100));
-            if (batch.empty()) {
+            auto popped = staging.PopBatchFor(
+                std::size_t{64}, std::chrono::milliseconds(100));
+            if (popped.empty()) {
                 if (staging.closed())
                     break;  // closed and drained
                 continue;   // timed out; keep waiting
             }
-            for (UpdateMsg &msg : batch) {
-                if (!msg.end_marker) {
-                    step_buffers[msg.step].push_back(std::move(msg));
-                    continue;
-                }
-                if (++markers[msg.step] < n_gpus)
+            for (UpdateBatch &incoming : popped) {
+                const Step s = incoming.step;
+                step_batches[s].push_back(std::move(incoming));
+                if (step_batches[s].size() < n_gpus)
                     continue;
                 if (auto stall_ms = FaultPoint(
                         injector, FaultSite::kStagingDrainStall,
-                        static_cast<std::uint64_t>(msg.step))) {
+                        static_cast<std::uint64_t>(s))) {
                     FRUGAL_WARN("fault injection: staging drain stalls "
-                                << *stall_ms << " ms at step "
-                                << msg.step);
+                                << *stall_ms << " ms at step " << s);
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(
                             std::max<std::uint32_t>(*stall_ms, 1)));
                 }
                 // Step complete everywhere: now its R-set removals and
                 // W-set insertions are safe. Register in (key, src)
-                // order so a key's W records always *arrive* in canonical
-                // order — a flush may otherwise split one step's records
-                // for a key across two batches and apply them in
-                // whatever order the GPUs happened to stage them.
-                std::sort(step_buffers[msg.step].begin(),
-                          step_buffers[msg.step].end(),
-                          [](const UpdateMsg &a, const UpdateMsg &b) {
+                // order so a key's W records always *arrive* in
+                // canonical order — a flush may otherwise split one
+                // step's records for a key across two takes and apply
+                // them in whatever order the GPUs happened to stage
+                // them. Sorting an index of (key, src) row references
+                // replaces the old sort of whole per-key messages.
+                order.clear();
+                for (std::uint32_t b = 0; b < n_gpus; ++b) {
+                    const UpdateBatch &batch = step_batches[s][b];
+                    const std::vector<Key> &keys = *batch.keys;
+                    for (std::uint32_t r = 0; r < keys.size(); ++r)
+                        order.push_back(
+                            RowRef{keys[r], batch.src, b, r});
+                }
+                std::sort(order.begin(), order.end(),
+                          [](const RowRef &a, const RowRef &b) {
                               return a.key != b.key ? a.key < b.key
                                                     : a.src < b.src;
                           });
-                for (UpdateMsg &update : step_buffers[msg.step]) {
+                // Consecutive refs with equal keys hit the same
+                // g-entry: resolve it once per run instead of per row.
+                GEntry *entry = nullptr;
+                Key entry_key = kInvalidKey;
+                for (const RowRef &ref : order) {
+                    if (entry == nullptr || ref.key != entry_key) {
+                        entry = &registry.GetOrCreate(ref.key);
+                        entry_key = ref.key;
+                    }
+                    const UpdateBatch &batch = step_batches[s][ref.batch];
+                    const float *grad =
+                        batch.grads.data() +
+                        static_cast<std::size_t>(ref.row) * dim;
                     RegisterUpdate(
-                        *queue, registry.GetOrCreate(update.key),
-                        WriteRecord{update.step, update.src,
-                                    std::move(update.grad)});
+                        *queue, *entry,
+                        WriteRecord{s, ref.src,
+                                    std::vector<float>(grad, grad + dim)});
                 }
-                step_buffers[msg.step].clear();
-                step_buffers[msg.step].shrink_to_fit();
-                drained_steps.store(msg.step + 1,
-                                    std::memory_order_release);
+                step_batches[s].clear();
+                step_batches[s].shrink_to_fit();
+                drained_steps.store(s + 1, std::memory_order_release);
                 nudge_gate();
             }
         }
@@ -421,10 +475,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 std::chrono::microseconds(backoff_us));
         }
         table_->ApplyGradient(key, record.grad.data(), *optimizer_);
-        // release: pairs with the checkpoint barrier's acquire load. A
-        // reader observing applied == emitted must also observe every
-        // row/optimizer write committed before each increment.
-        updates_applied.fetch_add(1, std::memory_order_release);
+        // updates_applied is bumped once per ticket by the caller (with
+        // the count FlushClaimed returns), not per record here: one
+        // release fetch_add per entry instead of one per update.
     };
     auto refresh_cache = [&](Key key) {
         // "H2D": copy the committed row into the owner's cache. Also
@@ -530,8 +583,16 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                             std::chrono::microseconds(
                                 config_.flush_delay_us));
                     }
-                    FlushClaimed(*queue, ticket, apply_update,
-                                 refresh_cache);
+                    const std::size_t applied = FlushClaimed(
+                        *queue, ticket, apply_update, refresh_cache);
+                    if (applied > 0) {
+                        // release: pairs with the checkpoint barrier's
+                        // acquire load. A reader observing applied ==
+                        // emitted must also observe every row/optimizer
+                        // write committed before the increment.
+                        updates_applied.fetch_add(
+                            applied, std::memory_order_release);
+                    }
                     {
                         std::lock_guard<Spinlock> guard(slot->lock);
                         for (auto it = slot->claimed.begin();
@@ -622,8 +683,13 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // per-key canonical order, because W records only ever
                 // leave an entry through a sorted take.
                 for (const ClaimTicket &ticket : abandoned) {
-                    FlushClaimed(*queue, ticket, apply_update,
-                                 refresh_cache);
+                    const std::size_t applied = FlushClaimed(
+                        *queue, ticket, apply_update, refresh_cache);
+                    if (applied > 0) {
+                        // release: see the flusher-loop counterpart.
+                        updates_applied.fetch_add(
+                            applied, std::memory_order_release);
+                    }
                     // relaxed: monotonic stat counter, reporting only.
                     claims_reclaimed.fetch_add(1,
                                                std::memory_order_relaxed);
@@ -677,10 +743,19 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::vector<std::thread> trainers;
     std::vector<double> stall_seconds(n_gpus, 0.0);
     std::vector<StatAccumulator> stall_stats(n_gpus);
+    // Per-trainer counter slots, one cache line each; folded into the
+    // shared atomics once per step (before the barrier) instead of one
+    // shared fetch_add per key.
+    std::vector<CacheAligned<TrainerLocalStats>> local_stats(n_gpus);
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
         trainers.emplace_back([&, t = static_cast<GpuId>(g)] {
+            const std::size_t dim = config_.dim;
             std::vector<float> values;
             std::vector<float> grads;
+            std::vector<Key> miss_keys;
+            std::vector<float *> miss_outs;
+            std::vector<std::size_t> owned_miss;
+            TrainerLocalStats &local = *local_stats[t];
             for (Step s = 0; s < n_steps; ++s) {
                 if (trainer_dead[t].load(std::memory_order_acquire)) {
                     // Injected death: leave the barrier for good. The
@@ -700,8 +775,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 };
                 const auto wait_start = std::chrono::steady_clock::now();
                 if (!gate_open()) {
-                    // relaxed: monotonic stat counter, read after joins.
-                    gate_waits.fetch_add(1, std::memory_order_relaxed);
+                    ++local.gate_waits;
                     std::unique_lock<std::mutex> lock(gate_mutex);
                     // Timed re-check: a recovery action (flusher
                     // respawn, claim reclaim) may race a notify; the
@@ -726,12 +800,10 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     // --- gather (forward) ---
                     const std::vector<Key> &keys =
                         trace.KeysFor(s, trace_gpu);
-                    values.resize(keys.size() * config_.dim);
-                    grads.assign(keys.size() * config_.dim, 0.0f);
-                    for (std::size_t i = 0; i < keys.size(); ++i) {
-                        const Key key = keys[i];
-                        float *out = values.data() + i * config_.dim;
-                        if (config_.audit_consistency || kDcheckEnabled) {
+                    values.resize(keys.size() * dim);
+                    grads.assign(keys.size() * dim, 0.0f);
+                    if (config_.audit_consistency || kDcheckEnabled) {
+                        for (Key key : keys) {
                             GEntry &entry = registry.GetOrCreate(key);
                             std::lock_guard<Spinlock> guard(entry.lock());
                             // Invariant (2): no pending (unflushed)
@@ -748,56 +820,71 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
 #endif
                             }
                         }
-                        // Cache by *executing* trainer: after a remap
-                        // the successor owns the dead GPU's shard, so
-                        // its cache serves those keys too.
+                    }
+                    // Split the key list into cache hits (copied by
+                    // TryGet) and host reads, then gather all host rows
+                    // in one batched scatter call. Cache by *executing*
+                    // trainer: after a remap the successor owns the dead
+                    // GPU's shard, so its cache serves those keys too.
+                    miss_keys.clear();
+                    miss_outs.clear();
+                    owned_miss.clear();
+                    for (std::size_t i = 0; i < keys.size(); ++i) {
+                        const Key key = keys[i];
+                        float *out = values.data() + i * dim;
                         if (ownership_.OwnerOf(key) == t) {
                             if (!caches[t]->TryGet(key, out)) {
-                                table_->ReadRow(key, out);
-                                // relaxed: monotonic stat counter, read
-                                // after joins.
-                                host_reads.fetch_add(
-                                    1, std::memory_order_relaxed);
-                                caches[t]->Put(key, out);
+                                owned_miss.push_back(miss_keys.size());
+                                miss_keys.push_back(key);
+                                miss_outs.push_back(out);
                             }
                         } else {
                             // Non-owned: zero-copy UVA read of host
                             // memory.
-                            table_->ReadRow(key, out);
-                            // relaxed: monotonic stat counter, read
-                            // after joins.
-                            host_reads.fetch_add(1,
-                                                 std::memory_order_relaxed);
+                            miss_keys.push_back(key);
+                            miss_outs.push_back(out);
                         }
+                    }
+                    if (!miss_keys.empty()) {
+                        table_->ReadRows(miss_keys.data(),
+                                         miss_keys.size(),
+                                         miss_outs.data());
+                        local.host_reads += miss_keys.size();
+                        for (std::size_t m : owned_miss)
+                            caches[t]->Put(miss_keys[m], miss_outs[m]);
                     }
 
                     // --- model (forward+backward) ---
                     grad_fn(trace_gpu, s, keys, values, &grads);
 
-                    // --- emit updates + end marker ---
-                    for (std::size_t i = 0; i < keys.size(); ++i) {
-                        UpdateMsg msg;
-                        msg.key = keys[i];
-                        msg.step = s;
-                        msg.src = trace_gpu;
-                        msg.grad.assign(
-                            grads.begin() + static_cast<std::ptrdiff_t>(
-                                                i * config_.dim),
-                            grads.begin() + static_cast<std::ptrdiff_t>(
-                                                (i + 1) * config_.dim));
-                        FRUGAL_CHECK(staging.Push(std::move(msg)));
-                        // relaxed: monotonic stat counter; trainer
-                        // barrier arrivals order it before the
-                        // checkpoint barrier's read.
-                        updates_emitted.fetch_add(
-                            1, std::memory_order_relaxed);
-                    }
-                    UpdateMsg marker;
-                    marker.step = s;
-                    marker.src = trace_gpu;
-                    marker.end_marker = true;
-                    FRUGAL_CHECK(staging.Push(std::move(marker)));
+                    // --- emit one batch per (step, trace GPU) ---
+                    // The batch doubles as the end marker: the drainer
+                    // treats the step as complete once n_gpus batches
+                    // for it arrived.
+                    UpdateBatch batch;
+                    batch.step = s;
+                    batch.src = trace_gpu;
+                    batch.keys = &keys;
+                    batch.grads = std::move(grads);
+                    FRUGAL_CHECK(staging.Push(std::move(batch)));
+                    local.updates_emitted += keys.size();
                 }
+
+                // Fold the step's local counters into the shared totals
+                // *before* arriving: the checkpoint barrier's quiescence
+                // check (in the barrier completion) compares applied
+                // against emitted and must see this step's emissions.
+                // relaxed: barrier arrival orders these against the
+                // completion callback's reads.
+                host_reads.fetch_add(local.host_reads,
+                                     std::memory_order_relaxed);
+                // relaxed: see above.
+                updates_emitted.fetch_add(local.updates_emitted,
+                                          std::memory_order_relaxed);
+                // relaxed: see above.
+                gate_waits.fetch_add(local.gate_waits,
+                                     std::memory_order_relaxed);
+                local = TrainerLocalStats{};
 
                 step_barrier.arrive_and_wait();
             }

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "table/row_kernels.h"
+
 namespace frugal {
 
 HostEmbeddingTable::HostEmbeddingTable(const EmbeddingTableConfig &config)
@@ -48,12 +50,32 @@ std::uint64_t
 HostEmbeddingTable::ReadRow(Key key, float *out) const
 {
     std::lock_guard<Spinlock> guard(row_locks_.For(key));
-    const float *row = values_.data() + RowOffset(key);
-    for (std::size_t j = 0; j < config_.dim; ++j)
-        out[j] = row[j];
+    RowCopy(out, values_.data() + RowOffset(key), config_.dim);
     // relaxed: the row lock already orders this load against the
     // writer's version bump (both run under the same stripe lock).
     return versions_[key].load(std::memory_order_relaxed);
+}
+
+void
+HostEmbeddingTable::ReadRows(const Key *keys, std::size_t n,
+                             float *const *outs) const
+{
+    const std::size_t dim = config_.dim;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::lock_guard<Spinlock> guard(row_locks_.For(keys[i]));
+        RowCopy(outs[i], values_.data() + RowOffset(keys[i]), dim);
+    }
+}
+
+void
+HostEmbeddingTable::ReadRows(const Key *keys, std::size_t n,
+                             float *out) const
+{
+    const std::size_t dim = config_.dim;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::lock_guard<Spinlock> guard(row_locks_.For(keys[i]));
+        RowCopy(out + i * dim, values_.data() + RowOffset(keys[i]), dim);
+    }
 }
 
 float *

@@ -55,6 +55,19 @@ class HostEmbeddingTable
      *  version observed, for consistency auditing. */
     std::uint64_t ReadRow(Key key, float *out) const;
 
+    /**
+     * Batch gather: copies the row for `keys[i]` into `outs[i]` (each
+     * `dim()` floats) for i in [0, n). One call amortises the per-row
+     * call and version-read overhead of the trainer gather loop; rows
+     * are still copied under their stripe locks, so the per-row
+     * consistency guarantee is unchanged (versions are not reported —
+     * gather callers do their auditing through the g-entry path).
+     */
+    void ReadRows(const Key *keys, std::size_t n, float *const *outs) const;
+
+    /** As above into one contiguous buffer: row i at out + i*dim(). */
+    void ReadRows(const Key *keys, std::size_t n, float *out) const;
+
     /** Direct pointer to a row; caller must ensure exclusion (tests and
      *  single-threaded oracles only). */
     float *MutableRow(Key key);

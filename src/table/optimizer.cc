@@ -1,7 +1,5 @@
 #include "table/optimizer.h"
 
-#include <cmath>
-
 #include "common/logging.h"
 
 namespace frugal {
@@ -22,11 +20,8 @@ AdagradOptimizer::Apply(Key key, float *row, const float *grad,
 {
     FRUGAL_CHECK(dim == dim_);
     float *acc = accumulators_.data() + static_cast<std::size_t>(key) * dim_;
-    for (std::size_t j = 0; j < dim; ++j) {
-        acc[j] += grad[j] * grad[j];
-        row[j] -= learning_rate_ * grad[j] /
-                  (std::sqrt(acc[j]) + epsilon_);
-    }
+    // Vectorised, bit-exact vs the scalar loop (see row_kernels.h).
+    RowAdagradApply(row, acc, grad, learning_rate_, epsilon_, dim);
 }
 
 bool

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "table/row_kernels.h"
 
 namespace frugal {
 
@@ -73,8 +74,8 @@ class SgdOptimizer final : public Optimizer
     void
     Apply(Key, float *row, const float *grad, std::size_t dim) override
     {
-        for (std::size_t j = 0; j < dim; ++j)
-            row[j] -= learning_rate_ * grad[j];
+        // Vectorised, bit-exact vs the scalar loop (see row_kernels.h).
+        RowSgdApply(row, grad, learning_rate_, dim);
     }
 
     std::string Name() const override { return "sgd"; }

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Bit-exactness tests for the vectorised row kernels: every kernel must
+ * produce byte-identical results to a plain scalar loop with the same
+ * per-element expression, across the dispatch-table dims, odd dims that
+ * fall through to the runtime-trip-count path, and randomized values
+ * (including negatives, tiny and large magnitudes).
+ */
+#include "table/row_kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace frugal {
+namespace {
+
+/** Scalar references: the exact expressions the kernels promise, with
+ *  no __restrict and no vectorisation pragma. */
+void
+ScalarCopy(float *dst, const float *src, std::size_t dim)
+{
+    for (std::size_t j = 0; j < dim; ++j)
+        dst[j] = src[j];
+}
+
+void
+ScalarAxpy(float *y, float a, const float *x, std::size_t dim)
+{
+    for (std::size_t j = 0; j < dim; ++j)
+        y[j] += a * x[j];
+}
+
+void
+ScalarSgd(float *row, const float *grad, float lr, std::size_t dim)
+{
+    for (std::size_t j = 0; j < dim; ++j)
+        row[j] -= lr * grad[j];
+}
+
+void
+ScalarAdagrad(float *row, float *acc, const float *grad, float lr,
+              float eps, std::size_t dim)
+{
+    for (std::size_t j = 0; j < dim; ++j) {
+        acc[j] += grad[j] * grad[j];
+        row[j] -= lr * grad[j] / (std::sqrt(acc[j]) + eps);
+    }
+}
+
+/** Byte-level equality — NaN-safe and distinguishes -0.0f from 0.0f,
+ *  which float == would not. */
+::testing::AssertionResult
+BitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "size mismatch";
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            if (std::memcmp(&a[j], &b[j], sizeof(float)) != 0) {
+                return ::testing::AssertionFailure()
+                       << "element " << j << ": " << a[j] << " vs "
+                       << b[j];
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Dims covering every literal dispatch case plus runtime fallthroughs
+ *  (odd, prime, one-past-a-case). */
+const std::size_t kDims[] = {1,  3,  4,  5,  7,  8,  16, 17,
+                             32, 33, 64, 65, 100, 128, 129, 257};
+
+std::vector<float>
+RandomRow(std::mt19937_64 &rng, std::size_t dim)
+{
+    // Mixed magnitudes: mostly unit-scale, some tiny, some large, some
+    // exact zeros — the values an embedding row/gradient can hold.
+    std::uniform_real_distribution<float> unit(-1.0f, 1.0f);
+    std::uniform_int_distribution<int> kind(0, 9);
+    std::vector<float> row(dim);
+    for (float &v : row) {
+        switch (kind(rng)) {
+        case 0: v = unit(rng) * 1e-30f; break;
+        case 1: v = unit(rng) * 1e20f; break;
+        case 2: v = 0.0f; break;
+        default: v = unit(rng); break;
+        }
+    }
+    return row;
+}
+
+TEST(RowKernelsTest, CopyBitExact)
+{
+    std::mt19937_64 rng(1);
+    for (std::size_t dim : kDims) {
+        for (int round = 0; round < 20; ++round) {
+            const std::vector<float> src = RandomRow(rng, dim);
+            std::vector<float> got(dim, -7.0f), want(dim, -7.0f);
+            RowCopy(got.data(), src.data(), dim);
+            ScalarCopy(want.data(), src.data(), dim);
+            EXPECT_TRUE(BitEqual(got, want)) << "dim " << dim;
+        }
+    }
+}
+
+TEST(RowKernelsTest, AxpyBitExact)
+{
+    std::mt19937_64 rng(2);
+    std::uniform_real_distribution<float> coeff(-2.0f, 2.0f);
+    for (std::size_t dim : kDims) {
+        for (int round = 0; round < 20; ++round) {
+            const std::vector<float> x = RandomRow(rng, dim);
+            const std::vector<float> y0 = RandomRow(rng, dim);
+            const float a = coeff(rng);
+            std::vector<float> got = y0, want = y0;
+            RowAxpy(got.data(), a, x.data(), dim);
+            ScalarAxpy(want.data(), a, x.data(), dim);
+            EXPECT_TRUE(BitEqual(got, want)) << "dim " << dim;
+        }
+    }
+}
+
+TEST(RowKernelsTest, SgdBitExact)
+{
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<float> rate(0.0f, 1.0f);
+    for (std::size_t dim : kDims) {
+        for (int round = 0; round < 20; ++round) {
+            const std::vector<float> grad = RandomRow(rng, dim);
+            const std::vector<float> row0 = RandomRow(rng, dim);
+            const float lr = rate(rng);
+            std::vector<float> got = row0, want = row0;
+            RowSgdApply(got.data(), grad.data(), lr, dim);
+            ScalarSgd(want.data(), grad.data(), lr, dim);
+            EXPECT_TRUE(BitEqual(got, want)) << "dim " << dim;
+        }
+    }
+}
+
+TEST(RowKernelsTest, AdagradBitExact)
+{
+    std::mt19937_64 rng(4);
+    std::uniform_real_distribution<float> rate(0.0f, 1.0f);
+    for (std::size_t dim : kDims) {
+        for (int round = 0; round < 20; ++round) {
+            const std::vector<float> grad = RandomRow(rng, dim);
+            const std::vector<float> row0 = RandomRow(rng, dim);
+            std::vector<float> acc0 = RandomRow(rng, dim);
+            for (float &v : acc0)
+                v = std::abs(v);  // accumulators are sums of squares
+            const float lr = rate(rng);
+            const float eps = 1e-10f;
+            std::vector<float> got_row = row0, want_row = row0;
+            std::vector<float> got_acc = acc0, want_acc = acc0;
+            RowAdagradApply(got_row.data(), got_acc.data(), grad.data(),
+                            lr, eps, dim);
+            ScalarAdagrad(want_row.data(), want_acc.data(), grad.data(),
+                          lr, eps, dim);
+            EXPECT_TRUE(BitEqual(got_row, want_row)) << "dim " << dim;
+            EXPECT_TRUE(BitEqual(got_acc, want_acc)) << "dim " << dim;
+        }
+    }
+}
+
+TEST(RowKernelsTest, RepeatedApplicationMatchesScalarTrajectory)
+{
+    // 100 sequential SGD+Adagrad steps: bit-exactness must hold along a
+    // whole training trajectory, not just one application.
+    std::mt19937_64 rng(5);
+    const std::size_t dim = 32;
+    std::vector<float> row_k = RandomRow(rng, dim), row_s = row_k;
+    std::vector<float> acc_k(dim, 0.0f), acc_s(dim, 0.0f);
+    for (int step = 0; step < 100; ++step) {
+        const std::vector<float> grad = RandomRow(rng, dim);
+        RowSgdApply(row_k.data(), grad.data(), 0.05f, dim);
+        ScalarSgd(row_s.data(), grad.data(), 0.05f, dim);
+        RowAdagradApply(row_k.data(), acc_k.data(), grad.data(), 0.01f,
+                        1e-10f, dim);
+        ScalarAdagrad(row_s.data(), acc_s.data(), grad.data(), 0.01f,
+                      1e-10f, dim);
+        ASSERT_TRUE(BitEqual(row_k, row_s)) << "step " << step;
+        ASSERT_TRUE(BitEqual(acc_k, acc_s)) << "step " << step;
+    }
+}
+
+}  // namespace
+}  // namespace frugal
