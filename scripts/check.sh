@@ -106,6 +106,48 @@ else
     failures=$((failures + 1))
 fi
 
+# --- 4c. end-to-end engine bench smoke + baseline diff -------------------
+# Same contract as 4b for bench_e2e_engine: a smoke run drives the *real*
+# engine (trainers, prefetcher, drainer, flush threads, the gate) across
+# the grid and exits non-zero if any cell trains a table that is not
+# bit-equal to the single-threaded oracle — that part is a hard gate.
+# The metric diff against the committed BENCH_e2e.json stays warn-only.
+note "bench_e2e_engine smoke + baseline diff (warn-only)"
+if ./build/bench/bench_e2e_engine --smoke --out build/BENCH_e2e.json; then
+    python3 - <<'EOF' || true
+import json
+
+def load(path):
+    with open(path) as fh:
+        return {m["metric"]: m for m in json.load(fh)}
+
+try:
+    baseline = load("BENCH_e2e.json")
+except OSError:
+    print("WARN: no committed BENCH_e2e.json baseline")
+    raise SystemExit(0)
+fresh = load("build/BENCH_e2e.json")
+
+for name in sorted(set(baseline) | set(fresh)):
+    if name not in fresh:
+        print(f"WARN: metric '{name}' in baseline but not produced")
+    elif name not in baseline:
+        print(f"WARN: new metric '{name}' missing from the baseline")
+    elif baseline[name]["unit"] != fresh[name]["unit"]:
+        print(f"WARN: metric '{name}' changed unit "
+              f"{baseline[name]['unit']} -> {fresh[name]['unit']}")
+    else:
+        old, new = baseline[name]["value"], fresh[name]["value"]
+        if old > 0 and new < old / 10:
+            print(f"WARN: metric '{name}' collapsed {old:.3g} -> "
+                  f"{new:.3g} (>10x below baseline; smoke sizes, "
+                  f"but worth a look)")
+print("bench_e2e_engine baseline diff done (warnings are non-fatal)")
+EOF
+else
+    failures=$((failures + 1))
+fi
+
 # --- 5. ThreadSanitizer build + tests ----------------------------------
 note "TSan build + ctest (preset: tsan)"
 cmake --preset tsan >/dev/null

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace frugal {
 
 /** Welford-style scalar accumulator. */
@@ -118,6 +120,19 @@ class Histogram
                 return BucketLow(i);
         }
         return all_.max();
+    }
+
+    /** Folds another histogram in; bucket layouts must match (same
+     *  base/growth/bucket count), as they do for per-thread instances of
+     *  the same metric merged at join time. */
+    void
+    Merge(const Histogram &other)
+    {
+        FRUGAL_DCHECK(base_ == other.base_ && growth_ == other.growth_ &&
+                      counts_.size() == other.counts_.size());
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        all_.Merge(other.all_);
     }
 
     void

@@ -72,10 +72,43 @@ class FlushQueue
     /**
      * Claims and appends up to `max_entries` further entries to `out`,
      * in priority order (existing contents of `out` are preserved).
+     * `shard_hint` identifies the calling flush thread: implementations
+     * with sharded buckets (TwoLevelPQ) drain the hinted sub-set first so
+     * concurrent dequeuers scan disjoint slots, falling back to peers'
+     * shards only when their own runs dry — the hint is a performance
+     * steer, never a visibility restriction (any single caller can still
+     * drain the whole queue). Implementations without shards ignore it.
      * @return the number of tickets appended.
      */
     virtual std::size_t DequeueClaim(std::vector<ClaimTicket> &out,
-                                     std::size_t max_entries) = 0;
+                                     std::size_t max_entries,
+                                     std::size_t shard_hint) = 0;
+
+    /** As above with no shard preference (hint 0). */
+    std::size_t
+    DequeueClaim(std::vector<ClaimTicket> &out, std::size_t max_entries)
+    {
+        return DequeueClaim(out, max_entries, 0);
+    }
+
+    /**
+     * As DequeueClaim, but claims only entries with priority ≤ `ceiling`
+     * (finite — never the deferred ∞ bucket). Used by the cooperative
+     * flush path: a gate-blocked trainer claims exactly the entries
+     * blocking its gate, leaving later-step and deferred entries in
+     * place so they keep accumulating writes for the flush threads to
+     * coalesce. The base implementation falls back to an unbounded
+     * claim — correct (the ≤ ceiling entries come first in priority
+     * order) but without the batching-preserving restraint.
+     */
+    virtual std::size_t
+    DequeueClaimBelow(std::vector<ClaimTicket> &out,
+                      std::size_t max_entries, std::size_t shard_hint,
+                      Step ceiling)
+    {
+        (void)ceiling;
+        return DequeueClaim(out, max_entries, shard_hint);
+    }
 
     /**
      * Completion callback: the flush thread finished applying the claimed

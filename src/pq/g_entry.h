@@ -22,6 +22,7 @@
 #ifndef FRUGAL_PQ_G_ENTRY_H_
 #define FRUGAL_PQ_G_ENTRY_H_
 
+#include <chrono>
 #include <deque>
 #include <utility>
 #include <vector>
@@ -38,6 +39,10 @@ struct WriteRecord
     Step step = 0;            ///< training step that produced the gradient
     GpuId src = 0;            ///< GPU that produced it
     std::vector<float> grad;  ///< gradient Δ (may be empty in unit tests)
+    /** When the record was staged into the W set; flush threads report
+     *  apply-time minus this as the *flush lag* (zero/default in unit
+     *  tests that never read it). */
+    std::chrono::steady_clock::time_point staged{};
 };
 
 /** Metadata for one parameter (§3.3). */

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/arena.h"
@@ -69,6 +70,49 @@ class GEntryRegistry
         if (inserted)
             *entry = shard.arena.Create(key);
         return **entry;
+    }
+
+    /**
+     * Batched get-or-create: resolves `keys[i]` into `out[i]` for i in
+     * [0, keys.size()). Keys are grouped by shard first, so each shard
+     * lock is taken once per contiguous run of same-shard keys instead
+     * of once per key — the single-call path above pays a lock
+     * round-trip per key even when consecutive keys land in the same
+     * shard. Duplicate keys in the batch are fine (they resolve to the
+     * same entry). Equivalent to calling GetOrCreate per key.
+     */
+    void
+    GetOrCreateBatch(std::span<const Key> keys, GEntry **out)
+    {
+        const std::size_t n = keys.size();
+        if (n == 0)
+            return;
+        // Scratch kept across calls (this runs once per drained step on
+        // the hot path); (shard, index) packed into one word so the
+        // group-by is a single integer sort.
+        thread_local std::vector<std::uint64_t> grouped;
+        grouped.clear();
+        grouped.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t shard = MixHash64(keys[i]) % shards_.size();
+            grouped.push_back(shard << 32 | i);
+        }
+        std::sort(grouped.begin(), grouped.end());
+        std::size_t i = 0;
+        while (i < n) {
+            const std::uint64_t shard_id = grouped[i] >> 32;
+            Shard &shard = shards_[shard_id];
+            std::lock_guard<Spinlock> guard(shard.lock);
+            for (; i < n && grouped[i] >> 32 == shard_id; ++i) {
+                const auto idx =
+                    static_cast<std::size_t>(grouped[i] & 0xffffffffu);
+                auto [entry, inserted] =
+                    shard.entries.TryEmplace(keys[idx], nullptr);
+                if (inserted)
+                    *entry = shard.arena.Create(keys[idx]);
+                out[idx] = *entry;
+            }
+        }
     }
 
     /** Returns the entry for `key` or nullptr. */

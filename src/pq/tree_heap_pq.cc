@@ -71,8 +71,9 @@ TreeHeapPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
 
 std::size_t
 TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
-                         std::size_t max_entries)
+                         std::size_t max_entries, std::size_t shard_hint)
 {
+    (void)shard_hint;  // single shared heap; no shards to steer towards
     const std::size_t initial = out.size();
     max_entries += initial;  // budget is "append up to max_entries"
     while (out.size() < max_entries) {

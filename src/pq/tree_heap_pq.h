@@ -34,11 +34,14 @@ class TreeHeapPQ final : public FlushQueue
   public:
     TreeHeapPQ() = default;
 
+    using FlushQueue::DequeueClaim;
+
     void Enqueue(GEntry *entry, Priority priority) override;
     void OnPriorityChange(GEntry *entry, Priority old_priority,
                           Priority new_priority) override;
     std::size_t DequeueClaim(std::vector<ClaimTicket> &out,
-                             std::size_t max_entries) override;
+                             std::size_t max_entries,
+                             std::size_t shard_hint) override;
     void OnFlushed(const ClaimTicket &ticket) override;
     void Unenqueue(GEntry *entry, Priority priority) override;
     bool HasPendingAtOrBelow(Step step) const override;

@@ -3,22 +3,28 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/rng.h"
+
 namespace frugal {
 
 TwoLevelPQ::TwoLevelPQ(const TwoLevelPQConfig &config)
     : config_(config),
+      n_shards_(config.n_shards),
       infinity_index_(static_cast<std::size_t>(config.max_step) + 1),
-      buckets_(static_cast<std::size_t>(config.max_step) + 2)
+      buckets_(static_cast<std::size_t>(config.max_step) + 2),
+      sets_((static_cast<std::size_t>(config.max_step) + 2) *
+            config.n_shards)
 {
+    FRUGAL_CHECK_MSG(config.n_shards >= 1, "n_shards must be >= 1");
     // relaxed: single-threaded construction; publication of the whole
     // object happens-before any concurrent use.
-    scan_horizon_.store(config.max_step, std::memory_order_relaxed);
+    scan_horizon_->store(config.max_step, std::memory_order_relaxed);
 }
 
 TwoLevelPQ::~TwoLevelPQ()
 {
-    for (Bucket &bucket : buckets_)
-        delete bucket.set.load(std::memory_order_acquire);
+    for (auto &set : sets_)
+        delete set.load(std::memory_order_acquire);
 }
 
 std::size_t
@@ -32,15 +38,26 @@ TwoLevelPQ::BucketIndex(Priority priority) const
     return static_cast<std::size_t>(priority);
 }
 
-AtomicSlotSet<GEntry> &
-TwoLevelPQ::EnsureSet(Bucket &bucket)
+std::size_t
+TwoLevelPQ::ShardOf(const GEntry *entry) const
 {
-    AtomicSlotSet<GEntry> *set = bucket.set.load(std::memory_order_acquire);
+    // The same mix the registry shards by; a key's shard is a pure
+    // function of the key, so every copy of an entry (live or stale)
+    // lives in the same sub-set of whichever bucket holds it.
+    return n_shards_ == 1 ? 0 : MixHash64(entry->key()) % n_shards_;
+}
+
+AtomicSlotSet<GEntry> &
+TwoLevelPQ::EnsureSet(std::size_t bucket_index, std::size_t shard)
+{
+    std::atomic<AtomicSlotSet<GEntry> *> &slot =
+        sets_[bucket_index * n_shards_ + shard];
+    AtomicSlotSet<GEntry> *set = slot.load(std::memory_order_acquire);
     if (set == nullptr) {
         auto *fresh = new AtomicSlotSet<GEntry>(config_.segment_slots);
-        if (bucket.set.compare_exchange_strong(set, fresh,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire)) {
+        if (slot.compare_exchange_strong(set, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
             set = fresh;
         } else {
             delete fresh;  // lost the allocation race
@@ -52,13 +69,13 @@ TwoLevelPQ::EnsureSet(Bucket &bucket)
 void
 TwoLevelPQ::Enqueue(GEntry *entry, Priority priority)
 {
-    Bucket &bucket = buckets_[BucketIndex(priority)];
+    const std::size_t bucket_index = BucketIndex(priority);
     // Logical count first: the gate must never observe "no pending entry"
     // while one is being published.
-    bucket.logical.fetch_add(1, std::memory_order_release);
+    buckets_[bucket_index].logical.fetch_add(1, std::memory_order_release);
     // relaxed: approximate global size (SizeApprox contract).
-    size_.fetch_add(1, std::memory_order_relaxed);
-    EnsureSet(bucket).Insert(entry);
+    size_->fetch_add(1, std::memory_order_relaxed);
+    EnsureSet(bucket_index, ShardOf(entry)).Insert(entry);
 }
 
 void
@@ -68,9 +85,9 @@ TwoLevelPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
     FRUGAL_CHECK(old_priority != new_priority);
     // Paper ordering: first insert into the new bucket, then delete from
     // the old one, so a dequeuer can never observe the entry in neither.
-    Bucket &fresh = buckets_[BucketIndex(new_priority)];
-    fresh.logical.fetch_add(1, std::memory_order_release);
-    EnsureSet(fresh).Insert(entry);
+    const std::size_t fresh_index = BucketIndex(new_priority);
+    buckets_[fresh_index].logical.fetch_add(1, std::memory_order_release);
+    EnsureSet(fresh_index, ShardOf(entry)).Insert(entry);
     // Logical deletion only; the stale physical copy is discarded by the
     // dequeuer whose priority validation fails.
     buckets_[BucketIndex(old_priority)].logical.fetch_sub(
@@ -80,36 +97,44 @@ TwoLevelPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
 std::size_t
 TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
                         std::vector<ClaimTicket> &out,
-                        std::size_t max_entries)
+                        std::size_t max_entries, std::size_t shard_hint,
+                        std::uint64_t *stale_out)
 {
     Bucket &bucket = buckets_[bucket_index];
-    AtomicSlotSet<GEntry> *set = bucket.set.load(std::memory_order_acquire);
-    if (set == nullptr)
-        return 0;
     std::size_t claimed = 0;
-    while (out.size() < max_entries) {
-        GEntry *entry = set->PopAny();
-        if (entry == nullptr)
-            break;
-        std::lock_guard<Spinlock> guard(entry->lock());
-        if (entry->enqueuedLocked() &&
-            entry->priorityLocked() == priority) {
-            // Valid: claim it. From here until OnFlushed, this flush
-            // thread exclusively owns the entry's pending writes, and the
-            // bucket's in-flight count keeps the gate closed.
-            entry->setEnqueuedLocked(false);
-            bucket.in_flight.fetch_add(1, std::memory_order_release);
-            bucket.logical.fetch_sub(1, std::memory_order_release);
-            // relaxed: approximate global size (SizeApprox contract).
-            size_.fetch_sub(1, std::memory_order_relaxed);
-            out.push_back(ClaimTicket{entry, priority});
-            ++claimed;
-        } else {
-            // A lazily deleted copy left behind by AdjustPriority (or a
-            // duplicate from a former ∞ residence). Drop it; the live
-            // copy, if any, sits in the bucket of its current priority.
-            // relaxed: monotonic stat counter.
-            stale_discards_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t rotation = 0;
+         rotation < n_shards_ && out.size() < max_entries; ++rotation) {
+        // Own shard first; peers' shards only as fallback (stealing).
+        const std::size_t shard = (shard_hint + rotation) % n_shards_;
+        AtomicSlotSet<GEntry> *set =
+            sets_[bucket_index * n_shards_ + shard].load(
+                std::memory_order_acquire);
+        if (set == nullptr)
+            continue;
+        while (out.size() < max_entries) {
+            GEntry *entry = set->PopAny();
+            if (entry == nullptr)
+                break;
+            std::lock_guard<Spinlock> guard(entry->lock());
+            if (entry->enqueuedLocked() &&
+                entry->priorityLocked() == priority) {
+                // Valid: claim it. From here until OnFlushed, this flush
+                // thread exclusively owns the entry's pending writes, and
+                // the bucket's in-flight count keeps the gate closed.
+                entry->setEnqueuedLocked(false);
+                bucket.in_flight.fetch_add(1, std::memory_order_release);
+                bucket.logical.fetch_sub(1, std::memory_order_release);
+                // relaxed: approximate global size (SizeApprox contract).
+                size_->fetch_sub(1, std::memory_order_relaxed);
+                out.push_back(ClaimTicket{entry, priority});
+                ++claimed;
+            } else {
+                // A lazily deleted copy left behind by AdjustPriority (or
+                // a duplicate from a former ∞ residence). Drop it; the
+                // live copy, if any, sits in the bucket of its current
+                // priority.
+                ++*stale_out;
+            }
         }
     }
     return claimed;
@@ -117,33 +142,67 @@ TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
 
 std::size_t
 TwoLevelPQ::DequeueClaim(std::vector<ClaimTicket> &out,
-                         std::size_t max_entries)
+                         std::size_t max_entries, std::size_t shard_hint)
+{
+    return DequeueClaimBounded(out, max_entries, shard_hint,
+                               config_.max_step,
+                               /*include_infinity=*/true);
+}
+
+std::size_t
+TwoLevelPQ::DequeueClaimBelow(std::vector<ClaimTicket> &out,
+                              std::size_t max_entries,
+                              std::size_t shard_hint, Step ceiling)
+{
+    return DequeueClaimBounded(out, max_entries, shard_hint, ceiling,
+                               /*include_infinity=*/false);
+}
+
+std::size_t
+TwoLevelPQ::DequeueClaimBounded(std::vector<ClaimTicket> &out,
+                                std::size_t max_entries,
+                                std::size_t shard_hint, Step ceiling,
+                                bool include_infinity)
 {
     const std::size_t initial = out.size();
     max_entries += initial;  // budget is "append up to max_entries"
-    const Step floor =
-        scan_compression_ ? scan_floor_.load(std::memory_order_acquire) : 0;
-    const Step horizon = scan_compression_
-                             ? scan_horizon_.load(std::memory_order_acquire)
-                             : config_.max_step;
+    shard_hint %= n_shards_;
+    const Step floor = scan_compression_
+                           ? scan_floor_->load(std::memory_order_acquire)
+                           : 0;
+    const Step horizon = std::min(
+        ceiling,
+        scan_compression_ ? scan_horizon_->load(std::memory_order_acquire)
+                          : config_.max_step);
     const std::size_t low = BucketIndex(std::min(floor, config_.max_step));
     const std::size_t high =
         BucketIndex(std::min(horizon, config_.max_step));
+    // Scan and stale counts accumulate locally and fold into the shared
+    // (padded) counters once per pass, not once per bucket.
+    std::uint64_t scanned = 0;
+    std::uint64_t stale = 0;
     for (std::size_t i = low; i <= high && out.size() < max_entries; ++i) {
-        // relaxed: monotonic stat counter (ablation instrumentation).
-        buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
+        ++scanned;
         if (buckets_[i].logical.load(std::memory_order_acquire) <= 0)
             continue;
-        DrainBucket(i, static_cast<Priority>(i), out, max_entries);
+        DrainBucket(i, static_cast<Priority>(i), out, max_entries,
+                    shard_hint, &stale);
     }
     // The ∞ bucket last: deferred updates flush only when nothing urgent
-    // remains in the window.
-    if (out.size() < max_entries &&
+    // remains in the window (and never under a bounded claim — the
+    // cooperative flush path leaves deferred entries accumulating).
+    if (include_infinity && out.size() < max_entries &&
         buckets_[infinity_index_].logical.load(std::memory_order_acquire) >
             0) {
-        // relaxed: monotonic stat counter (ablation instrumentation).
-        buckets_scanned_.fetch_add(1, std::memory_order_relaxed);
-        DrainBucket(infinity_index_, kInfiniteStep, out, max_entries);
+        ++scanned;
+        DrainBucket(infinity_index_, kInfiniteStep, out, max_entries,
+                    shard_hint, &stale);
+    }
+    // relaxed: monotonic stat counter (ablation instrumentation).
+    buckets_scanned_->fetch_add(scanned, std::memory_order_relaxed);
+    if (stale > 0) {
+        // relaxed: monotonic stat counter.
+        stale_discards_->fetch_add(stale, std::memory_order_relaxed);
     }
     return out.size() - initial;
 }
@@ -171,14 +230,15 @@ TwoLevelPQ::Unenqueue(GEntry *entry, Priority priority)
     (void)prev;
     // relaxed: approximate global size; exactness is audited at
     // quiescence, not per-operation.
-    size_.fetch_sub(1, std::memory_order_relaxed);
+    size_->fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool
 TwoLevelPQ::HasPendingAtOrBelow(Step step) const
 {
-    const Step floor =
-        scan_compression_ ? scan_floor_.load(std::memory_order_acquire) : 0;
+    const Step floor = scan_compression_
+                           ? scan_floor_->load(std::memory_order_acquire)
+                           : 0;
     if (step > config_.max_step)
         step = config_.max_step;
     for (Step p = std::min(floor, step); p <= step; ++p) {
@@ -194,7 +254,7 @@ TwoLevelPQ::HasPendingAtOrBelow(Step step) const
 std::size_t
 TwoLevelPQ::SizeApprox() const
 {
-    return size_.load(std::memory_order_acquire);
+    return size_->load(std::memory_order_acquire);
 }
 
 void
@@ -204,13 +264,13 @@ TwoLevelPQ::SetScanBounds(Step floor, Step horizon)
     // relaxed: the CAS loop only needs an atomic max — the bound is a
     // scan *hint*; correctness of skipped buckets comes from the gate
     // invariant, not from ordering on this variable.
-    Step current = scan_floor_.load(std::memory_order_relaxed);
+    Step current = scan_floor_->load(std::memory_order_relaxed);
     while (floor > current &&
-           !scan_floor_.compare_exchange_weak(
+           !scan_floor_->compare_exchange_weak(
                current, floor, std::memory_order_release,
                std::memory_order_relaxed /* relaxed: retry reload */)) {
     }
-    scan_horizon_.store(horizon, std::memory_order_release);
+    scan_horizon_->store(horizon, std::memory_order_release);
 }
 
 std::size_t
@@ -252,30 +312,40 @@ TwoLevelPQ::AuditInvariants(bool quiescent) const
                  << "bucket " << i << " in-flight count " << in_flight
                  << " != 0 at quiescence");
         }
-        const AtomicSlotSet<GEntry> *set =
-            bucket.set.load(std::memory_order_acquire);
-        if (set == nullptr)
-            continue;
-        const auto snap = set->AuditAccounting();
-        if (!snap.per_segment_consistent) {
-            fail(log_internal::MessageBuilder()
-                 << "bucket " << i
-                 << " slot-set accounting broken: announced "
-                 << snap.announced << ", popped " << snap.popped
-                 << " across " << snap.segments << " segment(s)");
+        // Slot-set accounting per shard; residency is summed across the
+        // bucket's shards (the logical/in-flight counts are bucket-wide).
+        std::size_t bucket_resident = 0;
+        for (std::size_t shard = 0; shard < n_shards_; ++shard) {
+            const AtomicSlotSet<GEntry> *set =
+                sets_[i * n_shards_ + shard].load(
+                    std::memory_order_acquire);
+            if (set == nullptr)
+                continue;
+            const auto snap = set->AuditAccounting();
+            if (!snap.per_segment_consistent) {
+                fail(log_internal::MessageBuilder()
+                     << "bucket " << i << " shard " << shard
+                     << " slot-set accounting broken: announced "
+                     << snap.announced << ", popped " << snap.popped
+                     << " across " << snap.segments << " segment(s)");
+            }
+            if (quiescent) {
+                // Exact at quiescence: residents are
+                // announced-not-popped.
+                const std::size_t resident = snap.announced - snap.popped;
+                if (resident != set->size()) {
+                    fail(log_internal::MessageBuilder()
+                         << "bucket " << i << " shard " << shard
+                         << " slot-set size " << set->size()
+                         << " != announced-popped residue " << resident);
+                }
+                bucket_resident += resident;
+            }
         }
         if (quiescent) {
-            // Exact at quiescence: residents are announced-not-popped.
-            const std::size_t resident = snap.announced - snap.popped;
-            if (resident != set->size()) {
-                fail(log_internal::MessageBuilder()
-                     << "bucket " << i << " slot-set size "
-                     << set->size() << " != announced-popped residue "
-                     << resident);
-            }
             // Residents at quiescence can only be lazily deleted
             // (stale) copies — the live count is zero (checked above).
-            stale_resident += resident;
+            stale_resident += bucket_resident;
         }
     }
     if (quiescent) {
@@ -299,10 +369,11 @@ TwoLevelPQ::DebugDump() const
     std::ostringstream out;
     // relaxed: diagnostic snapshot; values may be mutually inconsistent
     // under concurrency, which the dump's caption acknowledges.
-    const Step floor = scan_floor_.load(std::memory_order_relaxed);
-    const Step horizon = scan_horizon_.load(std::memory_order_relaxed);
-    out << "two-level-pq: size≈" << size_.load(std::memory_order_relaxed)
-        << " scan=[" << floor << ", " << horizon << "] ∪ {∞}\n";
+    const Step floor = scan_floor_->load(std::memory_order_relaxed);
+    const Step horizon = scan_horizon_->load(std::memory_order_relaxed);
+    out << "two-level-pq: size≈" << size_->load(std::memory_order_relaxed)
+        << " shards=" << n_shards_ << " scan=[" << floor << ", " << horizon
+        << "] ∪ {∞}\n";
     std::size_t listed = 0;
     constexpr std::size_t kMaxListed = 16;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {

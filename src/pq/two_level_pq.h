@@ -44,6 +44,19 @@
  * `HasPendingAtOrBelow(s)` scans counts in `[floor, s]`; because a
  * logical count is raised on the new bucket before being dropped on the
  * old one, the gate can only over-block momentarily, never under-block.
+ *
+ * Dequeue sharding (flush-path parallelism): the level-2 container of a
+ * bucket is split into `n_shards` independent slot sets, and an entry
+ * always lands in the shard `hash(key) % n_shards`. A dequeuer passes its
+ * shard hint (its flush-thread index) and drains its *own* sub-set first,
+ * so concurrent `DequeueClaim` calls scan disjoint slots in the common
+ * case; only when its own shard is dry (and budget remains) does it
+ * rotate through the peers' shards — work stealing that preserves
+ * liveness when shard populations are skewed or when there are fewer
+ * active flushers than shards. The gate predicate is untouched: the
+ * logical/in-flight counts stay *per bucket* aggregates, so
+ * `HasPendingAtOrBelow` remains one counter pair per step, and scan-range
+ * compression still bounds the level-1 scan independently of sharding.
  */
 #ifndef FRUGAL_PQ_TWO_LEVEL_PQ_H_
 #define FRUGAL_PQ_TWO_LEVEL_PQ_H_
@@ -53,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "pq/atomic_slot_set.h"
 #include "pq/flush_queue.h"
 
@@ -65,6 +79,10 @@ struct TwoLevelPQConfig
     Step max_step = 0;
     /** Slots per bucket segment (growth quantum of the level-2 sets). */
     std::size_t segment_slots = 32;
+    /** Dequeue shards per bucket (one per flush thread); entries home to
+     *  shard `hash(key) % n_shards`, so dequeuers with distinct hints
+     *  drain disjoint slot sets. 1 = the unsharded layout. */
+    std::size_t n_shards = 1;
 };
 
 /** The two-level concurrent priority queue of §3.4. */
@@ -74,11 +92,18 @@ class TwoLevelPQ final : public FlushQueue
     explicit TwoLevelPQ(const TwoLevelPQConfig &config);
     ~TwoLevelPQ() override;
 
+    using FlushQueue::DequeueClaim;
+
     void Enqueue(GEntry *entry, Priority priority) override;
     void OnPriorityChange(GEntry *entry, Priority old_priority,
                           Priority new_priority) override;
     std::size_t DequeueClaim(std::vector<ClaimTicket> &out,
-                             std::size_t max_entries) override;
+                             std::size_t max_entries,
+                             std::size_t shard_hint) override;
+    std::size_t DequeueClaimBelow(std::vector<ClaimTicket> &out,
+                                  std::size_t max_entries,
+                                  std::size_t shard_hint,
+                                  Step ceiling) override;
     void OnFlushed(const ClaimTicket &ticket) override;
     void Unenqueue(GEntry *entry, Priority priority) override;
     bool HasPendingAtOrBelow(Step step) const override;
@@ -92,7 +117,7 @@ class TwoLevelPQ final : public FlushQueue
     std::uint64_t staleDiscards() const
     {
         // relaxed: monotonic stat counter, read for reporting only.
-        return stale_discards_.load(std::memory_order_relaxed);
+        return stale_discards_->load(std::memory_order_relaxed);
     }
 
     /** Number of priority-index slots scanned by dequeues (for the scan
@@ -100,7 +125,7 @@ class TwoLevelPQ final : public FlushQueue
     std::uint64_t bucketsScanned() const
     {
         // relaxed: monotonic stat counter, read for reporting only.
-        return buckets_scanned_.load(std::memory_order_relaxed);
+        return buckets_scanned_->load(std::memory_order_relaxed);
     }
 
     /** Enables/disables scan range compression (ablation hook; on by
@@ -111,7 +136,6 @@ class TwoLevelPQ final : public FlushQueue
   private:
     struct Bucket
     {
-        std::atomic<AtomicSlotSet<GEntry> *> set{nullptr};
         /** Entries whose current priority maps here and are enqueued. */
         std::atomic<std::int64_t> logical{0};
         /** Entries claimed from here whose flush has not completed. */
@@ -119,21 +143,44 @@ class TwoLevelPQ final : public FlushQueue
     };
 
     std::size_t BucketIndex(Priority priority) const;
-    AtomicSlotSet<GEntry> &EnsureSet(Bucket &bucket);
+    std::size_t ShardOf(const GEntry *entry) const;
+    AtomicSlotSet<GEntry> &EnsureSet(std::size_t bucket_index,
+                                     std::size_t shard);
 
-    /** Pops claimed entries from one bucket; returns count appended. */
+    /**
+     * Pops claimed entries from one bucket, scanning the hinted shard's
+     * sub-set first and stealing from the rest only if budget remains.
+     * Returns the count appended; accumulates stale discards into
+     * `stale_out`.
+     */
     std::size_t DrainBucket(std::size_t bucket_index, Priority priority,
                             std::vector<ClaimTicket> &out,
-                            std::size_t max_entries);
+                            std::size_t max_entries, std::size_t shard_hint,
+                            std::uint64_t *stale_out);
+
+    /** Shared scan body: claims from finite buckets up to
+     *  min(ceiling, horizon), then optionally the ∞ bucket. */
+    std::size_t DequeueClaimBounded(std::vector<ClaimTicket> &out,
+                                    std::size_t max_entries,
+                                    std::size_t shard_hint, Step ceiling,
+                                    bool include_infinity);
 
     const TwoLevelPQConfig config_;
+    const std::size_t n_shards_;
     const std::size_t infinity_index_;
     std::vector<Bucket> buckets_;
-    std::atomic<Step> scan_floor_{0};
-    std::atomic<Step> scan_horizon_{0};
-    std::atomic<std::size_t> size_{0};
-    std::atomic<std::uint64_t> stale_discards_{0};
-    std::atomic<std::uint64_t> buckets_scanned_{0};
+    /** Level-2 sub-sets, one per (bucket, shard): index
+     *  `bucket * n_shards_ + shard`. Lazily allocated. */
+    std::vector<std::atomic<AtomicSlotSet<GEntry> *>> sets_;
+    /** Hot cross-thread atomics, each on its own cache line: dequeuers
+     *  read the scan bounds and bump the shared counters on every pass,
+     *  and packing them together made every SetScanBounds invalidate the
+     *  counters' line (and vice versa) on all flush threads. */
+    CacheAligned<std::atomic<Step>> scan_floor_{0};
+    CacheAligned<std::atomic<Step>> scan_horizon_{0};
+    CacheAligned<std::atomic<std::size_t>> size_{0};
+    CacheAligned<std::atomic<std::uint64_t>> stale_discards_{0};
+    CacheAligned<std::atomic<std::uint64_t>> buckets_scanned_{0};
     bool scan_compression_ = true;
 };
 

@@ -60,6 +60,30 @@ struct EngineConfig
     /** Entries claimed per dequeue (batched dequeue, §3.4). */
     std::size_t flush_batch = 8;
 
+    /** Dequeue shards per PQ bucket (FrugalEngine + TwoLevelPQ only):
+     *  each flush thread drains its own shard first, so concurrent
+     *  dequeues scan disjoint slot sets. 0 = one shard per flush
+     *  thread; 1 = the unsharded legacy layout. */
+    std::size_t pq_shards = 0;
+
+    /**
+     * Apply claimed flushes through the coalesced batch path: sort each
+     * claim batch by key and commit every claimed entry's W set with
+     * one entry-lock hold, one row-lock acquisition and one owner-cache
+     * refresh per entry run (FrugalEngine only). Also enables
+     * *cooperative flushing*: a gate-blocked trainer claims the entries
+     * blocking its own gate (DequeueClaimBelow, priority <= its step)
+     * and applies them inline instead of paying a flusher wakeup round
+     * trip per step, while idle flush threads nap off the gate CV and
+     * sweep later-step/deferred backlog. `false` restores the per-ticket
+     * legacy shape (one FlushClaimed per ticket, per-record row locking,
+     * flusher-only application, yield-spin backoff) — kept selectable so
+     * bench_e2e_engine can measure the overhaul against the exact
+     * pre-overhaul control plane. Either shape trains bit-identically;
+     * DESIGN.md §9 has the argument.
+     */
+    bool coalesced_flush = true;
+
     /** Update staging queue capacity, in per-(step, GPU) batches (each
      *  batch carries one trace GPU's whole step of gradients). */
     std::size_t staging_capacity = 1 << 15;
@@ -162,6 +186,12 @@ struct RunReport
     /** Gate/stall seconds per step (trainer 0's view). */
     StatAccumulator stall_per_step;
     double stall_seconds_total = 0.0;
+
+    /** Flush lag: staging-to-commit latency of applied update runs
+     *  (seconds; 1-in-16 sampled), merged across flush threads and
+     *  cooperative-flush trainer applies. Populated by FrugalEngine's
+     *  coalesced flush path. */
+    Histogram flush_lag;
 
     /** Merged cache counters across GPUs. */
     GpuCacheStats cache;

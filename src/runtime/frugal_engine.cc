@@ -88,6 +88,9 @@ struct FlusherSlot
     std::atomic<bool> dead{false};
     /** True while a dequeued batch is being processed. */
     std::atomic<bool> busy{false};
+    /** Flush lag (staging→commit seconds) of runs this slot applied;
+     *  written only by the slot's thread, merged after the joins. */
+    Histogram lag;
     std::thread thread;
 };
 
@@ -133,6 +136,10 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     } else {
         TwoLevelPQConfig pq_config;
         pq_config.max_step = n_steps;  // priorities are read steps < S
+        pq_config.n_shards =
+            config_.pq_shards != 0
+                ? config_.pq_shards
+                : std::max<std::size_t>(1, config_.flush_threads);
         auto two_level = std::make_unique<TwoLevelPQ>(pq_config);
         if (config_.disable_scan_compression)
             two_level->setScanCompression(false);
@@ -332,6 +339,14 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
 
     // --- prefetch thread (the sample queue, §3.2) ---------------------
     std::thread prefetcher([&] {
+        std::vector<GEntry *> resolved;
+        // Wake hysteresis: parking per advanced step costs one futex
+        // round trip per training step. Sleep until a burst of headroom
+        // (half the lookahead window) has opened, then register every
+        // available step before re-parking — same RegisterRead stream,
+        // a fraction of the wakeups.
+        const Step burst =
+            std::max<Step>(1, static_cast<Step>(config_.lookahead / 2));
         while (true) {
             // relaxed: only the prefetcher itself advances the frontier,
             // so its own prior store is always visible to it.
@@ -341,10 +356,15 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             {
                 std::unique_lock<std::mutex> lock(gate_mutex);
                 auto can_prefetch = [&] {
-                    const Step horizon =
+                    const Step limit = std::min<Step>(
+                        n_steps,
                         current_step.load(std::memory_order_acquire) +
-                        config_.lookahead;
-                    return frontier < std::min<Step>(n_steps, horizon);
+                            config_.lookahead);
+                    if (frontier >= limit)
+                        return false;
+                    // The final (partial) burst must not wait for
+                    // headroom the run will never produce.
+                    return frontier + burst <= limit || limit >= n_steps;
                 };
                 // Timed re-check: recovery paths can lose a wakeup; the
                 // deadline bounds any missed notify to one period.
@@ -353,15 +373,29 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                          can_prefetch)) {
                 }
             }
-            for (std::uint32_t g = 0; g < n_gpus; ++g) {
-                for (Key key : trace.KeysFor(frontier, g)) {
-                    RegisterRead(*queue, registry.GetOrCreate(key),
-                                 frontier);
+            while (frontier < n_steps) {
+                const Step limit = std::min<Step>(
+                    n_steps,
+                    current_step.load(std::memory_order_acquire) +
+                        config_.lookahead);
+                if (frontier >= limit)
+                    break;
+                for (std::uint32_t g = 0; g < n_gpus; ++g) {
+                    // Batched get-or-create: one registry shard-lock
+                    // take per same-shard key run instead of one per
+                    // key.
+                    const std::vector<Key> &keys =
+                        trace.KeysFor(frontier, g);
+                    resolved.resize(keys.size());
+                    registry.GetOrCreateBatch(keys, resolved.data());
+                    for (GEntry *entry : resolved)
+                        RegisterRead(*queue, *entry, frontier);
                 }
+                ++frontier;
+                prefetch_frontier.store(frontier,
+                                        std::memory_order_release);
+                nudge_gate();
             }
-            prefetch_frontier.store(frontier + 1,
-                                    std::memory_order_release);
-            nudge_gate();
         }
     });
 
@@ -378,6 +412,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             std::uint32_t row;
         };
         std::vector<RowRef> order;
+        std::vector<Key> unique_keys;
+        std::vector<GEntry *> entries;
         while (true) {
             // Timed pop: a drain loop that can wake on its own never
             // hangs on a dead producer, and the watchdog can observe
@@ -425,22 +461,34 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                                     : a.src < b.src;
                           });
                 // Consecutive refs with equal keys hit the same
-                // g-entry: resolve it once per run instead of per row.
-                GEntry *entry = nullptr;
-                Key entry_key = kInvalidKey;
+                // g-entry; resolve the step's whole (sorted, unique)
+                // key list in one batched registry call — one shard
+                // lock per same-shard run instead of one per key.
+                unique_keys.clear();
                 for (const RowRef &ref : order) {
-                    if (entry == nullptr || ref.key != entry_key) {
-                        entry = &registry.GetOrCreate(ref.key);
-                        entry_key = ref.key;
-                    }
+                    if (unique_keys.empty() ||
+                        ref.key != unique_keys.back())
+                        unique_keys.push_back(ref.key);
+                }
+                entries.resize(unique_keys.size());
+                registry.GetOrCreateBatch(unique_keys, entries.data());
+                // One stamp for the step's records: flush lag is
+                // measured from here, and the whole step registers in
+                // one pass.
+                const auto staged_at = std::chrono::steady_clock::now();
+                std::size_t run = 0;
+                for (const RowRef &ref : order) {
+                    if (ref.key != unique_keys[run])
+                        ++run;  // order and unique_keys sort identically
                     const UpdateBatch &batch = step_batches[s][ref.batch];
                     const float *grad =
                         batch.grads.data() +
                         static_cast<std::size_t>(ref.row) * dim;
                     RegisterUpdate(
-                        *queue, *entry,
+                        *queue, *entries[run],
                         WriteRecord{s, ref.src,
-                                    std::vector<float>(grad, grad + dim)});
+                                    std::vector<float>(grad, grad + dim),
+                                    staged_at});
                 }
                 step_batches[s].clear();
                 step_batches[s].shrink_to_fit();
@@ -453,7 +501,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     });
 
     // --- flush threads (§3.4 parallel flushing + recovery slots) ------
-    auto apply_update = [&](Key key, const WriteRecord &record) {
+    auto await_host_write = [&](Key key) {
         // Transient host-write failures retry with bounded exponential
         // backoff. This runs under the g-entry lock, so a retry storm
         // delays only this parameter's flush.
@@ -474,6 +522,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             std::this_thread::sleep_for(
                 std::chrono::microseconds(backoff_us));
         }
+    };
+    auto apply_update = [&](Key key, const WriteRecord &record) {
+        await_host_write(key);
         table_->ApplyGradient(key, record.grad.data(), *optimizer_);
         // updates_applied is bumped once per ticket by the caller (with
         // the count FlushClaimed returns), not per record here: one
@@ -489,6 +540,55 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         table_->ReadRow(key, row.data());
         caches[owner]->UpdateIfPresent(key, row.data());
     };
+    /**
+     * Coalesced counterpart of FlushClaimed (pq_ops.h): commits one
+     * claimed entry's whole W set with a single row-lock acquisition
+     * (ApplyGradients) instead of one per record, still inside one
+     * entry-lock critical section so the per-key application order stays
+     * the canonical (step, src) order — the take and the applies cannot
+     * interleave with a concurrent claim of the same entry's newer
+     * writes. Per-record optimizer applications are unchanged, so the
+     * result is bit-identical to the per-ticket path. The caller invokes
+     * OnFlushed per ticket afterwards (not here: a key run may cover
+     * several tickets for the same entry, each retiring its own claim).
+     * @return the number of records applied.
+     */
+    auto flush_entry_run = [&](GEntry &entry,
+                               Histogram *lag_hist) -> std::size_t {
+        std::lock_guard<Spinlock> guard(entry.lock());
+        if (entry.enqueuedLocked()) {
+            // Same zombie-retire rule as FlushClaimed: we consume any
+            // newer writes below, so the standing enqueue must go.
+            const Priority standing = entry.priorityLocked();
+            entry.setEnqueuedLocked(false);
+            queue->Unenqueue(&entry, standing);
+        }
+        std::vector<WriteRecord> writes = entry.TakeWritesLocked();
+        if (writes.empty())
+            return 0;
+        std::sort(writes.begin(), writes.end(),
+                  [](const WriteRecord &a, const WriteRecord &b) {
+                      return a.step != b.step ? a.step < b.step
+                                              : a.src < b.src;
+                  });
+        const Key key = entry.key();
+        // Same per-record transient-fault sequence as the per-ticket
+        // path; only the row writes themselves are batched after it.
+        for (std::size_t r = 0; r < writes.size(); ++r)
+            await_host_write(key);
+        thread_local std::vector<const float *> grad_ptrs;
+        grad_ptrs.clear();
+        for (const WriteRecord &record : writes)
+            grad_ptrs.push_back(record.grad.data());
+        table_->ApplyGradients(key, grad_ptrs.data(), writes.size(),
+                               *optimizer_);
+        refresh_cache(key);
+        if (lag_hist != nullptr) {
+            lag_hist->Add(Seconds(writes.front().staged,
+                                  std::chrono::steady_clock::now()));
+        }
+        return writes.size();
+    };
 
     std::vector<std::unique_ptr<FlusherSlot>> flusher_slots;
     for (std::size_t f = 0; f < config_.flush_threads; ++f)
@@ -498,20 +598,48 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     // a dead slot with the identical loop.
     std::function<void(FlusherSlot *)> flusher_body =
         [&](FlusherSlot *slot) {
+            // Consecutive zero-claim passes before the coalesced shape
+            // stops yielding and parks on the gate CV between rescans.
+            constexpr std::size_t kParkAfterEmptyClaims = 2;
+            std::size_t empty_claims = 0;
+            // Coalesced-shape idle nap; doubles (capped) while the
+            // queue stays dry, resets on a successful claim.
+            std::chrono::microseconds idle_sleep{500};
+            // Flush-lag is sampled (1 in 16 runs): a steady_clock read
+            // plus a log-bucket histogram insert per applied run is
+            // measurable against these micro-second apply times.
+            std::size_t lag_tick = 0;
             std::vector<ClaimTicket> claimed;
             while (true) {
                 if (queue->SizeApprox() == 0) {
                     if (drain_done.load(std::memory_order_acquire))
                         return;
-                    // Idle: block until the drainer publishes new work
-                    // (or winds down) instead of burning the timeslice.
-                    std::unique_lock<std::mutex> lock(gate_mutex);
-                    gate_cv.wait_for(
-                        lock, std::chrono::microseconds(500), [&] {
-                            return queue->SizeApprox() > 0 ||
-                                   drain_done.load(
-                                       std::memory_order_acquire);
-                        });
+                    if (config_.coalesced_flush) {
+                        // Idle, coalesced shape: flat self-wake, off
+                        // the gate CV. The drainer's nudge_gate is a
+                        // notify_all; four flushers parked on it turn
+                        // every drained step into a thundering herd
+                        // whose losers wake, rescan and re-park. The
+                        // gate-blocked trainer now claims its own
+                        // blockers (cooperative flush), so an idle
+                        // flusher only needs to wake often enough to
+                        // absorb later-step and deferred backlog.
+                        std::this_thread::sleep_for(idle_sleep);
+                        idle_sleep =
+                            std::min(idle_sleep * 2,
+                                     std::chrono::microseconds(4000));
+                    } else {
+                        // Idle: block until the drainer publishes new
+                        // work (or winds down) instead of burning the
+                        // timeslice.
+                        std::unique_lock<std::mutex> lock(gate_mutex);
+                        gate_cv.wait_for(
+                            lock, std::chrono::microseconds(500), [&] {
+                                return queue->SizeApprox() > 0 ||
+                                       drain_done.load(
+                                           std::memory_order_acquire);
+                            });
+                    }
                     continue;
                 }
                 // The scan floor relies on the gate's invariant that
@@ -527,14 +655,37 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     prefetch_frontier.load(std::memory_order_acquire));
                 claimed.clear();
                 slot->busy.store(true, std::memory_order_release);
-                if (queue->DequeueClaim(claimed, config_.flush_batch) ==
-                    0) {
+                if (queue->DequeueClaim(claimed, config_.flush_batch,
+                                        slot->index) == 0) {
                     // Entries exist but are momentarily unclaimable
                     // (mid-publish or taken by a peer); back off briefly.
                     slot->busy.store(false, std::memory_order_release);
-                    std::this_thread::yield();
+                    if (config_.coalesced_flush) {
+                        // Two-stage backoff: yield while the pipeline
+                        // is merely between batches, then a flat sleep
+                        // after a streak of empty claims. Everything
+                        // visible is in flight on a peer — or on a
+                        // gate-blocked trainer, which self-claims in
+                        // the cooperative-flush path and must not have
+                        // to outrace a CV-parked flusher for the work
+                        // it is waiting on — so rescanning in-flight
+                        // entries only burns timeslices the applying
+                        // threads need. The legacy shape keeps the
+                        // bare yield so bench_e2e_engine measures the
+                        // pre-overhaul loop faithfully.
+                        if (++empty_claims < kParkAfterEmptyClaims) {
+                            std::this_thread::yield();
+                        } else {
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(200));
+                        }
+                    } else {
+                        std::this_thread::yield();
+                    }
                     continue;
                 }
+                empty_claims = 0;
+                idle_sleep = std::chrono::microseconds{500};
 #if FRUGAL_DCHECK_ENABLED
                 if (auditor_armed)
                     auditor.OnClaimBatch(claimed, scan_floor);
@@ -550,58 +701,119 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     slot->claimed.insert(slot->claimed.end(),
                                          claimed.begin(), claimed.end());
                 }
-                for (const ClaimTicket &ticket : claimed) {
-                    if (FaultPoint(injector,
-                                   FaultSite::kFlushThreadDeath,
-                                   slot->index)
-                            .has_value()) {
-                        // Injected death mid-claim: vanish with the
-                        // unflushed tail still in the ledger. The gate
-                        // stays blocked (in-flight counts unretired)
-                        // until the watchdog reclaims them.
-                        std::size_t orphaned = 0;
-                        {
-                            std::lock_guard<Spinlock> guard(slot->lock);
-                            orphaned = slot->claimed.size();
-                        }
-                        FRUGAL_WARN("fault injection: flush thread "
-                                    << slot->index << " dies holding "
-                                    << orphaned << " claim(s)");
-                        // relaxed: monotonic stat counter, read after
-                        // joins.
-                        flusher_deaths.fetch_add(
-                            1, std::memory_order_relaxed);
-                        slot->dead.store(true, std::memory_order_release);
-                        slot->busy.store(false,
-                                         std::memory_order_release);
-                        nudge_gate();
-                        return;
+                auto injected_death = [&]() -> bool {
+                    if (!FaultPoint(injector,
+                                    FaultSite::kFlushThreadDeath,
+                                    slot->index)
+                             .has_value()) {
+                        return false;
                     }
-                    if (config_.flush_delay_us > 0) {
-                        // Fault injection: a slow host-memory path.
-                        std::this_thread::sleep_for(
-                            std::chrono::microseconds(
-                                config_.flush_delay_us));
-                    }
-                    const std::size_t applied = FlushClaimed(
-                        *queue, ticket, apply_update, refresh_cache);
-                    if (applied > 0) {
-                        // release: pairs with the checkpoint barrier's
-                        // acquire load. A reader observing applied ==
-                        // emitted must also observe every row/optimizer
-                        // write committed before the increment.
-                        updates_applied.fetch_add(
-                            applied, std::memory_order_release);
-                    }
+                    // Injected death mid-claim: vanish with the
+                    // unflushed tail still in the ledger. The gate
+                    // stays blocked (in-flight counts unretired)
+                    // until the watchdog reclaims them.
+                    std::size_t orphaned = 0;
                     {
                         std::lock_guard<Spinlock> guard(slot->lock);
-                        for (auto it = slot->claimed.begin();
-                             it != slot->claimed.end(); ++it) {
-                            if (it->entry == ticket.entry &&
-                                it->priority == ticket.priority) {
-                                slot->claimed.erase(it);
-                                break;
-                            }
+                        orphaned = slot->claimed.size();
+                    }
+                    FRUGAL_WARN("fault injection: flush thread "
+                                << slot->index << " dies holding "
+                                << orphaned << " claim(s)");
+                    // relaxed: monotonic stat counter, read after
+                    // joins.
+                    flusher_deaths.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    slot->dead.store(true, std::memory_order_release);
+                    slot->busy.store(false, std::memory_order_release);
+                    nudge_gate();
+                    return true;
+                };
+                auto erase_from_ledger = [&](const ClaimTicket &ticket) {
+                    for (auto it = slot->claimed.begin();
+                         it != slot->claimed.end(); ++it) {
+                        if (it->entry == ticket.entry &&
+                            it->priority == ticket.priority) {
+                            slot->claimed.erase(it);
+                            return;
+                        }
+                    }
+                };
+                if (config_.coalesced_flush) {
+                    // Coalesced application: group the batch by key so
+                    // tickets for the same entry form one contiguous
+                    // run, then commit each run with one entry-lock
+                    // hold, one row-lock acquisition and one owner
+                    // cache refresh. Sorting happens *after* the
+                    // auditor saw the batch in dequeue (priority)
+                    // order.
+                    std::sort(claimed.begin(), claimed.end(),
+                              [](const ClaimTicket &a,
+                                 const ClaimTicket &b) {
+                                  return a.entry->key() < b.entry->key();
+                              });
+                    std::size_t i = 0;
+                    while (i < claimed.size()) {
+                        std::size_t j = i + 1;
+                        while (j < claimed.size() &&
+                               claimed[j].entry == claimed[i].entry)
+                            ++j;
+                        if (injected_death())
+                            return;
+                        if (config_.flush_delay_us > 0) {
+                            // Fault injection: a slow host-memory path
+                            // (per ticket, as in the per-ticket shape).
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(
+                                    config_.flush_delay_us *
+                                    static_cast<long>(j - i)));
+                        }
+                        // A second ticket for the same entry finds the
+                        // W set already taken (applied == 0) and just
+                        // retires its claim — same as the per-ticket
+                        // path's zombie handling.
+                        const std::size_t applied = flush_entry_run(
+                            *claimed[i].entry,
+                            (lag_tick++ & 0xf) == 0 ? &slot->lag
+                                                    : nullptr);
+                        for (std::size_t k = i; k < j; ++k)
+                            queue->OnFlushed(claimed[k]);
+                        if (applied > 0) {
+                            // release: pairs with the checkpoint
+                            // barrier's acquire load. A reader
+                            // observing applied == emitted must also
+                            // observe every row/optimizer write
+                            // committed before the increment.
+                            updates_applied.fetch_add(
+                                applied, std::memory_order_release);
+                        }
+                        {
+                            std::lock_guard<Spinlock> guard(slot->lock);
+                            for (std::size_t k = i; k < j; ++k)
+                                erase_from_ledger(claimed[k]);
+                        }
+                        i = j;
+                    }
+                } else {
+                    for (const ClaimTicket &ticket : claimed) {
+                        if (injected_death())
+                            return;
+                        if (config_.flush_delay_us > 0) {
+                            // Fault injection: a slow host-memory path.
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(
+                                    config_.flush_delay_us));
+                        }
+                        const std::size_t applied = FlushClaimed(
+                            *queue, ticket, apply_update, refresh_cache);
+                        if (applied > 0) {
+                            // release: see the coalesced counterpart.
+                            updates_applied.fetch_add(
+                                applied, std::memory_order_release);
+                        }
+                        {
+                            std::lock_guard<Spinlock> guard(slot->lock);
+                            erase_from_ledger(ticket);
                         }
                     }
                 }
@@ -747,6 +959,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     // shared atomics once per step (before the barrier) instead of one
     // shared fetch_add per key.
     std::vector<CacheAligned<TrainerLocalStats>> local_stats(n_gpus);
+    // Per-trainer flush-lag histograms: cooperative-flush applies land
+    // here (flusher slots hold their own); merged after the joins.
+    std::vector<CacheAligned<Histogram>> trainer_lag(n_gpus);
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
         trainers.emplace_back([&, t = static_cast<GpuId>(g)] {
             const std::size_t dim = config_.dim;
@@ -755,6 +970,10 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             std::vector<Key> miss_keys;
             std::vector<float *> miss_outs;
             std::vector<std::size_t> owned_miss;
+            // Claim buffer for cooperative flushing at the gate, plus
+            // the same 1-in-16 lag sampling the flushers use.
+            std::vector<ClaimTicket> assist;
+            std::size_t lag_tick = 0;
             TrainerLocalStats &local = *local_stats[t];
             for (Step s = 0; s < n_steps; ++s) {
                 if (trainer_dead[t].load(std::memory_order_acquire)) {
@@ -776,12 +995,117 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 const auto wait_start = std::chrono::steady_clock::now();
                 if (!gate_open()) {
                     ++local.gate_waits;
-                    std::unique_lock<std::mutex> lock(gate_mutex);
-                    // Timed re-check: a recovery action (flusher
-                    // respawn, claim reclaim) may race a notify; the
-                    // deadline bounds any lost wakeup to one period.
-                    while (!gate_cv.wait_for(
-                        lock, std::chrono::milliseconds(50), gate_open)) {
+                    if (config_.coalesced_flush) {
+                        // Cooperative flushing: the gate is blocked
+                        // until the pending entries at or below s are
+                        // applied, so apply them *here* instead of
+                        // parking and paying two context switches
+                        // (wake a flusher, then get woken back) per
+                        // step on the critical path. The claim
+                        // protocol makes this safe — whoever wins the
+                        // claim owns the flush — and flush_entry_run
+                        // keeps the per-key order canonical no matter
+                        // who applies. Claims are batched and grouped
+                        // exactly like the flusher loop; the trainer
+                        // cannot die mid-assist (trainer death fires
+                        // at step boundaries), so no claim ledger is
+                        // needed.
+                        // Fruitless passes before escalating from
+                        // yield to a timed CV park.
+                        constexpr std::size_t kAssistYields = 32;
+                        std::size_t idle_passes = 0;
+                        while (!gate_open()) {
+                            const Step floor = current_step.load(
+                                std::memory_order_acquire);
+                            queue->SetScanBounds(
+                                floor, prefetch_frontier.load(
+                                           std::memory_order_acquire));
+                            assist.clear();
+                            // Bounded claim: only the entries blocking
+                            // *this* gate (priority <= s). Later-step
+                            // and deferred entries stay enqueued so
+                            // their writes keep coalescing for the
+                            // flush threads.
+                            if (queue->DequeueClaimBelow(
+                                    assist, config_.flush_batch, t, s) ==
+                                0) {
+                                // Nothing claimable: the gate waits on
+                                // the prefetcher/drainer, or the work
+                                // is in flight on a flusher. Yield
+                                // first — on a machine with fewer
+                                // cores than threads that hands the
+                                // timeslice straight to whichever
+                                // thread the gate is waiting for,
+                                // without a futex round trip — and
+                                // only park on the CV after a streak
+                                // of fruitless passes.
+                                if (++idle_passes < kAssistYields) {
+                                    std::this_thread::yield();
+                                } else {
+                                    std::unique_lock<std::mutex> lock(
+                                        gate_mutex);
+                                    gate_cv.wait_for(
+                                        lock,
+                                        std::chrono::microseconds(200),
+                                        gate_open);
+                                }
+                                continue;
+                            }
+                            idle_passes = 0;
+#if FRUGAL_DCHECK_ENABLED
+                            if (auditor_armed)
+                                auditor.OnClaimBatch(assist, floor);
+#endif
+                            // relaxed: monotonic stat counter.
+                            entry_claims.fetch_add(
+                                assist.size(),
+                                std::memory_order_relaxed);
+                            std::sort(assist.begin(), assist.end(),
+                                      [](const ClaimTicket &a,
+                                         const ClaimTicket &b) {
+                                          return a.entry->key() <
+                                                 b.entry->key();
+                                      });
+                            std::size_t i = 0;
+                            while (i < assist.size()) {
+                                std::size_t j = i + 1;
+                                while (j < assist.size() &&
+                                       assist[j].entry ==
+                                           assist[i].entry)
+                                    ++j;
+                                if (config_.flush_delay_us > 0) {
+                                    std::this_thread::sleep_for(
+                                        std::chrono::microseconds(
+                                            config_.flush_delay_us *
+                                            static_cast<long>(j - i)));
+                                }
+                                const std::size_t applied =
+                                    flush_entry_run(
+                                        *assist[i].entry,
+                                        (lag_tick++ & 0xf) == 0
+                                            ? &*trainer_lag[t]
+                                            : nullptr);
+                                for (std::size_t k = i; k < j; ++k)
+                                    queue->OnFlushed(assist[k]);
+                                if (applied > 0) {
+                                    updates_applied.fetch_add(
+                                        applied,
+                                        std::memory_order_release);
+                                }
+                                i = j;
+                            }
+                            nudge_gate();
+                        }
+                    } else {
+                        std::unique_lock<std::mutex> lock(gate_mutex);
+                        // Timed re-check: a recovery action (flusher
+                        // respawn, claim reclaim) may race a notify;
+                        // the deadline bounds any lost wakeup to one
+                        // period.
+                        while (!gate_cv.wait_for(
+                            lock, std::chrono::milliseconds(50),
+                            gate_open)) {
+                        }
                     }
                 }
                 const auto wait_end = std::chrono::steady_clock::now();
@@ -953,6 +1277,12 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         report.cache.evictions += s.evictions;
         report.cache.flush_writes += s.flush_writes;
     }
+    // Safe to read without the slot locks: every flusher thread is
+    // joined above, which happens-after its last histogram write.
+    for (const auto &slot : flusher_slots)
+        report.flush_lag.Merge(slot->lag);
+    for (const auto &lag : trainer_lag)
+        report.flush_lag.Merge(*lag);
     report.stall_per_step = stall_stats[0];
     for (double s : stall_seconds)
         report.stall_seconds_total += s;

@@ -101,6 +101,20 @@ HostEmbeddingTable::ApplyGradient(Key key, const float *grad,
 }
 
 std::uint64_t
+HostEmbeddingTable::ApplyGradients(Key key, const float *const *grads,
+                                   std::size_t n, Optimizer &optimizer)
+{
+    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    float *row = values_.data() + RowOffset(key);
+    for (std::size_t i = 0; i < n; ++i)
+        optimizer.Apply(key, row, grads[i], config_.dim);
+    // One release publish for the whole run: a reader that observes the
+    // bumped version also observes every row write the bump covers,
+    // exactly as with n single bumps.
+    return versions_[key].fetch_add(n, std::memory_order_release) + n;
+}
+
+std::uint64_t
 HostEmbeddingTable::RowVersion(Key key) const
 {
     FRUGAL_CHECK(key < config_.key_space);

@@ -80,6 +80,18 @@ class HostEmbeddingTable
     std::uint64_t ApplyGradient(Key key, const float *grad,
                                 Optimizer &optimizer);
 
+    /**
+     * Applies `n` gradients to one row under a single row-lock
+     * acquisition, in the order given — bit-identical to `n` successive
+     * ApplyGradient calls (the per-record optimizer application is
+     * unchanged; only the lock/version traffic is batched). The flush
+     * path uses this to commit a claimed g-entry's whole W set, already
+     * in canonical (step, src) order, with one lock round-trip.
+     * Returns the new version (bumped by `n`).
+     */
+    std::uint64_t ApplyGradients(Key key, const float *const *grads,
+                                 std::size_t n, Optimizer &optimizer);
+
     /** Row version (number of updates committed so far). */
     std::uint64_t RowVersion(Key key) const;
 

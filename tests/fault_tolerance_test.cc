@@ -441,6 +441,36 @@ TEST(FaultToleranceTest, HealthyRunNoFalseRecoveries)
     ExpectOracleEqual(engine, trace, task);
 }
 
+TEST(FaultToleranceTest, SparseShardsNoFalseStall)
+{
+    // Regression for the sharded dequeue path: with more PQ shards than
+    // flush threads and a tiny key set, most sub-buckets are empty or
+    // hold a single entry, so an individual DequeueClaim often comes
+    // back empty (the work lives in a shard another rotation reaches).
+    // The watchdog must not read that sparseness as a flush stall — the
+    // in-bucket rotation guarantees any one dequeuer still sees every
+    // shard, so flush progress continues and no stall is diagnosed.
+    EngineConfig config = BaseConfig();
+    config.pq_shards = 8;
+    config.flush_threads = 2;
+    config.key_space = 16;  // sparse: ~2 live keys per shard
+    config.watchdog_stall_ms = 200;  // tight stall deadline
+    Rng rng(31);
+    ZipfDistribution dist(config.key_space, 0.9);
+    const Trace trace = Trace::Synthetic(dist, rng, 120, 2, 8);
+    FrugalEngine engine(config);
+    const GradFn task = MakeLinearGradTask();
+    const RunReport report = engine.Run(trace, task);
+
+    EXPECT_EQ(report.steps, 120u);
+    EXPECT_EQ(report.recovery.stalls_detected, 0u);
+    EXPECT_EQ(report.recovery.watchdog_recoveries, 0u);
+    EXPECT_EQ(report.recovery.claims_reclaimed, 0u);
+    EXPECT_GT(report.recovery.watchdog_polls, 0u);
+    EXPECT_EQ(report.audit_violations, 0u);
+    ExpectOracleEqual(engine, trace, task);
+}
+
 TEST(FaultToleranceTest, KeyOwnershipRemapMovesEveryShard)
 {
     KeyOwnership ownership(4);

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "pq/g_entry_registry.h"
 
@@ -186,6 +188,45 @@ TEST(GEntryRegistryTest, ForEachVisitsAll)
     registry.ForEach([&](GEntry &) { ++visited; });
     EXPECT_EQ(visited, 100);
     EXPECT_EQ(registry.size(), 100u);
+}
+
+TEST(GEntryRegistryTest, GetOrCreateBatchMatchesSingles)
+{
+    GEntryRegistry batched(8), singles(8);
+    // Unsorted keys with duplicates and a key that already exists.
+    batched.GetOrCreate(17);
+    singles.GetOrCreate(17);
+    const std::vector<Key> keys = {42, 7, 17, 42, 1000, 7, 3};
+    std::vector<GEntry *> out(keys.size(), nullptr);
+    batched.GetOrCreateBatch(keys, out.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_NE(out[i], nullptr) << i;
+        EXPECT_EQ(out[i]->key(), keys[i]) << i;
+        // Duplicates resolve to the same entry, and a later single-call
+        // lookup agrees with the batch result.
+        EXPECT_EQ(out[i], &batched.GetOrCreate(keys[i])) << i;
+        singles.GetOrCreate(keys[i]);
+    }
+    EXPECT_EQ(out[0], out[3]);
+    EXPECT_EQ(out[1], out[5]);
+    EXPECT_EQ(batched.size(), singles.size());
+}
+
+TEST(GEntryRegistryTest, GetOrCreateBatchEmptyAndLarge)
+{
+    GEntryRegistry registry(8);
+    registry.GetOrCreateBatch(std::span<const Key>{}, nullptr);
+    EXPECT_EQ(registry.size(), 0u);
+
+    // Enough keys to span every shard and force arena block growth.
+    std::vector<Key> keys;
+    for (Key k = 0; k < 600; ++k)
+        keys.push_back(k * 31 + 5);
+    std::vector<GEntry *> out(keys.size(), nullptr);
+    registry.GetOrCreateBatch(keys, out.data());
+    EXPECT_EQ(registry.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(out[i], registry.Find(keys[i])) << i;
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,47 @@ TEST(EmbeddingTableTest, VersionsCountUpdates)
     for (int i = 0; i < 5; ++i)
         table.ApplyGradient(9, grad.data(), sgd);
     EXPECT_EQ(table.RowVersion(9), 5u);
+}
+
+// The batched flush path commits a whole per-key write run through
+// ApplyGradients; it must be bit-identical to n single ApplyGradient
+// calls (same optimizer math in the same order, no reassociation) and
+// advance the row version by exactly n.
+TEST(EmbeddingTableTest, ApplyGradientsMatchesSequentialBitExact)
+{
+    for (const char *name : {"sgd", "adagrad"}) {
+        HostEmbeddingTable batched(SmallConfig());
+        HostEmbeddingTable sequential(SmallConfig());
+        auto opt_batched = MakeOptimizer(name, 0.3f, 100, 8);
+        auto opt_sequential = MakeOptimizer(name, 0.3f, 100, 8);
+
+        std::vector<std::vector<float>> grads;
+        for (int i = 0; i < 6; ++i) {
+            std::vector<float> g(8);
+            for (int j = 0; j < 8; ++j)
+                g[j] = 0.013f * static_cast<float>((i + 1) * (j - 3));
+            grads.push_back(std::move(g));
+        }
+        std::vector<const float *> ptrs;
+        for (const auto &g : grads)
+            ptrs.push_back(g.data());
+
+        EXPECT_EQ(batched.ApplyGradients(5, ptrs.data(), ptrs.size(),
+                                         *opt_batched),
+                  grads.size())
+            << name;
+        for (const auto &g : grads)
+            sequential.ApplyGradient(5, g.data(), *opt_sequential);
+
+        std::vector<float> ra(8), rb(8);
+        batched.ReadRow(5, ra.data());
+        sequential.ReadRow(5, rb.data());
+        for (int j = 0; j < 8; ++j) {
+            EXPECT_EQ(std::memcmp(&ra[j], &rb[j], sizeof(float)), 0)
+                << name << " j=" << j;
+        }
+        EXPECT_EQ(batched.RowVersion(5), sequential.RowVersion(5)) << name;
+    }
 }
 
 TEST(EmbeddingTableTest, ResetRestoresInit)
