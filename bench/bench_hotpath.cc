@@ -23,7 +23,6 @@
 #include <cstring>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -73,7 +72,7 @@ class LegacyLruCache
     bool
     TryGet(Key key, float *out)
     {
-        std::lock_guard<Spinlock> guard(lock_);
+        SpinGuard guard(lock_);
         auto it = map_.find(key);
         if (it == map_.end())
             return false;
@@ -85,7 +84,7 @@ class LegacyLruCache
     Key
     Put(Key key, const float *row)
     {
-        std::lock_guard<Spinlock> guard(lock_);
+        SpinGuard guard(lock_);
         auto it = map_.find(key);
         if (it != map_.end()) {
             std::memcpy(it->second->row.data(), row,
@@ -130,7 +129,7 @@ class LegacyRegistry
     {
         Shard &shard = shards_[static_cast<std::size_t>(key) %
                                shards_.size()];
-        std::lock_guard<Spinlock> guard(shard.lock);
+        SpinGuard guard(shard.lock);
         auto it = shard.entries.find(key);
         if (it == shard.entries.end()) {
             it = shard.entries

@@ -47,8 +47,23 @@ fi
 
 # --- 3. atomics lint ---------------------------------------------------
 note "lint_atomics"
-if ! python3 scripts/lint_atomics.py src tests; then
+if ! python3 scripts/lint_atomics.py src tests bench examples; then
     failures=$((failures + 1))
+fi
+
+# --- 3b. Clang thread-safety analysis ----------------------------------
+# Compile-only gate: -Werror=thread-safety over the annotated lock
+# discipline (DESIGN.md §10.1). Clang-only — the attributes are no-ops
+# elsewhere, so skipping on a GCC-only host loses coverage, not
+# correctness.
+note "thread-safety analysis (preset: tsa)"
+if command -v clang++ >/dev/null 2>&1; then
+    cmake --preset tsa >/dev/null
+    if ! cmake --build --preset tsa -j "$(nproc)"; then
+        failures=$((failures + 1))
+    fi
+else
+    skip "clang++ not installed (-Werror=thread-safety needs Clang)"
 fi
 
 if [[ "$STATIC_ONLY" == 1 ]]; then
@@ -145,6 +160,18 @@ for name in sorted(set(baseline) | set(fresh)):
 print("bench_e2e_engine baseline diff done (warnings are non-fatal)")
 EOF
 else
+    failures=$((failures + 1))
+fi
+
+# --- 4d. deterministic interleaving explorer ----------------------------
+# Rebuilds the flush-path core with the model_atomic shims live and
+# exhausts/samples schedules per scenario (DESIGN.md §10.2). Complements
+# TSan: this finds sequentially-consistent interleaving bugs
+# deterministically; TSan finds weak-memory races probabilistically.
+note "model check build + ctest -L modelcheck (preset: modelcheck)"
+cmake --preset modelcheck >/dev/null
+cmake --build --preset modelcheck -j "$(nproc)"
+if ! ctest --preset modelcheck; then
     failures=$((failures + 1))
 fi
 

@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
-"""Lint pass: every memory_order_relaxed needs a written justification.
+"""Lint pass over Frugal's atomics discipline. Two rules:
 
-Frugal's correctness argument leans on ~100 hand-picked memory_order
-annotations; `relaxed` is the only one that *removes* an ordering
-guarantee, so each use must say why that is safe. The contract enforced
-here: a `memory_order_relaxed` occurrence must be accompanied by a
-comment containing the tag `relaxed:` followed by the justification,
-either on the same line or within the few lines directly above the
-statement (the conventional spot is a `// relaxed: ...` line right
-above).
+1. Every memory_order_relaxed needs a written justification.
+   Frugal's correctness argument leans on ~100 hand-picked memory_order
+   annotations; `relaxed` is the only one that *removes* an ordering
+   guarantee, so each use must say why that is safe. The contract: a
+   `memory_order_relaxed` occurrence must be accompanied by a comment
+   containing the tag `relaxed:` followed by the justification, either
+   on the same line or within the few lines directly above the
+   statement (the conventional spot is a `// relaxed: ...` line right
+   above).
+
+2. No raw std::atomic in the model-checked core (src/pq, src/common).
+   The interleaving explorer (src/check/) only sees shared-memory
+   operations routed through `frugal::model_atomic`; a bare
+   `std::atomic` member in the flush-path core silently escapes
+   systematic exploration. Deliberate escapes (the Spinlock flag the
+   model path itself is built on, logging infrastructure) carry a
+   `// modelcheck-exempt: ...` comment stating why.
 
 Usage:  lint_atomics.py [--window N] PATH [PATH ...]
 
 PATHs may be files or directories (searched recursively for C/C++
-sources). Exits 0 when every occurrence is justified, 1 otherwise,
-listing each offender as file:line.
+sources; rule 2 only fires inside src/pq and src/common). Exits 0 when
+every occurrence is justified, 1 otherwise, listing each offender as
+file:line.
 """
 
 import argparse
@@ -25,6 +35,10 @@ import sys
 SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".c", ".cc", ".cpp", ".cu", ".cuh"}
 RELAXED = re.compile(r"\bmemory_order_relaxed\b|\bmemory_order::relaxed\b")
 JUSTIFICATION = re.compile(r"relaxed:")
+RAW_ATOMIC = re.compile(r"\bstd::atomic\s*<")
+MODEL_EXEMPT = re.compile(r"modelcheck-exempt:")
+# Directories whose shared state must go through frugal::model_atomic.
+MODEL_CHECKED_DIRS = ("src/pq", "src/common")
 
 
 def strip_line_comment(line: str) -> str:
@@ -34,19 +48,32 @@ def strip_line_comment(line: str) -> str:
     return line if idx < 0 else line[:idx]
 
 
+def in_model_checked_dir(path: pathlib.Path) -> bool:
+    posix = path.resolve().as_posix()
+    return any(f"/{d}/" in posix or posix.endswith(f"/{d}")
+               for d in MODEL_CHECKED_DIRS)
+
+
 def find_offenders(path: pathlib.Path, window: int):
-    """Yields (line_number, line) for unjustified relaxed uses."""
+    """Yields (line_number, line, rule) for rule violations."""
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except UnicodeDecodeError:
         return
+    model_checked = in_model_checked_dir(path)
     for i, line in enumerate(lines):
-        if not RELAXED.search(strip_line_comment(line)):
-            continue
+        code = strip_line_comment(line)
         context = lines[max(0, i - window) : i + 1]
-        if any(JUSTIFICATION.search(ctx) for ctx in context):
-            continue
-        yield i + 1, line.strip()
+        if RELAXED.search(code) and not any(
+            JUSTIFICATION.search(ctx) for ctx in context
+        ):
+            yield i + 1, line.strip(), "relaxed"
+        if (
+            model_checked
+            and RAW_ATOMIC.search(code)
+            and not any(MODEL_EXEMPT.search(ctx) for ctx in context)
+        ):
+            yield i + 1, line.strip(), "raw-atomic"
 
 
 def collect_sources(paths):
@@ -79,28 +106,32 @@ def main():
     offenders = []
     for source in collect_sources(args.paths):
         checked += 1
-        for line_number, text in find_offenders(source, args.window):
-            offenders.append((source, line_number, text))
+        for line_number, text, rule in find_offenders(source, args.window):
+            offenders.append((source, line_number, text, rule))
 
     if offenders:
         print(
-            f"lint_atomics: {len(offenders)} memory_order_relaxed use(s) "
-            "without a '// relaxed: ...' justification:",
+            f"lint_atomics: {len(offenders)} violation(s):",
             file=sys.stderr,
         )
-        for source, line_number, text in offenders:
-            print(f"  {source}:{line_number}: {text}", file=sys.stderr)
+        for source, line_number, text, rule in offenders:
+            print(f"  [{rule}] {source}:{line_number}: {text}",
+                  file=sys.stderr)
         print(
-            "\nEach relaxed atomic must explain why dropping the ordering "
-            "is safe,\neither inline or in a comment within the preceding "
-            f"{args.window} lines, e.g.\n"
+            "\n[relaxed] each relaxed atomic must explain why dropping "
+            "the ordering is safe,\neither inline or in a comment within "
+            f"the preceding {args.window} lines, e.g.\n"
             "    // relaxed: monotonic stat counter, read only after "
-            "joins\n",
+            "joins\n"
+            "[raw-atomic] shared state in src/pq and src/common must use "
+            "frugal::model_atomic\n(check/model_sync.h) so the "
+            "interleaving explorer can schedule it; deliberate\nescapes "
+            "need a '// modelcheck-exempt: ...' comment.\n",
             file=sys.stderr,
         )
         return 1
 
-    print(f"lint_atomics: OK ({checked} files, all relaxed uses justified)")
+    print(f"lint_atomics: OK ({checked} files, all atomics conform)")
     return 0
 
 

@@ -1,6 +1,5 @@
 #include "cache/gpu_cache.h"
 
-#include <mutex>
 
 #include "table/row_kernels.h"
 
@@ -56,7 +55,7 @@ GpuCache::PushFrontLocked(std::uint32_t slot)
 bool
 GpuCache::TryGet(Key key, float *out)
 {
-    std::lock_guard<Spinlock> guard(lock_);
+    SpinGuard guard(lock_);
     const std::uint32_t *slot = map_.Find(key);
     if (slot == nullptr) {
         ++stats_.misses;
@@ -71,7 +70,7 @@ GpuCache::TryGet(Key key, float *out)
 Key
 GpuCache::Put(Key key, const float *row)
 {
-    std::lock_guard<Spinlock> guard(lock_);
+    SpinGuard guard(lock_);
     if (const std::uint32_t *existing = map_.Find(key)) {
         RowCopy(storage_.data() + *existing * dim_, row, dim_);
         MoveToFrontLocked(*existing);
@@ -103,7 +102,7 @@ GpuCache::Put(Key key, const float *row)
 bool
 GpuCache::UpdateIfPresent(Key key, const float *row)
 {
-    std::lock_guard<Spinlock> guard(lock_);
+    SpinGuard guard(lock_);
     const std::uint32_t *slot = map_.Find(key);
     if (slot == nullptr)
         return false;
@@ -115,14 +114,14 @@ GpuCache::UpdateIfPresent(Key key, const float *row)
 bool
 GpuCache::Contains(Key key) const
 {
-    std::lock_guard<Spinlock> guard(lock_);
+    SpinGuard guard(lock_);
     return map_.Contains(key);
 }
 
 void
 GpuCache::Clear()
 {
-    std::lock_guard<Spinlock> guard(lock_);
+    SpinGuard guard(lock_);
     map_.Clear();
     lru_head_ = lru_tail_ = kNilSlot;
     free_head_ = kNilSlot;

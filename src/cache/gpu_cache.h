@@ -29,7 +29,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/flat_map.h"
@@ -108,7 +107,7 @@ class GpuCache
     std::size_t
     size() const
     {
-        std::lock_guard<Spinlock> guard(lock_);
+        SpinGuard guard(lock_);
         return map_.size();
     }
 
@@ -116,14 +115,14 @@ class GpuCache
     GpuCacheStats
     stats() const
     {
-        std::lock_guard<Spinlock> guard(lock_);
+        SpinGuard guard(lock_);
         return stats_;
     }
 
     void
     ResetStats()
     {
-        std::lock_guard<Spinlock> guard(lock_);
+        SpinGuard guard(lock_);
         stats_ = GpuCacheStats{};
     }
 
@@ -132,11 +131,11 @@ class GpuCache
     static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
     // LRU intrusive-list helpers; cache lock held.
-    void DetachLocked(std::uint32_t slot);
-    void PushFrontLocked(std::uint32_t slot);
+    void DetachLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_);
+    void PushFrontLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_);
 
     void
-    MoveToFrontLocked(std::uint32_t slot)
+    MoveToFrontLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_)
     {
         if (lru_head_ == slot)
             return;
@@ -147,15 +146,23 @@ class GpuCache
     const std::size_t capacity_;
     const std::size_t dim_;
     mutable Spinlock lock_{LockRank::kGpuCache};
-    std::vector<float> storage_;           ///< capacity_ × dim_ rows
-    FlatMap<Key, std::uint32_t> map_;      ///< key → slot
-    std::vector<Key> slot_key_;            ///< slot → key (for eviction)
-    std::vector<std::uint32_t> lru_prev_;  ///< towards MRU
-    std::vector<std::uint32_t> lru_next_;  ///< towards LRU
-    std::uint32_t lru_head_ = kNilSlot;    ///< MRU slot
-    std::uint32_t lru_tail_ = kNilSlot;    ///< LRU slot (eviction victim)
-    std::uint32_t free_head_ = kNilSlot;   ///< free list via lru_next_
-    GpuCacheStats stats_;
+    /** capacity_ × dim_ rows. */
+    std::vector<float> storage_ FRUGAL_GUARDED_BY(lock_);
+    /** key → slot. */
+    FlatMap<Key, std::uint32_t> map_ FRUGAL_GUARDED_BY(lock_);
+    /** slot → key (for eviction). */
+    std::vector<Key> slot_key_ FRUGAL_GUARDED_BY(lock_);
+    /** towards MRU. */
+    std::vector<std::uint32_t> lru_prev_ FRUGAL_GUARDED_BY(lock_);
+    /** towards LRU. */
+    std::vector<std::uint32_t> lru_next_ FRUGAL_GUARDED_BY(lock_);
+    /** MRU slot. */
+    std::uint32_t lru_head_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
+    /** LRU slot (eviction victim). */
+    std::uint32_t lru_tail_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
+    /** free list via lru_next_. */
+    std::uint32_t free_head_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
+    GpuCacheStats stats_ FRUGAL_GUARDED_BY(lock_);
 };
 
 /**

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * `frugal::model_atomic<T>` and the model-lock hooks — the seam between
+ * production synchronisation primitives and the interleaving explorer.
+ *
+ * In normal builds (FRUGAL_MODELCHECK=0, the default) `model_atomic<T>`
+ * is a plain alias for `std::atomic<T>`: zero overhead, zero behaviour
+ * change, nothing from check/scheduler.h is even included. In a
+ * modelcheck build it becomes a thin wrapper that inserts one schedule
+ * point before every atomic operation *when the calling thread is a
+ * scenario thread* (check::InModelRun()); on any other thread — main,
+ * test drivers, threads outside a Go() run — it behaves exactly like
+ * the raw atomic, so a modelcheck build still runs the whole normal
+ * test suite correctly, just slower.
+ *
+ * The same seam serves `Spinlock`: under FRUGAL_MODELCHECK its
+ * lock/try_lock/unlock consult ModelLockAcquire/ModelTryLock/
+ * ModelLockRelease below, which turn the spin into *block-on-address*
+ * semantics — a thread that loses the race is disabled until the holder
+ * unlocks, instead of burning schedule points spinning. That collapses
+ * the schedule space (a spin loop under systematic exploration would
+ * otherwise make the DFS frontier infinite) without changing what
+ * interleavings are observable: a spinning thread can do nothing
+ * visible until the lock is released anyway.
+ *
+ * Memory orders are passed straight through to the underlying
+ * std::atomic. Under the explorer they are irrelevant (one thread runs
+ * at a time — sequential consistency by construction); off-scenario
+ * they keep full production semantics.
+ */
+#ifndef FRUGAL_CHECK_MODEL_SYNC_H_
+#define FRUGAL_CHECK_MODEL_SYNC_H_
+
+#include <atomic>
+
+#ifndef FRUGAL_MODELCHECK
+#define FRUGAL_MODELCHECK 0
+#endif
+
+#if FRUGAL_MODELCHECK
+#include "check/scheduler.h"
+#endif
+
+namespace frugal {
+
+#if FRUGAL_MODELCHECK
+
+/**
+ * Schedule-point-instrumented stand-in for std::atomic<T>. Only the
+ * operations this codebase uses are provided; extend as needed (each
+ * new operation must call check::ModelSchedulePoint() first).
+ */
+template <typename T>
+class model_atomic
+{
+  public:
+    constexpr model_atomic() noexcept = default;
+    constexpr model_atomic(T desired) noexcept : value_(desired) {}
+
+    model_atomic(const model_atomic &) = delete;
+    model_atomic &operator=(const model_atomic &) = delete;
+
+    // NB: operations are NOT noexcept — a schedule point may throw
+    // internal::RunAborted to unwind the thread when a run aborts.
+    T
+    load(std::memory_order order = std::memory_order_seq_cst) const
+    {
+        check::ModelSchedulePoint();
+        return value_.load(order);
+    }
+
+    void
+    store(T desired,
+          std::memory_order order = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        value_.store(desired, order);
+    }
+
+    T
+    exchange(T desired,
+             std::memory_order order = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        return value_.exchange(desired, order);
+    }
+
+    bool
+    compare_exchange_strong(
+        T &expected, T desired,
+        std::memory_order success = std::memory_order_seq_cst,
+        std::memory_order failure = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        return value_.compare_exchange_strong(expected, desired, success,
+                                              failure);
+    }
+
+    bool
+    compare_exchange_weak(
+        T &expected, T desired,
+        std::memory_order success = std::memory_order_seq_cst,
+        std::memory_order failure = std::memory_order_seq_cst)
+    {
+        // Under the baton there is no spurious failure; weak == strong.
+        check::ModelSchedulePoint();
+        return value_.compare_exchange_strong(expected, desired, success,
+                                              failure);
+    }
+
+    T
+    fetch_add(T delta,
+              std::memory_order order = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        return value_.fetch_add(delta, order);
+    }
+
+    T
+    fetch_sub(T delta,
+              std::memory_order order = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        return value_.fetch_sub(delta, order);
+    }
+
+    T
+    fetch_or(T bits,
+             std::memory_order order = std::memory_order_seq_cst)
+    {
+        check::ModelSchedulePoint();
+        return value_.fetch_or(bits, order);
+    }
+
+  private:
+    std::atomic<T> value_{};
+};
+
+namespace check {
+
+/**
+ * Model path for Spinlock::lock(): acquire-or-block. Each attempt is a
+ * schedule point (the race to grab a just-released lock is itself a
+ * scheduling decision); a losing thread blocks on the flag's address
+ * until ModelLockRelease wakes it.
+ */
+inline void
+ModelLockAcquire(std::atomic<bool> &flag)
+{
+    Explorer *explorer = internal::tls_explorer;
+    for (;;) {
+        explorer->SchedulePoint();
+        if (!flag.exchange(true, std::memory_order_acquire))
+            return;
+        explorer->BlockOnLock(&flag);
+    }
+}
+
+/** Model path for Spinlock::try_lock(): one attempt, one decision. */
+[[nodiscard]] inline bool
+ModelTryLock(std::atomic<bool> &flag)
+{
+    internal::tls_explorer->SchedulePoint();
+    return !flag.exchange(true, std::memory_order_acquire);
+}
+
+/** Model path for Spinlock::unlock(): release and wake blocked
+ *  threads. No schedule point — the next model op yields anyway, and
+ *  unlock must stay yield-free so RAII guards can run during run-abort
+ *  stack unwinding. */
+inline void
+ModelLockRelease(std::atomic<bool> &flag)
+{
+    flag.store(false, std::memory_order_release);
+    internal::tls_explorer->NotifyUnlock(&flag);
+}
+
+}  // namespace check
+
+#else  // !FRUGAL_MODELCHECK
+
+template <typename T>
+using model_atomic = std::atomic<T>;
+
+#endif  // FRUGAL_MODELCHECK
+
+}  // namespace frugal
+
+#endif  // FRUGAL_CHECK_MODEL_SYNC_H_

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "check/model_sync.h"
 #include "common/types.h"
 
 namespace frugal {
@@ -160,8 +161,8 @@ class FaultInjector
     }
 
     const FaultPlan plan_;
-    std::array<std::atomic<std::uint64_t>, kSites> hits_{};
-    std::array<std::atomic<std::uint64_t>, kSites> fires_{};
+    std::array<model_atomic<std::uint64_t>, kSites> hits_{};
+    std::array<model_atomic<std::uint64_t>, kSites> fires_{};
 };
 
 /**

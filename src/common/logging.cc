@@ -9,6 +9,8 @@ namespace frugal {
 
 namespace {
 
+// modelcheck-exempt: logging is verification infrastructure, not a
+// modelled protocol; instrumenting it would bloat every schedule.
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_emit_mutex;
 

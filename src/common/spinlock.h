@@ -1,13 +1,26 @@
 /**
  * @file
  * Small synchronisation primitives used throughout the runtime: a TTAS
- * spinlock (also the per-node lock of the TreeHeap baseline, §3.4) and a
- * striped-lock array for sharded structures.
+ * spinlock (also the per-node lock of the TreeHeap baseline, §3.4), its
+ * scoped guard, and a striped-lock array for sharded structures.
  *
  * In FRUGAL_DCHECK builds every Spinlock may carry a LockRank; acquiring
  * out of the global rank order panics deterministically (see
  * common/lock_rank.h). Release builds compile the rank machinery out
  * entirely — the lock is a single atomic<bool>.
+ *
+ * Spinlock is a Clang Thread Safety Analysis CAPABILITY (see
+ * frugal/thread_safety.h): fields declared FRUGAL_GUARDED_BY a Spinlock
+ * can only be touched while it is held, enforced at compile time under
+ * the `tsa` preset. Prefer SpinGuard over raw lock()/unlock() pairs so
+ * the analysis sees the critical-section extent; libstdc++'s
+ * std::lock_guard is NOT annotated and hides acquisitions from it.
+ *
+ * In FRUGAL_MODELCHECK builds (see check/model_sync.h) lock operations
+ * on interleaving-explorer scenario threads are routed through the
+ * cooperative scheduler: contended locks block-on-address instead of
+ * spinning, so the explorer can enumerate schedules. Off-scenario
+ * threads — and all threads in normal builds — take the TTAS path.
  */
 #ifndef FRUGAL_COMMON_SPINLOCK_H_
 #define FRUGAL_COMMON_SPINLOCK_H_
@@ -17,7 +30,9 @@
 #include <thread>
 #include <vector>
 
+#include "check/model_sync.h"
 #include "common/lock_rank.h"
+#include "frugal/thread_safety.h"
 
 namespace frugal {
 
@@ -37,7 +52,7 @@ namespace frugal {
  * holder was preempted (certain on low-core-count machines), and burning
  * the timeslice would only delay its release.
  */
-class Spinlock
+class FRUGAL_CAPABILITY("spinlock") Spinlock
 {
   public:
     Spinlock() = default;
@@ -46,8 +61,15 @@ class Spinlock
     Spinlock &operator=(const Spinlock &) = delete;
 
     void
-    lock()
+    lock() FRUGAL_ACQUIRE()
     {
+#if FRUGAL_MODELCHECK
+        if (check::InModelRun()) {
+            check::ModelLockAcquire(flag_);
+            RecordAcquire();
+            return;
+        }
+#endif
         for (;;) {
             // TTAS fast path: exchange only when the flag was last seen
             // clear; a set flag sends us straight to the read-only wait
@@ -76,8 +98,16 @@ class Spinlock
     }
 
     [[nodiscard]] bool
-    try_lock()
+    try_lock() FRUGAL_TRY_ACQUIRE(true)
     {
+#if FRUGAL_MODELCHECK
+        if (check::InModelRun()) {
+            const bool model_taken = check::ModelTryLock(flag_);
+            if (model_taken)
+                RecordAcquire();
+            return model_taken;
+        }
+#endif
         // relaxed: advisory pre-check; acquire ordering rides on the
         // exchange that actually takes the lock.
         const bool taken =
@@ -89,9 +119,15 @@ class Spinlock
     }
 
     void
-    unlock()
+    unlock() FRUGAL_RELEASE()
     {
         RecordRelease();
+#if FRUGAL_MODELCHECK
+        if (check::InModelRun()) {
+            check::ModelLockRelease(flag_);
+            return;
+        }
+#endif
         flag_.store(false, std::memory_order_release);
     }
 
@@ -126,6 +162,9 @@ class Spinlock
 #endif
     }
 
+    // The lock word stays a raw std::atomic: the modelcheck build hooks
+    // it above with block-on-address semantics rather than per-access
+    // schedule points. modelcheck-exempt: lock implementation.
     std::atomic<bool> flag_{false};
 #if FRUGAL_DCHECK_ENABLED
     LockRank rank_ = LockRank::kUnranked;
@@ -133,8 +172,37 @@ class Spinlock
 };
 
 /**
+ * Scoped Spinlock holder — the annotated replacement for
+ * std::lock_guard over a Spinlock (which thread-safety analysis cannot
+ * see through). Same semantics, same cost: acquire in the constructor,
+ * release in the destructor, no adoption or deferral.
+ */
+class FRUGAL_SCOPED_CAPABILITY SpinGuard
+{
+  public:
+    explicit SpinGuard(Spinlock &lock) FRUGAL_ACQUIRE(lock) : lock_(lock)
+    {
+        lock_.lock();
+    }
+
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+    ~SpinGuard() FRUGAL_RELEASE() { lock_.unlock(); }
+
+  private:
+    Spinlock &lock_;
+};
+
+/**
  * A power-of-two array of spinlocks; a sharded structure maps an element
  * to `locks[hash & mask]` so unrelated elements rarely contend.
+ *
+ * Stripes are *dynamically chosen* capabilities: which stripe guards an
+ * element depends on its runtime hash, which static thread-safety
+ * analysis cannot express. Data sharded over StripedLocks therefore
+ * stays unannotated (with a comment naming the stripe discipline), and
+ * the interleaving explorer covers those protocols dynamically.
  */
 class StripedLocks
 {

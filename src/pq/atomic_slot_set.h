@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "check/model_sync.h"
 #include "common/logging.h"
 #include "frugal/annotations.h"
 
@@ -207,7 +208,7 @@ class AtomicSlotSet
   private:
     struct Slot
     {
-        std::atomic<T *> ptr{nullptr};
+        model_atomic<T *> ptr{nullptr};
     };
 
     struct Segment
@@ -220,10 +221,10 @@ class AtomicSlotSet
         std::unique_ptr<Slot[]> slots;
         const std::size_t base_index;
         /** Completed Insert publishes into this segment (monotone). */
-        std::atomic<std::size_t> published{0};
+        model_atomic<std::size_t> published{0};
         /** Completed PopAny removals from this segment (monotone). */
-        std::atomic<std::size_t> popped{0};
-        std::atomic<Segment *> next{nullptr};
+        model_atomic<std::size_t> popped{0};
+        model_atomic<Segment *> next{nullptr};
     };
 
     /** Returns the segment containing `index`, growing as needed. */
@@ -278,10 +279,10 @@ class AtomicSlotSet
 
     const std::size_t segment_slots_;
     Segment *head_;  // immutable after construction; owns the chain
-    std::atomic<Segment *> tail_hint_{nullptr};
-    std::atomic<Segment *> scan_head_{nullptr};
-    std::atomic<std::size_t> cursor_{0};
-    std::atomic<std::size_t> occupied_{0};
+    model_atomic<Segment *> tail_hint_{nullptr};
+    model_atomic<Segment *> scan_head_{nullptr};
+    model_atomic<std::size_t> cursor_{0};
+    model_atomic<std::size_t> occupied_{0};
 };
 
 }  // namespace frugal

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "frugal/thread_safety.h"
 #include "pq/g_entry.h"
 
 namespace frugal {
@@ -60,14 +61,16 @@ class FlushQueue
 
     /** Registers an entry that just gained pending writes. Caller holds
      *  the entry lock and has set `enqueued` to true. */
-    virtual void Enqueue(GEntry *entry, Priority priority) = 0;
+    virtual void Enqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) = 0;
 
     /**
      * Migrates an entry between priorities (paper's AdjustPriority).
      * Caller holds the entry lock; `old_priority != new_priority`.
      */
     virtual void OnPriorityChange(GEntry *entry, Priority old_priority,
-                                  Priority new_priority) = 0;
+                                  Priority new_priority)
+        FRUGAL_REQUIRES(entry->lock()) = 0;
 
     /**
      * Claims and appends up to `max_entries` further entries to `out`,
@@ -126,7 +129,8 @@ class FlushQueue
      * `priority` no longer corresponds to pending work. The physical
      * queue copy becomes a lazily-discarded stale entry.
      */
-    virtual void Unenqueue(GEntry *entry, Priority priority) = 0;
+    virtual void Unenqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) = 0;
 
     /** The P²F gate predicate: ∃ enqueued or in-flight entry with
      *  priority ≤ step. */

@@ -57,7 +57,7 @@ class GEntry
     Key key() const { return key_; }
 
     /** The entry spinlock; callers of *Locked methods must hold it. */
-    Spinlock &lock() { return lock_; }
+    Spinlock &lock() FRUGAL_RETURN_CAPABILITY(lock_) { return lock_; }
 
     /**
      * Records that `step` will read this parameter. Steps must arrive in
@@ -66,7 +66,7 @@ class GEntry
      *         the FlushQueue via OnPriorityChange.
      */
     std::pair<Priority, Priority>
-    AddReadLocked(Step step)
+    AddReadLocked(Step step) FRUGAL_REQUIRES(lock_)
     {
         FRUGAL_CHECK_MSG(r_set_.empty() || r_set_.back() <= step,
                          "reads must be registered in step order");
@@ -82,7 +82,7 @@ class GEntry
      * same key in one step; only the first arrival erases it).
      */
     std::pair<Priority, Priority>
-    RemoveReadLocked(Step step)
+    RemoveReadLocked(Step step) FRUGAL_REQUIRES(lock_)
     {
         if (!r_set_.empty() && r_set_.front() == step) {
             r_set_.pop_front();
@@ -99,7 +99,7 @@ class GEntry
 
     /** Appends a pending update to the W set. */
     std::pair<Priority, Priority>
-    AddWriteLocked(WriteRecord record)
+    AddWriteLocked(WriteRecord record) FRUGAL_REQUIRES(lock_)
     {
         w_set_.push_back(std::move(record));
         return RecomputePriorityLocked();
@@ -110,7 +110,7 @@ class GEntry
      * the priority. Used by flush threads after claiming the entry.
      */
     std::vector<WriteRecord>
-    TakeWritesLocked()
+    TakeWritesLocked() FRUGAL_REQUIRES(lock_)
     {
         std::vector<WriteRecord> taken;
         taken.swap(w_set_);
@@ -119,28 +119,28 @@ class GEntry
     }
 
     /** Current priority (Equation (1)); read under the entry lock. */
-    Priority priorityLocked() const { return priority_; }
+    Priority priorityLocked() const FRUGAL_REQUIRES(lock_) { return priority_; }
 
-    bool hasWritesLocked() const { return !w_set_.empty(); }
-    bool hasReadsLocked() const { return !r_set_.empty(); }
-    std::size_t writeCountLocked() const { return w_set_.size(); }
-    std::size_t readCountLocked() const { return r_set_.size(); }
+    bool hasWritesLocked() const FRUGAL_REQUIRES(lock_) { return !w_set_.empty(); }
+    bool hasReadsLocked() const FRUGAL_REQUIRES(lock_) { return !r_set_.empty(); }
+    std::size_t writeCountLocked() const FRUGAL_REQUIRES(lock_) { return w_set_.size(); }
+    std::size_t readCountLocked() const FRUGAL_REQUIRES(lock_) { return r_set_.size(); }
 
     /** Earliest pending read, or kInfiniteStep. */
     Step
-    nextReadLocked() const
+    nextReadLocked() const FRUGAL_REQUIRES(lock_)
     {
         return r_set_.empty() ? kInfiniteStep : r_set_.front();
     }
 
     /** Whether the entry is currently enqueued in a FlushQueue. */
-    bool enqueuedLocked() const { return enqueued_; }
-    void setEnqueuedLocked(bool v) { enqueued_ = v; }
+    bool enqueuedLocked() const FRUGAL_REQUIRES(lock_) { return enqueued_; }
+    void setEnqueuedLocked(bool v) FRUGAL_REQUIRES(lock_) { enqueued_ = v; }
 
   private:
     /** Re-evaluates Equation (1); returns (old, new). */
     std::pair<Priority, Priority>
-    RecomputePriorityLocked()
+    RecomputePriorityLocked() FRUGAL_REQUIRES(lock_)
     {
         const Priority old = priority_;
         if (w_set_.empty() || r_set_.empty())
@@ -152,10 +152,10 @@ class GEntry
 
     const Key key_;
     Spinlock lock_{LockRank::kGEntry};
-    std::deque<Step> r_set_;
-    std::vector<WriteRecord> w_set_;
-    Priority priority_ = kInfiniteStep;
-    bool enqueued_ = false;
+    std::deque<Step> r_set_ FRUGAL_GUARDED_BY(lock_);
+    std::vector<WriteRecord> w_set_ FRUGAL_GUARDED_BY(lock_);
+    Priority priority_ FRUGAL_GUARDED_BY(lock_) = kInfiniteStep;
+    bool enqueued_ FRUGAL_GUARDED_BY(lock_) = false;
 };
 
 }  // namespace frugal

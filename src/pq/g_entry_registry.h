@@ -20,7 +20,6 @@
 #define FRUGAL_PQ_G_ENTRY_REGISTRY_H_
 
 #include <algorithm>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -65,7 +64,7 @@ class GEntryRegistry
     GetOrCreate(Key key)
     {
         Shard &shard = ShardFor(key);
-        std::lock_guard<Spinlock> guard(shard.lock);
+        SpinGuard guard(shard.lock);
         auto [entry, inserted] = shard.entries.TryEmplace(key, nullptr);
         if (inserted)
             *entry = shard.arena.Create(key);
@@ -102,7 +101,7 @@ class GEntryRegistry
         while (i < n) {
             const std::uint64_t shard_id = grouped[i] >> 32;
             Shard &shard = shards_[shard_id];
-            std::lock_guard<Spinlock> guard(shard.lock);
+            SpinGuard guard(shard.lock);
             for (; i < n && grouped[i] >> 32 == shard_id; ++i) {
                 const auto idx =
                     static_cast<std::size_t>(grouped[i] & 0xffffffffu);
@@ -120,7 +119,7 @@ class GEntryRegistry
     Find(Key key)
     {
         Shard &shard = ShardFor(key);
-        std::lock_guard<Spinlock> guard(shard.lock);
+        SpinGuard guard(shard.lock);
         GEntry *const *entry = shard.entries.Find(key);
         return entry == nullptr ? nullptr : *entry;
     }
@@ -132,7 +131,7 @@ class GEntryRegistry
     ForEach(Fn &&fn)
     {
         for (Shard &shard : shards_) {
-            std::lock_guard<Spinlock> guard(shard.lock);
+            SpinGuard guard(shard.lock);
             // The arena iterates entries in creation order with block
             // locality (cheaper than walking the hash index).
             shard.arena.ForEach([&fn](GEntry &entry) { fn(entry); });
@@ -144,7 +143,7 @@ class GEntryRegistry
     {
         std::size_t total = 0;
         for (const Shard &shard : shards_) {
-            std::lock_guard<Spinlock> guard(shard.lock);
+            SpinGuard guard(shard.lock);
             total += shard.arena.size();
         }
         return total;
@@ -158,8 +157,10 @@ class GEntryRegistry
     struct Shard
     {
         mutable Spinlock lock{LockRank::kRegistryShard};
-        FlatMap<Key, GEntry *> entries;
-        ChunkArena<GEntry> arena{256};
+        FlatMap<Key, GEntry *> entries FRUGAL_GUARDED_BY(lock);
+        ChunkArena<GEntry> arena FRUGAL_GUARDED_BY(lock);
+
+        Shard() : arena(256) {}
     };
 
     Shard &

@@ -1,6 +1,5 @@
 #include "pq/invariant_auditor.h"
 
-#include <mutex>
 
 #include "common/logging.h"
 #include "pq/g_entry_registry.h"
@@ -90,7 +89,7 @@ InvariantAuditor::OnQuiescent(const FlushQueue &queue,
     }
     registry.ForEach([this](GEntry &entry) {
         BumpChecks(1);
-        std::lock_guard<Spinlock> guard(entry.lock());
+        SpinGuard guard(entry.lock());
         if (entry.hasWritesLocked()) {
             RecordViolation("g-entry " + std::to_string(entry.key()) +
                             " still holds pending writes at shutdown");

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "check/model_sync.h"
 #include "common/types.h"
 #include "pq/flush_queue.h"
 
@@ -100,9 +101,9 @@ class InvariantAuditor
     void BumpChecks(std::uint64_t n);
 
     Options options_;
-    std::atomic<std::int64_t> last_step_{-1};
-    std::atomic<std::uint64_t> checks_{0};
-    std::atomic<std::uint64_t> violations_{0};
+    model_atomic<std::int64_t> last_step_{-1};
+    model_atomic<std::uint64_t> checks_{0};
+    model_atomic<std::uint64_t> violations_{0};
 };
 
 }  // namespace frugal

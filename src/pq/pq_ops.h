@@ -18,7 +18,6 @@
 #define FRUGAL_PQ_PQ_OPS_H_
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
 
 #include "pq/flush_queue.h"
@@ -29,7 +28,7 @@ namespace frugal {
 /** Applies a priority transition to the queue; entry lock held. */
 inline void
 PropagatePriorityLocked(FlushQueue &queue, GEntry &entry, Priority before,
-                        Priority after)
+                        Priority after) FRUGAL_REQUIRES(entry.lock())
 {
     if (!entry.hasWritesLocked()) {
         // Entries without pending writes are never enqueued; nothing to
@@ -48,7 +47,7 @@ PropagatePriorityLocked(FlushQueue &queue, GEntry &entry, Priority before,
 inline void
 RegisterRead(FlushQueue &queue, GEntry &entry, Step step)
 {
-    std::lock_guard<Spinlock> guard(entry.lock());
+    SpinGuard guard(entry.lock());
     const Priority before = entry.priorityLocked();
     entry.AddReadLocked(step);
     PropagatePriorityLocked(queue, entry, before, entry.priorityLocked());
@@ -58,7 +57,7 @@ RegisterRead(FlushQueue &queue, GEntry &entry, Step step)
 inline void
 RegisterUpdate(FlushQueue &queue, GEntry &entry, WriteRecord record)
 {
-    std::lock_guard<Spinlock> guard(entry.lock());
+    SpinGuard guard(entry.lock());
     const Priority before = entry.priorityLocked();
     entry.RemoveReadLocked(record.step);
     entry.AddWriteLocked(std::move(record));
@@ -95,7 +94,7 @@ FlushClaimed(FlushQueue &queue, const ClaimTicket &ticket, ApplyFn &&apply,
     GEntry &entry = *ticket.entry;
     std::size_t applied = 0;
     {
-        std::lock_guard<Spinlock> guard(entry.lock());
+        SpinGuard guard(entry.lock());
         // The drain thread may have added writes and re-enqueued the
         // entry between our claim and this point. We are about to apply
         // those newer writes as well, so the standing enqueue must be
@@ -141,7 +140,7 @@ FlushClaimed(FlushQueue &queue, const ClaimTicket &ticket, ApplyFn &&apply)
 inline std::vector<WriteRecord>
 TakeClaimedWrites(GEntry &entry)
 {
-    std::lock_guard<Spinlock> guard(entry.lock());
+    SpinGuard guard(entry.lock());
     std::vector<WriteRecord> writes = entry.TakeWritesLocked();
     std::sort(writes.begin(), writes.end(),
               [](const WriteRecord &a, const WriteRecord &b) {

@@ -1,6 +1,5 @@
 #include "pq/tree_heap_pq.h"
 
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -49,7 +48,7 @@ TreeHeapPQ::PopMinLocked()
 void
 TreeHeapPQ::Enqueue(GEntry *entry, Priority priority)
 {
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     PushLocked({priority, entry});
     live_.insert(priority);
 }
@@ -58,7 +57,7 @@ void
 TreeHeapPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
                              Priority new_priority)
 {
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     // Lazy invalidation: push the fresh pair, leave the stale one for a
     // dequeuer to discard.
     PushLocked({new_priority, entry});
@@ -79,7 +78,7 @@ TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
     while (out.size() < max_entries) {
         HeapNode node;
         {
-            std::lock_guard<Spinlock> guard(heap_lock_);
+            SpinGuard guard(heap_lock_);
             if (heap_.empty())
                 break;
             node = PopMinLocked();
@@ -88,12 +87,12 @@ TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
         // before the heap lock everywhere else (Enqueue/OnPriorityChange
         // run under the caller's entry lock), so nesting heap inside entry
         // here keeps the lock order acyclic.
-        std::lock_guard<Spinlock> entry_guard(node.entry->lock());
+        SpinGuard entry_guard(node.entry->lock());
         if (node.entry->enqueuedLocked() &&
             node.entry->priorityLocked() == node.priority) {
             node.entry->setEnqueuedLocked(false);
             {
-                std::lock_guard<Spinlock> guard(heap_lock_);
+                SpinGuard guard(heap_lock_);
                 auto it = live_.find(node.priority);
                 FRUGAL_CHECK(it != live_.end());
                 live_.erase(it);
@@ -111,7 +110,7 @@ TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
 void
 TreeHeapPQ::OnFlushed(const ClaimTicket &ticket)
 {
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     auto it = in_flight_.find(ticket.priority);
     FRUGAL_CHECK(it != in_flight_.end());
     in_flight_.erase(it);
@@ -121,7 +120,7 @@ void
 TreeHeapPQ::Unenqueue(GEntry *entry, Priority priority)
 {
     (void)entry;  // the heap pair is discarded lazily by a dequeuer
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     auto it = live_.find(priority);
     FRUGAL_CHECK(it != live_.end());
     live_.erase(it);
@@ -130,7 +129,7 @@ TreeHeapPQ::Unenqueue(GEntry *entry, Priority priority)
 bool
 TreeHeapPQ::HasPendingAtOrBelow(Step step) const
 {
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     return (!live_.empty() && *live_.begin() <= step) ||
            (!in_flight_.empty() && *in_flight_.begin() <= step);
 }
@@ -138,7 +137,7 @@ TreeHeapPQ::HasPendingAtOrBelow(Step step) const
 std::size_t
 TreeHeapPQ::SizeApprox() const
 {
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     return live_.size();
 }
 
@@ -146,7 +145,7 @@ std::size_t
 TreeHeapPQ::AuditInvariants(bool quiescent) const
 {
     std::size_t violations = 0;
-    std::lock_guard<Spinlock> guard(heap_lock_);
+    SpinGuard guard(heap_lock_);
     // Heap order: every parent ≤ both children.
     for (std::size_t i = 1; i < heap_.size(); ++i) {
         const std::size_t parent = (i - 1) / 2;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/model_sync.h"
 #include "common/spinlock.h"
 #include "pq/flush_queue.h"
 
@@ -36,14 +37,17 @@ class TreeHeapPQ final : public FlushQueue
 
     using FlushQueue::DequeueClaim;
 
-    void Enqueue(GEntry *entry, Priority priority) override;
+    void Enqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     void OnPriorityChange(GEntry *entry, Priority old_priority,
-                          Priority new_priority) override;
+                          Priority new_priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     std::size_t DequeueClaim(std::vector<ClaimTicket> &out,
                              std::size_t max_entries,
                              std::size_t shard_hint) override;
     void OnFlushed(const ClaimTicket &ticket) override;
-    void Unenqueue(GEntry *entry, Priority priority) override;
+    void Unenqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     bool HasPendingAtOrBelow(Step step) const override;
     std::size_t SizeApprox() const override;
     std::size_t AuditInvariants(bool quiescent) const override;
@@ -64,16 +68,16 @@ class TreeHeapPQ final : public FlushQueue
     };
 
     /** Pushes a node and sifts it up; caller holds heap_lock_. */
-    void PushLocked(HeapNode node);
+    void PushLocked(HeapNode node) FRUGAL_REQUIRES(heap_lock_);
     /** Pops the minimum node; caller holds heap_lock_ and heap_ is
      *  non-empty. */
-    HeapNode PopMinLocked();
+    HeapNode PopMinLocked() FRUGAL_REQUIRES(heap_lock_);
 
     mutable Spinlock heap_lock_{LockRank::kFlushQueue};
-    std::vector<HeapNode> heap_;
-    std::multiset<Priority> live_;
-    std::multiset<Priority> in_flight_;
-    std::atomic<std::uint64_t> stale_discards_{0};
+    std::vector<HeapNode> heap_ FRUGAL_GUARDED_BY(heap_lock_);
+    std::multiset<Priority> live_ FRUGAL_GUARDED_BY(heap_lock_);
+    std::multiset<Priority> in_flight_ FRUGAL_GUARDED_BY(heap_lock_);
+    model_atomic<std::uint64_t> stale_discards_{0};
 };
 
 }  // namespace frugal

@@ -1,6 +1,5 @@
 #include "pq/two_level_pq.h"
 
-#include <mutex>
 #include <sstream>
 
 #include "common/rng.h"
@@ -50,7 +49,7 @@ TwoLevelPQ::ShardOf(const GEntry *entry) const
 AtomicSlotSet<GEntry> &
 TwoLevelPQ::EnsureSet(std::size_t bucket_index, std::size_t shard)
 {
-    std::atomic<AtomicSlotSet<GEntry> *> &slot =
+    model_atomic<AtomicSlotSet<GEntry> *> &slot =
         sets_[bucket_index * n_shards_ + shard];
     AtomicSlotSet<GEntry> *set = slot.load(std::memory_order_acquire);
     if (set == nullptr) {
@@ -115,7 +114,7 @@ TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
             GEntry *entry = set->PopAny();
             if (entry == nullptr)
                 break;
-            std::lock_guard<Spinlock> guard(entry->lock());
+            SpinGuard guard(entry->lock());
             if (entry->enqueuedLocked() &&
                 entry->priorityLocked() == priority) {
                 // Valid: claim it. From here until OnFlushed, this flush

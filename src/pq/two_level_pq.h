@@ -66,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "check/model_sync.h"
 #include "common/cacheline.h"
 #include "pq/atomic_slot_set.h"
 #include "pq/flush_queue.h"
@@ -94,9 +95,11 @@ class TwoLevelPQ final : public FlushQueue
 
     using FlushQueue::DequeueClaim;
 
-    void Enqueue(GEntry *entry, Priority priority) override;
+    void Enqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     void OnPriorityChange(GEntry *entry, Priority old_priority,
-                          Priority new_priority) override;
+                          Priority new_priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     std::size_t DequeueClaim(std::vector<ClaimTicket> &out,
                              std::size_t max_entries,
                              std::size_t shard_hint) override;
@@ -105,7 +108,8 @@ class TwoLevelPQ final : public FlushQueue
                                   std::size_t shard_hint,
                                   Step ceiling) override;
     void OnFlushed(const ClaimTicket &ticket) override;
-    void Unenqueue(GEntry *entry, Priority priority) override;
+    void Unenqueue(GEntry *entry, Priority priority)
+        FRUGAL_REQUIRES(entry->lock()) override;
     bool HasPendingAtOrBelow(Step step) const override;
     std::size_t SizeApprox() const override;
     void SetScanBounds(Step floor, Step horizon) override;
@@ -137,9 +141,9 @@ class TwoLevelPQ final : public FlushQueue
     struct Bucket
     {
         /** Entries whose current priority maps here and are enqueued. */
-        std::atomic<std::int64_t> logical{0};
+        model_atomic<std::int64_t> logical{0};
         /** Entries claimed from here whose flush has not completed. */
-        std::atomic<std::int64_t> in_flight{0};
+        model_atomic<std::int64_t> in_flight{0};
     };
 
     std::size_t BucketIndex(Priority priority) const;
@@ -171,16 +175,16 @@ class TwoLevelPQ final : public FlushQueue
     std::vector<Bucket> buckets_;
     /** Level-2 sub-sets, one per (bucket, shard): index
      *  `bucket * n_shards_ + shard`. Lazily allocated. */
-    std::vector<std::atomic<AtomicSlotSet<GEntry> *>> sets_;
+    std::vector<model_atomic<AtomicSlotSet<GEntry> *>> sets_;
     /** Hot cross-thread atomics, each on its own cache line: dequeuers
      *  read the scan bounds and bump the shared counters on every pass,
      *  and packing them together made every SetScanBounds invalidate the
      *  counters' line (and vice versa) on all flush threads. */
-    CacheAligned<std::atomic<Step>> scan_floor_{0};
-    CacheAligned<std::atomic<Step>> scan_horizon_{0};
-    CacheAligned<std::atomic<std::size_t>> size_{0};
-    CacheAligned<std::atomic<std::uint64_t>> stale_discards_{0};
-    CacheAligned<std::atomic<std::uint64_t>> buckets_scanned_{0};
+    CacheAligned<model_atomic<Step>> scan_floor_{0};
+    CacheAligned<model_atomic<Step>> scan_horizon_{0};
+    CacheAligned<model_atomic<std::size_t>> size_{0};
+    CacheAligned<model_atomic<std::uint64_t>> stale_discards_{0};
+    CacheAligned<model_atomic<std::uint64_t>> buckets_scanned_{0};
     bool scan_compression_ = true;
 };
 

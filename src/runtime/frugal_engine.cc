@@ -83,7 +83,7 @@ struct FlusherSlot
 
     const std::size_t index;
     Spinlock lock{LockRank::kRecoverySlot};
-    std::vector<ClaimTicket> claimed;
+    std::vector<ClaimTicket> claimed FRUGAL_GUARDED_BY(lock);
     /** Set by the thread itself on injected death (definitive). */
     std::atomic<bool> dead{false};
     /** True while a dequeued batch is being processed. */
@@ -555,7 +555,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
      */
     auto flush_entry_run = [&](GEntry &entry,
                                Histogram *lag_hist) -> std::size_t {
-        std::lock_guard<Spinlock> guard(entry.lock());
+        SpinGuard guard(entry.lock());
         if (entry.enqueuedLocked()) {
             // Same zombie-retire rule as FlushClaimed: we consume any
             // newer writes below, so the standing enqueue must go.
@@ -697,7 +697,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // flushing: from here on, death leaves a trail the
                 // watchdog can reclaim.
                 {
-                    std::lock_guard<Spinlock> guard(slot->lock);
+                    SpinGuard guard(slot->lock);
                     slot->claimed.insert(slot->claimed.end(),
                                          claimed.begin(), claimed.end());
                 }
@@ -714,7 +714,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     // until the watchdog reclaims them.
                     std::size_t orphaned = 0;
                     {
-                        std::lock_guard<Spinlock> guard(slot->lock);
+                        SpinGuard guard(slot->lock);
                         orphaned = slot->claimed.size();
                     }
                     FRUGAL_WARN("fault injection: flush thread "
@@ -788,7 +788,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                 applied, std::memory_order_release);
                         }
                         {
-                            std::lock_guard<Spinlock> guard(slot->lock);
+                            SpinGuard guard(slot->lock);
                             for (std::size_t k = i; k < j; ++k)
                                 erase_from_ledger(claimed[k]);
                         }
@@ -812,7 +812,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                 applied, std::memory_order_release);
                         }
                         {
-                            std::lock_guard<Spinlock> guard(slot->lock);
+                            SpinGuard guard(slot->lock);
                             erase_from_ledger(ticket);
                         }
                     }
@@ -855,7 +855,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             for (const auto &slot : flusher_slots) {
                 if (slot->dead.load(std::memory_order_acquire)) {
                     ++snap.dead_flushers;
-                    std::lock_guard<Spinlock> guard(slot->lock);
+                    SpinGuard guard(slot->lock);
                     snap.abandoned_claims += slot->claimed.size();
                 }
             }
@@ -884,7 +884,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     slot->thread.join();
                 std::vector<ClaimTicket> abandoned;
                 {
-                    std::lock_guard<Spinlock> guard(slot->lock);
+                    SpinGuard guard(slot->lock);
                     abandoned.swap(slot->claimed);
                 }
                 // Reclaim each abandoned ticket: apply its entry's
@@ -931,7 +931,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             for (const auto &slot : flusher_slots) {
                 std::size_t ledger = 0;
                 {
-                    std::lock_guard<Spinlock> guard(slot->lock);
+                    SpinGuard guard(slot->lock);
                     ledger = slot->claimed.size();
                 }
                 out << "flusher " << slot->index << ": "
@@ -1129,7 +1129,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     if (config_.audit_consistency || kDcheckEnabled) {
                         for (Key key : keys) {
                             GEntry &entry = registry.GetOrCreate(key);
-                            std::lock_guard<Spinlock> guard(entry.lock());
+                            SpinGuard guard(entry.lock());
                             // Invariant (2): no pending (unflushed)
                             // update from an earlier step may exist when
                             // we read.
@@ -1240,7 +1240,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                         clean = false;
                         break;
                     }
-                    std::lock_guard<Spinlock> guard(slot->lock);
+                    SpinGuard guard(slot->lock);
                     if (!slot->claimed.empty()) {
                         clean = false;
                         break;
@@ -1314,7 +1314,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     if (config_.audit_consistency) {
         // Post-run: every g-entry fully drained.
         registry.ForEach([&](GEntry &entry) {
-            std::lock_guard<Spinlock> guard(entry.lock());
+            SpinGuard guard(entry.lock());
             FRUGAL_CHECK(!entry.hasWritesLocked());
             FRUGAL_CHECK(!entry.enqueuedLocked());
         });

@@ -56,7 +56,10 @@ Watchdog::Start()
 {
     FRUGAL_CHECK_MSG(!started_, "watchdog started twice");
     started_ = true;
-    stop_requested_ = false;
+    {
+        MutexLock lock(mutex_);
+        stop_requested_ = false;
+    }
     thread_ = std::thread([this] { Loop(); });
 }
 
@@ -66,7 +69,7 @@ Watchdog::Stop()
     if (!started_)
         return;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_requested_ = true;
     }
     cv_.notify_all();
@@ -116,11 +119,16 @@ Watchdog::Loop()
 
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            if (cv_.wait_for(lock, config_.poll,
-                             [&] { return stop_requested_; })) {
+            // Plain timed wait plus explicit re-checks (not the
+            // predicate overload, whose lambda would read the guarded
+            // flag from an unannotated std context): a spurious wakeup
+            // merely costs one early poll.
+            MutexLock lock(mutex_);
+            if (stop_requested_)
                 return;
-            }
+            mutex_.WaitFor(cv_, config_.poll);
+            if (stop_requested_)
+                return;
         }
         // relaxed: monotonic stat counter, read for reporting only.
         polls_.fetch_add(1, std::memory_order_relaxed);

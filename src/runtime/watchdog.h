@@ -32,10 +32,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "metrics/recovery_metrics.h"
 
@@ -135,10 +135,11 @@ class Watchdog
     const RecoverFn recover_;
     const DiagnoseFn diagnose_;
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable cv_;
-    bool stop_requested_ = false;
+    bool stop_requested_ FRUGAL_GUARDED_BY(mutex_) = false;
     std::thread thread_;
+    /** Confined to the owner thread (Start/Stop caller); unannotated. */
     bool started_ = false;
 
     std::atomic<std::uint64_t> stalls_detected_{0};

@@ -1,6 +1,5 @@
 #include "table/embedding_table.h"
 
-#include <mutex>
 
 #include "table/row_kernels.h"
 
@@ -49,7 +48,7 @@ HostEmbeddingTable::ResetParameters()
 std::uint64_t
 HostEmbeddingTable::ReadRow(Key key, float *out) const
 {
-    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    SpinGuard guard(row_locks_.For(key));
     RowCopy(out, values_.data() + RowOffset(key), config_.dim);
     // relaxed: the row lock already orders this load against the
     // writer's version bump (both run under the same stripe lock).
@@ -62,7 +61,7 @@ HostEmbeddingTable::ReadRows(const Key *keys, std::size_t n,
 {
     const std::size_t dim = config_.dim;
     for (std::size_t i = 0; i < n; ++i) {
-        std::lock_guard<Spinlock> guard(row_locks_.For(keys[i]));
+        SpinGuard guard(row_locks_.For(keys[i]));
         RowCopy(outs[i], values_.data() + RowOffset(keys[i]), dim);
     }
 }
@@ -73,7 +72,7 @@ HostEmbeddingTable::ReadRows(const Key *keys, std::size_t n,
 {
     const std::size_t dim = config_.dim;
     for (std::size_t i = 0; i < n; ++i) {
-        std::lock_guard<Spinlock> guard(row_locks_.For(keys[i]));
+        SpinGuard guard(row_locks_.For(keys[i]));
         RowCopy(out + i * dim, values_.data() + RowOffset(keys[i]), dim);
     }
 }
@@ -94,7 +93,7 @@ std::uint64_t
 HostEmbeddingTable::ApplyGradient(Key key, const float *grad,
                                   Optimizer &optimizer)
 {
-    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    SpinGuard guard(row_locks_.For(key));
     optimizer.Apply(key, values_.data() + RowOffset(key), grad,
                     config_.dim);
     return versions_[key].fetch_add(1, std::memory_order_release) + 1;
@@ -104,7 +103,7 @@ std::uint64_t
 HostEmbeddingTable::ApplyGradients(Key key, const float *const *grads,
                                    std::size_t n, Optimizer &optimizer)
 {
-    std::lock_guard<Spinlock> guard(row_locks_.For(key));
+    SpinGuard guard(row_locks_.For(key));
     float *row = values_.data() + RowOffset(key);
     for (std::size_t i = 0; i < n; ++i)
         optimizer.Apply(key, row, grads[i], config_.dim);

@@ -119,6 +119,10 @@ class HostEmbeddingTable
     }
 
     EmbeddingTableConfig config_;
+    // values_ and versions_ are guarded by *dynamically chosen* stripes
+    // (row i under row_locks_.For(key)), which static thread-safety
+    // analysis cannot express — the stripe discipline is enforced by
+    // review plus the interleaving explorer, not by GUARDED_BY.
     std::vector<float> values_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
     mutable StripedLocks row_locks_;

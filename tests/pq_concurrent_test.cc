@@ -12,7 +12,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -133,7 +132,7 @@ TEST_P(PqConcurrentTest, GatedTrainingPreservesInvariantAndConserves)
         // Audit invariant (2) on every key this step reads.
         for (Key k : trace[s]) {
             GEntry &entry = registry.GetOrCreate(k);
-            std::lock_guard<Spinlock> guard(entry.lock());
+            SpinGuard guard(entry.lock());
             if (entry.hasWritesLocked())
                 ++gate_violations;
         }
@@ -155,7 +154,7 @@ TEST_P(PqConcurrentTest, GatedTrainingPreservesInvariantAndConserves)
     EXPECT_EQ(queue->SizeApprox(), 0u);
     // Every entry fully drained.
     registry.ForEach([&](GEntry &entry) {
-        std::lock_guard<Spinlock> guard(entry.lock());
+        SpinGuard guard(entry.lock());
         EXPECT_FALSE(entry.hasWritesLocked());
         EXPECT_FALSE(entry.enqueuedLocked());
     });

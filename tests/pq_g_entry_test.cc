@@ -3,7 +3,6 @@
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -17,7 +16,7 @@ template <typename Fn>
 auto
 WithLock(GEntry &e, Fn &&fn)
 {
-    std::lock_guard<Spinlock> guard(e.lock());
+    SpinGuard guard(e.lock());
     return fn();
 }
 

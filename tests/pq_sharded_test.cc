@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -86,6 +85,163 @@ TEST(PqShardedTest, HintedDequeuerDrainsOwnShardFirst)
             FlushClaimed(q, ticket, [](Key, const WriteRecord &) {});
         }
     }
+    EXPECT_EQ(q.SizeApprox(), 0u);
+    EXPECT_EQ(q.AuditInvariants(/*quiescent=*/true), 0u);
+}
+
+// --- DequeueClaimBelow edge cases --------------------------------------
+
+TEST(PqShardedTest, DequeueClaimBelowSkipsEmptyCeilingBucket)
+{
+    TwoLevelPQConfig config;
+    config.max_step = 6;
+    config.n_shards = 2;
+    TwoLevelPQ q(config);
+    GEntryRegistry registry(4);
+
+    // Priority 1 and 3 populated, 2 empty; one deferred (∞) entry.
+    RegisterUpdate(q, registry.GetOrCreate(0), {0, 0, {}});
+    RegisterRead(q, registry.GetOrCreate(0), 1);
+    RegisterUpdate(q, registry.GetOrCreate(1), {0, 0, {}});
+    RegisterRead(q, registry.GetOrCreate(1), 3);
+    RegisterUpdate(q, registry.GetOrCreate(2), {0, 0, {}});
+
+    // Ceiling bucket (2) is empty: the claim must still surface the
+    // lower-priority entry and must not touch priority 3 or ∞.
+    std::vector<ClaimTicket> out;
+    EXPECT_EQ(q.DequeueClaimBelow(out, 8, /*shard_hint=*/0,
+                                  /*ceiling=*/2),
+              1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].entry->key(), 0u);
+    EXPECT_EQ(out[0].priority, 1u);
+    FlushClaimed(q, out[0], [](Key, const WriteRecord &) {});
+
+    // Nothing at or below the (now empty) ceiling: an exact no-op.
+    out.clear();
+    EXPECT_EQ(q.DequeueClaimBelow(out, 8, 0, /*ceiling=*/2), 0u);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(q.SizeApprox(), 2u);
+
+    // The ceiling is inclusive and never reaches the deferred bucket.
+    out.clear();
+    EXPECT_EQ(q.DequeueClaimBelow(out, 8, 0, /*ceiling=*/3), 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].priority, 3u);
+    FlushClaimed(q, out[0], [](Key, const WriteRecord &) {});
+
+    out.clear();
+    EXPECT_EQ(q.DequeueClaim(out, 8, 0), 1u);  // the ∞ entry
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].priority, kInfiniteStep);
+    FlushClaimed(q, out[0], [](Key, const WriteRecord &) {});
+
+    EXPECT_EQ(q.SizeApprox(), 0u);
+    EXPECT_EQ(q.AuditInvariants(/*quiescent=*/true), 0u);
+}
+
+TEST(PqShardedTest, DequeueClaimBelowCeilingEqualsLastDequeuedPriority)
+{
+    TwoLevelPQConfig config;
+    config.max_step = 4;
+    config.n_shards = 2;
+    TwoLevelPQ q(config);
+    GEntryRegistry registry(4);
+
+    for (Key k = 0; k < 3; ++k) {
+        RegisterUpdate(q, registry.GetOrCreate(k), {0, 0, {}});
+        RegisterRead(q, registry.GetOrCreate(k), 2);
+    }
+
+    // A budget-limited claim leaves peers at the dequeued priority; a
+    // follow-up claim whose ceiling EQUALS that last-dequeued priority
+    // must still surface them (the in-pass lower-bound hint may only
+    // exclude strictly lower buckets — an off-by-one here starves the
+    // cooperative flush path).
+    std::vector<ClaimTicket> first;
+    ASSERT_EQ(q.DequeueClaimBelow(first, 1, 0, /*ceiling=*/2), 1u);
+    EXPECT_EQ(first[0].priority, 2u);
+
+    std::vector<ClaimTicket> second;
+    EXPECT_EQ(q.DequeueClaimBelow(second, 4, 0, /*ceiling=*/2), 2u);
+    for (const ClaimTicket &ticket : second)
+        EXPECT_EQ(ticket.priority, 2u);
+
+    for (const ClaimTicket &ticket : first)
+        FlushClaimed(q, ticket, [](Key, const WriteRecord &) {});
+    for (const ClaimTicket &ticket : second)
+        FlushClaimed(q, ticket, [](Key, const WriteRecord &) {});
+    EXPECT_EQ(q.SizeApprox(), 0u);
+    EXPECT_EQ(q.AuditInvariants(/*quiescent=*/true), 0u);
+}
+
+TEST(PqShardedTest, StealRacesCooperativeClaimExactlyOnce)
+{
+    TwoLevelPQConfig config;
+    config.max_step = 6;
+    config.n_shards = 2;
+    TwoLevelPQ q(config);
+    GEntryRegistry registry(8);
+
+    // Low half gate-blocking (priority 2), high half later (priority 5):
+    // the cooperative claimer wants exactly the low half while a general
+    // flusher with the other shard hint drains everything — every entry
+    // it takes from the cooperative claimer's home shard is a steal.
+    constexpr int kKeys = 96;
+    std::vector<std::atomic<int>> claims(kKeys);
+    for (Key k = 0; k < kKeys; ++k) {
+        RegisterUpdate(q, registry.GetOrCreate(k), {0, 0, {}});
+        RegisterRead(q, registry.GetOrCreate(k), k < kKeys / 2 ? 2 : 5);
+    }
+
+    auto noop = [](Key, const WriteRecord &) {};
+    std::thread cooperative([&] {
+        std::vector<ClaimTicket> out;
+        for (int dry = 0; dry < 3;) {
+            out.clear();
+            if (q.DequeueClaimBelow(out, 4, /*shard_hint=*/0,
+                                    /*ceiling=*/2) == 0) {
+                ++dry;
+                std::this_thread::yield();
+                continue;
+            }
+            for (const ClaimTicket &ticket : out) {
+                EXPECT_LE(ticket.priority, 2u);
+                // relaxed: tally only, read after both joins.
+                claims[ticket.entry->key()].fetch_add(
+                    1, std::memory_order_relaxed);
+                FlushClaimed(q, ticket, noop);
+            }
+        }
+    });
+    std::thread stealer([&] {
+        std::vector<ClaimTicket> out;
+        for (int dry = 0; dry < 3;) {
+            out.clear();
+            if (q.DequeueClaim(out, 4, /*shard_hint=*/1) == 0) {
+                ++dry;
+                std::this_thread::yield();
+                continue;
+            }
+            for (const ClaimTicket &ticket : out) {
+                // relaxed: tally only, read after both joins.
+                claims[ticket.entry->key()].fetch_add(
+                    1, std::memory_order_relaxed);
+                FlushClaimed(q, ticket, noop);
+            }
+        }
+    });
+    cooperative.join();
+    stealer.join();
+
+    // Nothing re-enqueues in this test, so however claims interleaved —
+    // cooperative fast path, hinted fast path, or a steal — each entry
+    // was claimed exactly once, and both dequeuers went dry only after
+    // the queue was truly empty.
+    // relaxed: counters read after both joins.
+    for (Key k = 0; k < kKeys; ++k)
+        EXPECT_EQ(claims[k].load(std::memory_order_relaxed), 1)
+            << "key " << k;
     EXPECT_EQ(q.SizeApprox(), 0u);
     EXPECT_EQ(q.AuditInvariants(/*quiescent=*/true), 0u);
 }
@@ -198,7 +354,7 @@ TEST_P(PqShardedStressTest, ExactlyOnceFlushAndCleanAudit)
             std::this_thread::yield();
         for (Key k : trace[s]) {
             GEntry &entry = registry.GetOrCreate(k);
-            std::lock_guard<Spinlock> guard(entry.lock());
+            SpinGuard guard(entry.lock());
             if (entry.hasWritesLocked())
                 ++gate_violations;
         }
@@ -226,7 +382,7 @@ TEST_P(PqShardedStressTest, ExactlyOnceFlushAndCleanAudit)
     EXPECT_EQ(auditor.violations(), 0u);
     auditor.ExpectClean();
     registry.ForEach([&](GEntry &entry) {
-        std::lock_guard<Spinlock> guard(entry.lock());
+        SpinGuard guard(entry.lock());
         EXPECT_FALSE(entry.hasWritesLocked());
         EXPECT_FALSE(entry.enqueuedLocked());
     });

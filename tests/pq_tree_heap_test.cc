@@ -100,7 +100,7 @@ TEST(TreeHeapPQTest, ManyEntriesHeapOrder)
     // Verify non-decreasing next-read order of claimed entries.
     Step prev = 0;
     for (const ClaimTicket &ticket : out) {
-        std::lock_guard<Spinlock> guard(ticket.entry->lock());
+        SpinGuard guard(ticket.entry->lock());
         const Step next_read = ticket.entry->nextReadLocked();
         EXPECT_GE(next_read, prev);
         prev = next_read;
