@@ -66,6 +66,22 @@ else
     skip "clang++ not installed (-Werror=thread-safety needs Clang)"
 fi
 
+# --- 3c. frugal_analyze ------------------------------------------------
+# Project-specific static analysis (DESIGN.md §11): module layering,
+# static lock ranks, annotation coverage, atomics discipline, hot-path
+# allocation freedom. `python3 scripts/frugal_analyze --explain
+# <check-id>` describes any finding. Incremental per-file cache lives
+# under build/.analyze-cache/. The clang frontend engages automatically
+# when clang++ and build/compile_commands.json exist; otherwise the
+# dependency-free internal frontend runs — the gate itself never skips.
+note "frugal_analyze (static architecture checks)"
+if ! command -v clang++ >/dev/null 2>&1; then
+    echo "-- note: clang++ not installed; using the internal frontend"
+fi
+if ! python3 scripts/frugal_analyze -q; then
+    failures=$((failures + 1))
+fi
+
 if [[ "$STATIC_ONLY" == 1 ]]; then
     note "static-only run done ($failures failure(s))"
     exit $((failures > 0))

@@ -1,0 +1,26 @@
+"""frugal_analyze: project-specific static analysis for the Frugal repo.
+
+Five checks over the C++ sources (see `python3 scripts/frugal_analyze
+--list-checks`):
+
+  layering        module DAG from #include edges (no back-edges)
+  lock-rank       static lock-rank inversions in nested guard scopes
+  tsa-coverage    GUARDED_BY coverage of members in lock-owning classes
+  atomics-relaxed every memory_order_relaxed justified by a `relaxed:` tag
+  atomics-raw     raw std::atomic in model-checked dirs needs
+                  `modelcheck-exempt:`
+  atomics-cmpxchg compare_exchange success/failure order pairs are legal
+  hotpath-alloc   hot-list functions are allocation-free (or `alloc-ok:`)
+
+Two frontends share one facts model: `clang` drives
+`clang++ -Xclang -ast-dump=json` over compile_commands.json when the
+compiler is available; `internal` is a dependency-free lexer-based
+extractor that runs anywhere Python does. `--frontend auto` (the
+default) picks clang when it can and falls back with a notice.
+"""
+
+__version__ = "1.0"
+
+# Bump whenever the facts schema or frontend extraction changes, so stale
+# incremental-cache entries (keyed by content hash + schema) are ignored.
+SCHEMA_VERSION = 5

@@ -1,0 +1,14 @@
+"""Entry point: `python3 scripts/frugal_analyze [args...]`."""
+
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as a directory/script
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from frugal_analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,65 @@
+"""Per-file incremental caching of extracted facts.
+
+Keyed by sha256(content) + schema version + frontend name, so edits to a
+file (or to the extractor itself) invalidate exactly that file's entry.
+Checks are cheap and cross-file, so they re-run on every invocation over
+the assembled facts; only the extraction is cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from . import SCHEMA_VERSION
+from .facts import FileFacts
+
+
+class FactsCache:
+    def __init__(self, cache_dir: Optional[str], frontend: str):
+        self.dir = cache_dir
+        self.frontend = frontend
+        self.hits = 0
+        self.misses = 0
+        if self.dir:
+            os.makedirs(self.dir, exist_ok=True)
+
+    def _key(self, content: bytes) -> str:
+        h = hashlib.sha256()
+        h.update(f"v{SCHEMA_VERSION}:{self.frontend}:".encode())
+        h.update(content)
+        return h.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.dir, key[:2], key + ".json")
+
+    def get(self, content: bytes) -> Optional[FileFacts]:
+        if not self.dir:
+            return None
+        p = self._path(self._key(content))
+        try:
+            with open(p, encoding="utf-8") as f:
+                facts = FileFacts.from_dict(json.load(f))
+            self.hits += 1
+            return facts
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, content: bytes, facts: FileFacts) -> None:
+        if not self.dir:
+            return
+        self.misses += 1
+        p = self._path(self._key(content))
+        os.makedirs(os.path.dirname(p), exist_ok=True)
+        tmp = p + f".tmp{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(facts.to_dict(), f, separators=(",", ":"))
+            os.replace(tmp, p)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,425 @@
+"""The five checks, run over an assembled ProjectFacts.
+
+Every check resolves names through cross-file registries built once per
+run; anything unresolvable is silently skipped (a parse miss must never
+produce a false diagnostic — see frontend_internal's contract).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .diagnostics import Diagnostic, token_for_line
+from .facts import FunctionFacts, ProjectFacts
+from .project import (HOT_FUNCTIONS, LOCK_RANKS, MODEL_CHECKED_DIRS,
+                      MODULE_RANK, module_of)
+
+EXPLAIN = {
+    "layering": """\
+Module back-edge: the module DAG (DESIGN.md §11) orders modules by rank
+  0: frugal (annotation macros), check (model-sync shims)
+  1: common
+  2: pq, cache, table
+  3: data, metrics, models, sim
+  4: runtime            5: api (frugal/frugal.h umbrella)
+A file may #include only modules of rank <= its own (same rank allowed).
+Fix by moving the shared declaration down the DAG (as models/grad_fn.h
+did for the model<->engine contract), never by including upward.""",
+    "lock-rank": """\
+Static lock-rank inversion: a guard was acquired whose LockRank is <=
+the rank of a lock already held in the same scope (or inside a function
+called while holding it). Ranks live in src/common/lock_rank.h; the
+runtime detector (FRUGAL_LOCK_RANK_CHECKS) catches executed inversions,
+this check catches them before they run. Fix by reordering acquisitions
+or narrowing the outer critical section.""",
+    "tsa-coverage": """\
+Unguarded member in a lock-owning class: every non-const, non-atomic
+data member of a class that owns a Spinlock/Mutex/StripedLocks must be
+FRUGAL_GUARDED_BY/FRUGAL_PT_GUARDED_BY one of its locks, or carry a
+`// tsa-exempt: <why>` tag explaining the discipline that protects it
+(thread confinement, striped locks, init-before-spawn, ...).""",
+    "atomics-relaxed": """\
+Unjustified relaxed ordering: each memory_order_relaxed use needs a
+`// relaxed: <why>` comment on the same line or within --window lines
+above, stating why dropping the ordering is sound (counter only, value
+republished with release, etc.).""",
+    "atomics-raw": """\
+Raw std::atomic in a model-checked dir (src/pq, src/common): state that
+participates in a lock-free protocol must be frugal::model_atomic<T> so
+the FRUGAL_MODELCHECK interleaving explorer can intercept it. Purely
+statistical atomics may opt out with `// modelcheck-exempt: <why>`.""",
+    "atomics-cmpxchg": """\
+Illegal compare_exchange order pair: the failure order may not be
+memory_order_release/acq_rel (the C++ standard forbids it) and must not
+be stronger than the success order. Fix the pair; if the failure path
+truly needs acquire, the success order must be at least acquire too.""",
+    "hotpath-alloc": """\
+Allocation on a hot path: functions on the hot list (flush_entry_run,
+DrainBucket, GpuCache::TryGet/Put/UpdateIfPresent, the row kernels) must
+not allocate directly or via a directly-called function. Amortized
+growth of a thread_local or pre-reserved buffer may be exempted with
+`// alloc-ok: <why>` on the allocating (or calling) line.""",
+}
+
+CHECK_IDS = tuple(EXPLAIN)
+
+_ORDER_STRENGTH = {"relaxed": 0, "consume": 1, "acquire": 2, "release": 2,
+                   "acq_rel": 3, "seq_cst": 4}
+
+
+@dataclass
+class CheckConfig:
+    window: int = 6
+    hot: Tuple[str, ...] = HOT_FUNCTIONS
+    model_checked_dirs: Tuple[str, ...] = MODEL_CHECKED_DIRS
+    checks: Tuple[str, ...] = CHECK_IDS
+
+
+# ---------------------------------------------------------------------------
+# Cross-file registries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Registry:
+    # class -> lock member -> rank name (None when not statically known)
+    class_locks: Dict[str, Dict[str, Optional[str]]] = field(
+        default_factory=dict)
+    # member name -> set of rank names across all classes
+    member_ranks: Dict[str, Set[str]] = field(default_factory=dict)
+    # (class, method) -> lock member it returns (RETURN_CAPABILITY)
+    returns_lock: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    # method name -> set of ranks its RETURN_CAPABILITY target can have
+    method_ranks: Dict[str, Set[str]] = field(default_factory=dict)
+    # function lookup: qualified and (if unique) bare name
+    functions: Dict[str, Tuple[str, FunctionFacts]] = field(
+        default_factory=dict)
+    ambiguous: Set[str] = field(default_factory=set)
+
+
+def build_registry(project: ProjectFacts) -> Registry:
+    reg = Registry()
+    global_ctor_ranks: Dict[str, Dict[str, str]] = {}
+    for ff in project.files.values():
+        for cls, ranks in ff.ctor_ranks.items():
+            global_ctor_ranks.setdefault(cls, {}).update(ranks)
+    for ff, cf in project.all_classes():
+        locks = reg.class_locks.setdefault(cf.name, {})
+        for mem in cf.members:
+            if mem.lock_type:
+                rank = (mem.lock_rank or cf.ctor_ranks.get(mem.name) or
+                        global_ctor_ranks.get(cf.name,
+                                              {}).get(mem.name))
+                locks[mem.name] = rank
+                if rank:
+                    reg.member_ranks.setdefault(mem.name,
+                                                set()).add(rank)
+        for method, target in cf.returns_lock.items():
+            reg.returns_lock[(cf.name, method)] = target
+            rank = locks.get(target)
+            if rank:
+                reg.method_ranks.setdefault(method, set()).add(rank)
+    for ff, fn in project.all_functions():
+        for key in (fn.qualified(), fn.name):
+            if key in reg.ambiguous:
+                continue
+            if key in reg.functions and \
+                    reg.functions[key][1] is not fn:
+                del reg.functions[key]
+                reg.ambiguous.add(key)
+            else:
+                reg.functions[key] = (ff.path, fn)
+    return reg
+
+
+def _unique(ranks: Optional[Set[str]]) -> Optional[str]:
+    if ranks and len(ranks) == 1:
+        return next(iter(ranks))
+    return None
+
+
+def resolve_rank(expr: str, fn: FunctionFacts, reg: Registry) \
+        -> Optional[str]:
+    """Best-effort LockRank of a guard expression, or None."""
+    expr = expr.strip().lstrip("*&").strip()
+    if not expr:
+        return None
+    # Striped lock: locks_.For(h) / x->row_locks_.For(h)
+    sm = re.match(r"(.+?)(?:\.|->)For\s*\(", expr)
+    if sm:
+        return resolve_rank(sm.group(1), fn, reg)
+    # Method call returning a capability: entry->lock()
+    cm = re.match(r"(.+?)(?:\.|->)(\w+)\s*\(\s*\)$", expr)
+    if cm:
+        recv, method = cm.group(1), cm.group(2)
+        rtype = _receiver_type(recv, fn)
+        if rtype and (rtype, method) in reg.returns_lock:
+            member = reg.returns_lock[(rtype, method)]
+            return reg.class_locks.get(rtype, {}).get(member)
+        return _unique(reg.method_ranks.get(method))
+    if expr.endswith("()"):  # bare capability-returning call: lock()
+        method = expr[:-2].strip()
+        if fn.cls and (fn.cls, method) in reg.returns_lock:
+            member = reg.returns_lock[(fn.cls, method)]
+            return reg.class_locks.get(fn.cls, {}).get(member)
+        return _unique(reg.method_ranks.get(method))
+    # Member access: shard.lock / slot->lock / this->lock_
+    mm = re.match(r"(.+?)(?:\.|->)(\w+)$", expr)
+    if mm:
+        recv, member = mm.group(1), mm.group(2)
+        if recv == "this" and fn.cls:
+            return reg.class_locks.get(fn.cls, {}).get(member)
+        rtype = _receiver_type(recv, fn)
+        if rtype and rtype in reg.class_locks:
+            return reg.class_locks[rtype].get(member)
+        return _unique(reg.member_ranks.get(member))
+    # Bare identifier: member of the enclosing class, else unique name.
+    if fn.cls and expr in reg.class_locks.get(fn.cls, {}):
+        return reg.class_locks[fn.cls].get(expr)
+    return _unique(reg.member_ranks.get(expr))
+
+
+def _receiver_type(recv: str, fn: FunctionFacts) -> Optional[str]:
+    recv = recv.strip().lstrip("*&").strip()
+    if not re.fullmatch(r"[A-Za-z_]\w*", recv):
+        return None
+    return fn.params.get(recv) or fn.locals.get(recv)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def check_layering(project: ProjectFacts, cfg: CheckConfig) \
+        -> List[Diagnostic]:
+    diags = []
+    for path, ff in sorted(project.files.items()):
+        src_mod = module_of(path)
+        if src_mod is None:
+            continue
+        src_rank = MODULE_RANK[src_mod]
+        for line, target in ff.includes:
+            dst_mod = module_of(target)
+            if dst_mod is None or dst_mod == src_mod:
+                continue
+            if MODULE_RANK[dst_mod] > src_rank:
+                diags.append(Diagnostic(
+                    path=path, line=line, check="layering",
+                    message=f'back-edge: module "{src_mod}" (rank '
+                            f'{src_rank}) includes "{target}" from '
+                            f'module "{dst_mod}" (rank '
+                            f'{MODULE_RANK[dst_mod]})',
+                    token=target))
+    return diags
+
+
+def check_lock_rank(project: ProjectFacts, reg: Registry,
+                    cfg: CheckConfig) -> List[Diagnostic]:
+    diags = []
+    for ff, fn in project.all_functions():
+        for nest in fn.nests:
+            inner = resolve_rank(nest.inner, fn, reg)
+            if inner is None or inner not in LOCK_RANKS:
+                continue
+            for outer_expr in nest.outers:
+                outer = resolve_rank(outer_expr, fn, reg)
+                if outer is None or outer not in LOCK_RANKS:
+                    continue
+                if LOCK_RANKS[inner] <= LOCK_RANKS[outer]:
+                    diags.append(Diagnostic(
+                        path=ff.path, line=nest.line, check="lock-rank",
+                        message=f"acquires {nest.inner} (LockRank::"
+                                f"{inner}) while holding {outer_expr} "
+                                f"(LockRank::{outer}); ranks must "
+                                f"strictly increase inward",
+                        token=f"{fn.qualified()}:{inner}<={outer}"))
+        # one level of call propagation
+        for call in fn.calls:
+            if not call.held:
+                continue
+            held_ranks = [(e, resolve_rank(e, fn, reg))
+                          for e in call.held]
+            held_ranks = [(e, r) for e, r in held_ranks
+                          if r in LOCK_RANKS]
+            if not held_ranks:
+                continue
+            callee = _lookup_callee(call.name, reg)
+            if callee is None or callee[1] is fn:
+                continue
+            callee_path, callee_fn = callee
+            for i, expr in enumerate(callee_fn.guards):
+                acq = resolve_rank(expr, callee_fn, reg)
+                if acq is None or acq not in LOCK_RANKS:
+                    continue
+                for held_expr, held in held_ranks:
+                    if LOCK_RANKS[acq] <= LOCK_RANKS[held]:
+                        diags.append(Diagnostic(
+                            path=ff.path, line=call.line,
+                            check="lock-rank",
+                            message=f"calls {call.name} (which acquires "
+                                    f"LockRank::{acq} at {callee_path}:"
+                                    f"{callee_fn.guard_lines[i]}) while "
+                                    f"holding {held_expr} (LockRank::"
+                                    f"{held})",
+                            token=f"{fn.qualified()}->"
+                                  f"{callee_fn.qualified()}:"
+                                  f"{acq}<={held}"))
+    return diags
+
+
+def _lookup_callee(chain: str, reg: Registry):
+    last = re.split(r"\.|->", chain)[-1]
+    for key in (chain, last):
+        if key in reg.functions:
+            return reg.functions[key]
+    return None
+
+
+_EXEMPT_MEMBER_TYPES = ("condition_variable",)
+
+
+def check_tsa_coverage(project: ProjectFacts, cfg: CheckConfig) \
+        -> List[Diagnostic]:
+    diags = []
+    for ff, cf in project.all_classes():
+        lock_names = {m.name for m in cf.members if m.lock_type}
+        if not lock_names:
+            continue
+        for mem in cf.members:
+            if mem.lock_type or mem.is_const or mem.is_atomic:
+                continue
+            if mem.guarded_by or mem.pt_guarded_by:
+                continue
+            if any(t in mem.decl for t in _EXEMPT_MEMBER_TYPES):
+                continue
+            if ff.has_tag_near(mem.line, "tsa-exempt:", window=2):
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=mem.line, check="tsa-coverage",
+                message=f"member '{mem.name}' of lock-owning class "
+                        f"'{cf.name}' is neither GUARDED_BY nor "
+                        f"tsa-exempt (locks: "
+                        f"{', '.join(sorted(lock_names))})",
+                token=f"{cf.name}::{mem.name}"))
+    return diags
+
+
+def check_atomics(project: ProjectFacts, cfg: CheckConfig) \
+        -> List[Diagnostic]:
+    diags = []
+    for path, ff in sorted(project.files.items()):
+        for line in ff.relaxed_lines:
+            if ff.has_tag_near(line, "relaxed:", window=cfg.window):
+                continue
+            diags.append(Diagnostic(
+                path=path, line=line, check="atomics-relaxed",
+                message="memory_order_relaxed without a justifying "
+                        "`relaxed:` comment within "
+                        f"{cfg.window} lines",
+                token=token_for_line(_line_text(project, path, line))))
+        head = path.split("/", 1)[0]
+        if head in cfg.model_checked_dirs:
+            for line in ff.raw_atomic_lines:
+                if ff.has_tag_near(line, "modelcheck-exempt:",
+                                   window=cfg.window):
+                    continue
+                diags.append(Diagnostic(
+                    path=path, line=line, check="atomics-raw",
+                    message="raw std::atomic in a model-checked dir; "
+                            "use frugal::model_atomic or tag "
+                            "`modelcheck-exempt:`",
+                    token=token_for_line(
+                        _line_text(project, path, line))))
+        for site in ff.cmpxchg:
+            if site.failure is None:
+                continue
+            fail = site.failure
+            succ = site.success or "seq_cst"
+            if fail in ("release", "acq_rel"):
+                diags.append(Diagnostic(
+                    path=path, line=site.line, check="atomics-cmpxchg",
+                    message=f"compare_exchange failure order "
+                            f"memory_order_{fail} is forbidden",
+                    token=f"cmpxchg:{succ}/{fail}"))
+            elif _ORDER_STRENGTH.get(fail, 0) > \
+                    _ORDER_STRENGTH.get(succ, 4):
+                diags.append(Diagnostic(
+                    path=path, line=site.line, check="atomics-cmpxchg",
+                    message=f"compare_exchange failure order "
+                            f"memory_order_{fail} is stronger than "
+                            f"success order memory_order_{succ}",
+                    token=f"cmpxchg:{succ}/{fail}"))
+    return diags
+
+
+def _line_text(project: ProjectFacts, path: str, line: int) -> str:
+    # Facts don't carry source text; token over path+line of the *fact*
+    # kind keeps baselines stable enough without it.
+    return f"{path}#{line}"
+
+
+def check_hotpath_alloc(project: ProjectFacts, reg: Registry,
+                        cfg: CheckConfig) -> List[Diagnostic]:
+    hot = set(cfg.hot)
+    diags = []
+    for ff, fn in project.all_functions():
+        if fn.qualified() not in hot and fn.name not in hot:
+            continue
+        for site in fn.allocs:
+            if site.tagged:
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=site.line, check="hotpath-alloc",
+                message=f"hot-path function '{fn.qualified()}' "
+                        f"allocates ({site.what}); pre-reserve or tag "
+                        f"`alloc-ok:`",
+                token=f"{fn.qualified()}:{site.what}"))
+        for call in fn.calls:
+            callee = _lookup_callee(call.name, reg)
+            if callee is None or callee[1] is fn:
+                continue
+            callee_path, callee_fn = callee
+            if callee_fn.qualified() in hot or callee_fn.name in hot:
+                continue  # reported on the callee itself
+            bad = [a for a in callee_fn.allocs if not a.tagged]
+            if not bad:
+                continue
+            if ff.has_tag_near(call.line, "alloc-ok:", window=3):
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=call.line, check="hotpath-alloc",
+                message=f"hot-path function '{fn.qualified()}' calls "
+                        f"'{callee_fn.qualified()}' which allocates "
+                        f"({bad[0].what} at {callee_path}:"
+                        f"{bad[0].line}); tag `alloc-ok:` or hoist",
+                token=f"{fn.qualified()}->{callee_fn.qualified()}"))
+    return diags
+
+
+def run_checks(project: ProjectFacts, cfg: CheckConfig) \
+        -> List[Diagnostic]:
+    reg = build_registry(project)
+    diags: List[Diagnostic] = []
+    if "layering" in cfg.checks:
+        diags += check_layering(project, cfg)
+    if "lock-rank" in cfg.checks:
+        diags += check_lock_rank(project, reg, cfg)
+    if "tsa-coverage" in cfg.checks:
+        diags += check_tsa_coverage(project, cfg)
+    if {"atomics-relaxed", "atomics-raw",
+            "atomics-cmpxchg"} & set(cfg.checks):
+        atomics = check_atomics(project, cfg)
+        diags += [d for d in atomics if d.check in cfg.checks]
+    if "hotpath-alloc" in cfg.checks:
+        diags += check_hotpath_alloc(project, reg, cfg)
+    seen = set()
+    unique = []
+    for d in sorted(diags, key=lambda d: (d.path, d.line, d.check)):
+        if (d.path, d.line, d.check, d.token) in seen:
+            continue
+        seen.add((d.path, d.line, d.check, d.token))
+        unique.append(d)
+    return unique

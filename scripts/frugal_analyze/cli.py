@@ -1,0 +1,269 @@
+"""Command-line driver.
+
+    python3 scripts/frugal_analyze [paths...]          # analyze src/
+    python3 scripts/frugal_analyze --explain lock-rank
+    python3 scripts/frugal_analyze --list-checks
+
+Exit codes: 0 clean (or suppressed-only), 1 unsuppressed diagnostics,
+2 usage / infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+from . import __version__
+from .cache import FactsCache
+from .checks import CHECK_IDS, EXPLAIN, CheckConfig, run_checks
+from .diagnostics import Baseline
+from .facts import FileFacts, ProjectFacts
+from . import frontend_clang
+from .frontend_internal import parse_file
+from .project import HOT_FUNCTIONS
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def _repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="frugal_analyze",
+        description="Frugal's project-specific static analysis suite.")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to analyze "
+                         "(default: <src-root>)")
+    ap.add_argument("--src-root", default=None,
+                    help="root the module layout is resolved against "
+                         "(default: <repo>/src)")
+    ap.add_argument("--frontend", choices=("auto", "internal", "clang"),
+                    default="auto")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang frontend "
+                         "(default: <repo>/build/compile_commands.json)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="incremental facts cache "
+                         "(default: <repo>/build/.analyze-cache)")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--baseline", default=None,
+                    help="suppression baseline file (default: "
+                         "scripts/frugal_analyze/baseline.txt)")
+    ap.add_argument("--no-baseline", action="store_true")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline with current findings")
+    ap.add_argument("--window", type=int, default=6,
+                    help="comment-tag search window in lines (default 6)")
+    ap.add_argument("--hot", action="append", default=None,
+                    metavar="NAME",
+                    help="replace the hot-function list (repeatable)")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--explain", metavar="CHECK-ID",
+                    help="describe a check and how to fix/exempt it")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--stats", action="store_true",
+                    help="print cache and corpus statistics")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    ap.add_argument("--version", action="version",
+                    version=f"frugal_analyze {__version__}")
+    return ap
+
+
+def collect_sources(paths: List[str], src_root: str) -> Dict[str, str]:
+    """Returns {src-root-relative path: absolute path}."""
+    out: Dict[str, str] = {}
+    roots = paths or [src_root]
+    for root in roots:
+        root = os.path.abspath(root)
+        if os.path.isfile(root):
+            _add_source(out, root, src_root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    _add_source(out, os.path.join(dirpath, name),
+                                src_root)
+    return out
+
+
+def _add_source(out: Dict[str, str], abs_path: str,
+                src_root: str) -> None:
+    rel = os.path.relpath(abs_path, src_root)
+    if rel.startswith(".."):
+        rel = os.path.basename(abs_path)
+    out[rel.replace(os.sep, "/")] = abs_path
+
+
+def _analyze_internal(sources: Dict[str, str],
+                      cache: FactsCache) -> ProjectFacts:
+    project = ProjectFacts()
+    for rel, abs_path in sources.items():
+        try:
+            with open(abs_path, "rb") as f:
+                content = f.read()
+        except OSError as e:
+            print(f"frugal_analyze: cannot read {abs_path}: {e}",
+                  file=sys.stderr)
+            continue
+        facts = cache.get(content)
+        if facts is None or facts.path != rel:
+            facts = parse_file(rel, content.decode("utf-8",
+                                                   errors="replace"))
+            cache.put(content, facts)
+        project.files[rel] = facts
+    return project
+
+
+def _analyze_clang(sources: Dict[str, str], cache: FactsCache,
+                   compile_commands: str, src_root: str,
+                   quiet: bool) -> Optional[ProjectFacts]:
+    clangxx = frontend_clang.clang_available()
+    if clangxx is None or not os.path.isfile(compile_commands):
+        return None
+    try:
+        entries = frontend_clang.load_compile_commands(compile_commands)
+    except (OSError, ValueError) as e:
+        print(f"frugal_analyze: bad compile_commands.json: {e}",
+              file=sys.stderr)
+        return None
+    abs_to_rel = {os.path.realpath(a): r for r, a in sources.items()}
+
+    def want(path: str) -> Optional[str]:
+        return abs_to_rel.get(os.path.realpath(path))
+
+    merged: Dict[str, FileFacts] = {}
+    for entry in entries:
+        tu = os.path.realpath(os.path.join(entry.get("directory", "."),
+                                           entry.get("file", "")))
+        if want(tu) is None:
+            continue
+        ast = frontend_clang.dump_tu(entry, clangxx)
+        if ast is None:
+            if not quiet:
+                print(f"frugal_analyze: clang dump failed for "
+                      f"{entry.get('file')}; skipping TU",
+                      file=sys.stderr)
+            continue
+        for rel, facts in frontend_clang.collect_from_ast(ast,
+                                                          want).items():
+            merged.setdefault(rel, facts)
+    project = ProjectFacts()
+    for rel, abs_path in sources.items():
+        try:
+            text = open(abs_path, encoding="utf-8",
+                        errors="replace").read()
+        except OSError:
+            continue
+        if rel in merged:
+            project.files[rel] = frontend_clang.merge_lexer_facts(
+                merged[rel], rel, text)
+        else:
+            # header never reached by any TU in the DB: lexer fallback
+            project.files[rel] = parse_file(rel, text)
+    return project
+
+
+def main(argv: List[str]) -> int:
+    ap = build_arg_parser()
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for cid in CHECK_IDS:
+            first = EXPLAIN[cid].splitlines()[0]
+            print(f"  {cid:16} {first}")
+        return 0
+    if args.explain:
+        if args.explain not in EXPLAIN:
+            print(f"unknown check '{args.explain}'; known: "
+                  f"{', '.join(CHECK_IDS)}", file=sys.stderr)
+            return 2
+        print(f"{args.explain}\n{'-' * len(args.explain)}")
+        print(EXPLAIN[args.explain])
+        return 0
+
+    repo = _repo_root()
+    src_root = os.path.abspath(args.src_root or
+                               os.path.join(repo, "src"))
+    compile_commands = args.compile_commands or \
+        os.path.join(repo, "build", "compile_commands.json")
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.path.join(repo, "build", ".analyze-cache"))
+    baseline_path = args.baseline or os.path.join(
+        repo, "scripts", "frugal_analyze", "baseline.txt")
+
+    sources = collect_sources(args.paths, src_root)
+    if not sources:
+        print("frugal_analyze: no sources found", file=sys.stderr)
+        return 2
+
+    frontend = args.frontend
+    project = None
+    if frontend in ("auto", "clang"):
+        cache = FactsCache(cache_dir, "clang")
+        project = _analyze_clang(sources, cache, compile_commands,
+                                 src_root, args.quiet)
+        if project is None:
+            if frontend == "clang":
+                print("frugal_analyze: --frontend clang requires "
+                      "clang++ and compile_commands.json "
+                      f"({compile_commands})", file=sys.stderr)
+                return 2
+            if not args.quiet:
+                print("frugal_analyze: clang++ or compile_commands.json "
+                      "unavailable; using the internal frontend",
+                      file=sys.stderr)
+            frontend = "internal"
+    if project is None:
+        cache = FactsCache(cache_dir, "internal")
+        project = _analyze_internal(sources, cache)
+
+    checks = tuple(c.strip() for c in args.checks.split(",")) \
+        if args.checks else CHECK_IDS
+    unknown = set(checks) - set(CHECK_IDS)
+    if unknown:
+        print(f"frugal_analyze: unknown checks: "
+              f"{', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    cfg = CheckConfig(window=args.window,
+                      hot=tuple(args.hot) if args.hot else HOT_FUNCTIONS,
+                      checks=checks)
+    diags = run_checks(project, cfg)
+
+    if args.write_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            f.write("# frugal_analyze suppression baseline.\n"
+                    "# One `path:check-id:token` per line; every entry "
+                    "must carry a\n# justifying comment. The goal state "
+                    "is an empty file.\n")
+            for d in diags:
+                f.write(d.key() + "\n")
+        print(f"wrote {len(diags)} baseline entries to {baseline_path}")
+        return 0
+
+    baseline = Baseline() if args.no_baseline \
+        else Baseline.load(baseline_path)
+    unsuppressed, suppressed, stale = baseline.split(diags)
+
+    for d in unsuppressed:
+        print(d.render())
+    if stale and not args.quiet:
+        for key in stale:
+            print(f"frugal_analyze: stale baseline entry: {key}",
+                  file=sys.stderr)
+    if args.stats:
+        print(f"frugal_analyze: {len(sources)} files, frontend="
+              f"{frontend}, cache hits={cache.hits} "
+              f"misses={cache.misses}", file=sys.stderr)
+    if not args.quiet:
+        msg = f"frugal_analyze: {len(unsuppressed)} finding(s)"
+        if suppressed:
+            msg += f", {len(suppressed)} baseline-suppressed"
+        print(msg, file=sys.stderr)
+    return 1 if unsuppressed else 0

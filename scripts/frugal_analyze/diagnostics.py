@@ -1,0 +1,66 @@
+"""Diagnostics and the committed suppression baseline.
+
+Diagnostic keys are line-number-free (`path:check:token`) so a baseline
+entry survives unrelated churn above the flagged site. The project goal
+is an *empty* baseline — entries are a migration device, not a home.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Set
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    path: str          # src-root-relative (or repo-relative for fixtures)
+    line: int
+    check: str
+    message: str
+    token: str         # stable symbol for baseline matching
+
+    def key(self) -> str:
+        return f"{self.path}:{self.check}:{self.token}"
+
+    def render(self, prefix: str = "") -> str:
+        return f"{prefix}{self.path}:{self.line}: {self.check}: " \
+               f"{self.message}"
+
+
+def token_for_line(code: str) -> str:
+    """Stable token for diagnostics that have no natural symbol: a short
+    content hash of the (whitespace-normalized) flagged line."""
+    norm = " ".join(code.split())
+    return hashlib.sha1(norm.encode()).hexdigest()[:10]
+
+
+@dataclass
+class Baseline:
+    keys: Set[str] = field(default_factory=set)
+
+    @staticmethod
+    def load(path: str) -> "Baseline":
+        bl = Baseline()
+        try:
+            with open(path, encoding="utf-8") as f:
+                for raw in f:
+                    line = raw.strip()
+                    if line and not line.startswith("#"):
+                        bl.keys.add(line)
+        except FileNotFoundError:
+            pass
+        return bl
+
+    def split(self, diags: List[Diagnostic]):
+        """Returns (unsuppressed, suppressed, stale_keys)."""
+        seen = set()
+        unsuppressed, suppressed = [], []
+        for d in diags:
+            if d.key() in self.keys:
+                suppressed.append(d)
+                seen.add(d.key())
+            else:
+                unsuppressed.append(d)
+        stale = sorted(self.keys - seen)
+        return unsuppressed, suppressed, stale

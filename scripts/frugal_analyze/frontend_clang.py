@@ -1,0 +1,363 @@
+"""Clang frontend: facts from `clang++ -Xclang -ast-dump=json`.
+
+When a real clang++ and the exported compile_commands.json are present,
+this frontend replaces the internal parser's class/function/atomics
+structure with AST-precise facts: member types come from the semantic
+type, guard scopes from real CompoundStmt nesting, compare_exchange
+orders from enumerator references. Comment-borne information — exempt
+tags and #include edges (the JSON dump contains no preprocessor) —
+always comes from the lexer, so the two frontends compose rather than
+compete.
+
+The AST walker (`collect_from_ast`) is a pure function over the parsed
+JSON so it can be unit-tested with synthetic dumps on hosts without
+clang++ (this repo's CI container has only GCC; `--frontend auto`
+falls back to the internal frontend there with a notice).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import shutil
+import subprocess
+from typing import Dict, List, Optional
+
+from .facts import (AllocSite, CallSite, ClassFacts, CmpxchgSite,
+                    FileFacts, FunctionFacts, GuardNest, Member)
+from .frontend_internal import GUARD_TYPES, LOCK_TYPES, parse_file
+from .lexer import lex
+
+_ORDERS = ("relaxed", "consume", "acquire", "release", "acq_rel",
+           "seq_cst")
+
+
+def clang_available() -> Optional[str]:
+    return shutil.which("clang++")
+
+
+def load_compile_commands(path: str) -> List[dict]:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def dump_tu(entry: dict, clangxx: str) -> Optional[dict]:
+    """Runs clang++ on one compile-commands entry, returns the AST JSON."""
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry.get("command", ""))
+    if not args:
+        return None
+    args[0] = clangxx
+    cleaned = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-MD", "-MMD"):
+            continue
+        cleaned.append(a)
+    cmd = [clangxx, "-fsyntax-only", "-Xclang", "-ast-dump=json",
+           "-Wno-everything"] + cleaned
+    try:
+        out = subprocess.run(cmd, cwd=entry.get("directory", "."),
+                             capture_output=True, text=True, timeout=300)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if not out.stdout.lstrip().startswith("{"):
+        return None
+    try:
+        return json.loads(out.stdout)
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# AST walking (pure; unit-testable without clang++)
+# ---------------------------------------------------------------------------
+
+
+class _Walk:
+    def __init__(self, want_file):
+        self.want_file = want_file      # abs path -> rel path or None
+        self.files: Dict[str, FileFacts] = {}
+        self.cur_file: Optional[str] = None
+
+    def facts(self, rel: str) -> FileFacts:
+        if rel not in self.files:
+            self.files[rel] = FileFacts(path=rel)
+        return self.files[rel]
+
+    def loc_file(self, node: dict) -> None:
+        loc = node.get("loc") or {}
+        f = loc.get("file") or (loc.get("expansionLoc") or {}).get("file")
+        if f:
+            self.cur_file = self.want_file(f)
+
+    def line(self, node: dict) -> int:
+        loc = node.get("loc") or (node.get("range") or {}).get("begin") \
+            or {}
+        if "expansionLoc" in loc:
+            loc = loc["expansionLoc"]
+        return int(loc.get("line", 0) or 0)
+
+    # -- dispatch --------------------------------------------------------
+
+    def walk(self, node: dict) -> None:
+        if not isinstance(node, dict):
+            return
+        self.loc_file(node)
+        kind = node.get("kind", "")
+        if kind == "CXXRecordDecl" and node.get("completeDefinition"):
+            self.record(node)
+            return
+        if kind in ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                    "CXXDestructorDecl") and _has_body(node):
+            self.function(node)
+            return
+        for child in node.get("inner", []) or []:
+            self.walk(child)
+
+    def record(self, node: dict) -> None:
+        if self.cur_file is None:
+            for child in node.get("inner", []) or []:
+                self.walk(child)
+            return
+        cf = ClassFacts(name=node.get("name", "<anon>"),
+                        line=self.line(node))
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "FieldDecl":
+                cf.members.append(self.field(child))
+            elif child.get("kind") in ("CXXMethodDecl",
+                                       "CXXConstructorDecl"):
+                self._method_attrs(child, cf)
+                if _has_body(child):
+                    self.function(child, cls=cf.name)
+            elif child.get("kind") == "CXXRecordDecl" and \
+                    child.get("completeDefinition"):
+                self.record(child)
+        self.facts(self.cur_file).classes.append(cf)
+
+    def field(self, node: dict) -> Member:
+        qual = (node.get("type") or {}).get("qualType", "")
+        mem = Member(name=node.get("name", ""), line=self.line(node),
+                     decl=qual)
+        mem.is_const = qual.startswith("const ") or " const" in qual
+        mem.is_mutable = bool(node.get("mutable"))
+        mem.is_atomic = ("atomic<" in qual or "atomic_flag" in qual or
+                         "model_atomic" in qual)
+        for lt in LOCK_TYPES:
+            bare = lt.split("::")[-1]
+            if qual.split("<")[0].split()[-1].split("::")[-1] == bare:
+                mem.lock_type = lt
+                break
+        for child in node.get("inner", []) or []:
+            k = child.get("kind", "")
+            if k == "GuardedByAttr":
+                mem.guarded_by = _attr_expr(child)
+            elif k == "PtGuardedByAttr":
+                mem.pt_guarded_by = _attr_expr(child)
+            else:
+                rank = _find_rank(child)
+                if rank and mem.lock_type:
+                    mem.lock_rank = rank
+        return mem
+
+    def _method_attrs(self, node: dict, cf: ClassFacts) -> None:
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "LockReturnedAttr":
+                target = _attr_expr(child)
+                if target:
+                    cf.returns_lock[node.get("name", "")] = target
+
+    def function(self, node: dict, cls: str = "") -> None:
+        if self.cur_file is None:
+            return
+        fn = FunctionFacts(name=node.get("name", ""), cls=cls,
+                           line=self.line(node))
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "ParmVarDecl":
+                qual = (child.get("type") or {}).get("qualType", "")
+                base = qual.replace("const", "").strip()
+                base = base.rstrip("&* ").strip()
+                if child.get("name"):
+                    fn.params[child["name"]] = base.split("<")[0]
+        body = _body_of(node)
+        if body is not None:
+            self._stmt(body, fn, [])
+        self.facts(self.cur_file).functions.append(fn)
+
+    def _stmt(self, node: dict, fn: FunctionFacts,
+              active: List[str]) -> None:
+        kind = node.get("kind", "")
+        if kind == "CompoundStmt":
+            scoped = list(active)
+            for child in node.get("inner", []) or []:
+                self._stmt(child, fn, scoped)
+            return
+        if kind == "DeclStmt":
+            for child in node.get("inner", []) or []:
+                if child.get("kind") != "VarDecl":
+                    continue
+                qual = (child.get("type") or {}).get("qualType", "")
+                tname = qual.split("<")[0].strip()
+                if any(tname.endswith(g.split("::")[-1])
+                       for g in GUARD_TYPES):
+                    expr = _first_declref_chain(child)
+                    line = self.line(child)
+                    if active:
+                        fn.nests.append(GuardNest(
+                            line=line, inner=expr,
+                            outers=list(active)))
+                    active.append(expr)
+                    fn.guards.append(expr)
+                    fn.guard_lines.append(line)
+                elif child.get("name"):
+                    fn.locals[child["name"]] = tname.replace(
+                        "const", "").strip().rstrip("&* ")
+                self._walk_expr(child, fn, active)
+            return
+        self._walk_expr(node, fn, active)
+        for child in node.get("inner", []) or []:
+            self._stmt(child, fn, active)
+
+    def _walk_expr(self, node: dict, fn: FunctionFacts,
+                   active: List[str]) -> None:
+        kind = node.get("kind", "")
+        line = self.line(node)
+        if kind == "CXXNewExpr":
+            fn.allocs.append(AllocSite(line=line, what="new"))
+        elif kind in ("CallExpr", "CXXMemberCallExpr"):
+            name = _callee_name(node)
+            if name:
+                if name.startswith("compare_exchange_"):
+                    self._cmpxchg(node, line)
+                elif name in ("push_back", "emplace_back", "resize",
+                              "reserve", "insert", "emplace",
+                              "try_emplace", "assign", "append"):
+                    fn.allocs.append(AllocSite(line=line,
+                                               what="." + name))
+                elif name in ("make_unique", "make_shared", "malloc",
+                              "calloc", "realloc", "to_string"):
+                    fn.allocs.append(AllocSite(line=line, what=name))
+                else:
+                    fn.calls.append(CallSite(line=line, name=name,
+                                             held=list(active)))
+        if kind == "DeclRefExpr":
+            ref = (node.get("referencedDecl") or {}).get("name", "")
+            if ref.startswith("memory_order_") or ref in _ORDERS:
+                # relaxed uses recorded at file level
+                if ref.endswith("relaxed") and self.cur_file:
+                    lines = self.facts(self.cur_file).relaxed_lines
+                    if line and line not in lines:
+                        lines.append(line)
+
+    def _cmpxchg(self, node: dict, line: int) -> None:
+        orders = []
+        for child in node.get("inner", []) or []:
+            orders.extend(_collect_orders(child))
+        site = CmpxchgSite(line=line)
+        if len(orders) >= 2:
+            site.success, site.failure = orders[0], orders[1]
+        elif len(orders) == 1:
+            site.success = orders[0]
+        if self.cur_file:
+            self.facts(self.cur_file).cmpxchg.append(site)
+
+
+def _has_body(node: dict) -> bool:
+    return any(c.get("kind") == "CompoundStmt"
+               for c in node.get("inner", []) or [])
+
+
+def _body_of(node: dict) -> Optional[dict]:
+    for c in node.get("inner", []) or []:
+        if c.get("kind") == "CompoundStmt":
+            return c
+    return None
+
+
+def _attr_expr(node: dict) -> str:
+    for c in node.get("inner", []) or []:
+        chain = _first_declref_chain(c)
+        if chain:
+            return chain
+    return ""
+
+
+def _first_declref_chain(node: dict) -> str:
+    if not isinstance(node, dict):
+        return ""
+    if node.get("kind") in ("DeclRefExpr", "MemberExpr"):
+        name = node.get("name") or \
+            (node.get("referencedDecl") or {}).get("name", "")
+        if name:
+            return name
+    for c in node.get("inner", []) or []:
+        got = _first_declref_chain(c)
+        if got:
+            return got
+    return ""
+
+
+def _find_rank(node: dict) -> Optional[str]:
+    if not isinstance(node, dict):
+        return None
+    ref = (node.get("referencedDecl") or {}).get("name", "")
+    if ref.startswith("k") and node.get("kind") == "DeclRefExpr":
+        return ref
+    for c in node.get("inner", []) or []:
+        got = _find_rank(c)
+        if got:
+            return got
+    return None
+
+
+def _collect_orders(node: dict) -> List[str]:
+    out = []
+    if not isinstance(node, dict):
+        return out
+    ref = (node.get("referencedDecl") or {}).get("name", "")
+    if node.get("kind") == "DeclRefExpr":
+        for o in _ORDERS:
+            if ref == f"memory_order_{o}" or ref == o:
+                out.append(o)
+    for c in node.get("inner", []) or []:
+        out.extend(_collect_orders(c))
+    return out
+
+
+def _callee_name(node: dict) -> str:
+    for c in node.get("inner", []) or []:
+        name = _first_declref_chain(c)
+        if name:
+            return name
+    return ""
+
+
+def collect_from_ast(ast: dict, want_file) -> Dict[str, FileFacts]:
+    """Walks one TU's AST JSON. `want_file(abs_path)` maps an absolute
+    file path to its src-root-relative path (or None to skip)."""
+    w = _Walk(want_file)
+    w.walk(ast)
+    return w.files
+
+
+def merge_lexer_facts(ast_facts: FileFacts, path: str,
+                      text: str) -> FileFacts:
+    """Adds lexer-only information (includes, tags) to AST facts."""
+    lx = parse_file(path, text)
+    ast_facts.includes = lx.includes
+    ast_facts.tag_lines = lx.tag_lines
+    if not ast_facts.relaxed_lines:
+        ast_facts.relaxed_lines = lx.relaxed_lines
+    ast_facts.raw_atomic_lines = lx.raw_atomic_lines
+    if not ast_facts.cmpxchg:
+        ast_facts.cmpxchg = lx.cmpxchg
+    return ast_facts

@@ -19,6 +19,13 @@
    model path itself is built on, logging infrastructure) carry a
    `// modelcheck-exempt: ...` comment stating why.
 
+This script is a thin shim over scripts/frugal_analyze (checks
+`atomics-relaxed` and `atomics-raw`): the package's comment-aware lexer
+does the scanning, so `//` inside string literals no longer truncates
+code, a `relaxed:` inside a *string* no longer counts as justification,
+and the justification window is exact on every line including the first.
+Run `python3 scripts/frugal_analyze` for the full five-check suite.
+
 Usage:  lint_atomics.py [--window N] PATH [PATH ...]
 
 PATHs may be files or directories (searched recursively for C/C++
@@ -29,51 +36,32 @@ file:line.
 
 import argparse
 import pathlib
-import re
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from frugal_analyze.checks import CheckConfig, check_atomics  # noqa: E402
+from frugal_analyze.facts import ProjectFacts  # noqa: E402
+from frugal_analyze.frontend_internal import parse_file  # noqa: E402
+
 SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".c", ".cc", ".cpp", ".cu", ".cuh"}
-RELAXED = re.compile(r"\bmemory_order_relaxed\b|\bmemory_order::relaxed\b")
-JUSTIFICATION = re.compile(r"relaxed:")
-RAW_ATOMIC = re.compile(r"\bstd::atomic\s*<")
-MODEL_EXEMPT = re.compile(r"modelcheck-exempt:")
-# Directories whose shared state must go through frugal::model_atomic.
-MODEL_CHECKED_DIRS = ("src/pq", "src/common")
+# Legacy rule names, keyed by the frugal_analyze check ids they map to.
+RULE_NAMES = {"atomics-relaxed": "relaxed", "atomics-raw": "raw-atomic"}
+# The analyzer's known-bad test corpus: deliberately violating TUs that
+# tests/analyze/run_analyze_test.py asserts findings against. Directory
+# walks skip them (check.sh lints `tests`); explicit file paths still work.
+FIXTURE_CORPUS = "/tests/analyze/fixtures/"
 
 
-def strip_line_comment(line: str) -> str:
-    """Removes a trailing // comment (naive but adequate: the codebase
-    contains no // inside string literals on atomic-op lines)."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
-def in_model_checked_dir(path: pathlib.Path) -> bool:
+def analysis_key(path: pathlib.Path) -> str:
+    """src-relative key for a file, matching how the frugal_analyze
+    checks address project files (check_atomics decides the model-checked
+    rule from the leading path component: `pq/...`, `common/...`).
+    Files outside a src/ tree keep their full path, whose head is never a
+    model-checked dir, so rule 2 stays scoped to src/pq and src/common."""
     posix = path.resolve().as_posix()
-    return any(f"/{d}/" in posix or posix.endswith(f"/{d}")
-               for d in MODEL_CHECKED_DIRS)
-
-
-def find_offenders(path: pathlib.Path, window: int):
-    """Yields (line_number, line, rule) for rule violations."""
-    try:
-        lines = path.read_text(encoding="utf-8").splitlines()
-    except UnicodeDecodeError:
-        return
-    model_checked = in_model_checked_dir(path)
-    for i, line in enumerate(lines):
-        code = strip_line_comment(line)
-        context = lines[max(0, i - window) : i + 1]
-        if RELAXED.search(code) and not any(
-            JUSTIFICATION.search(ctx) for ctx in context
-        ):
-            yield i + 1, line.strip(), "relaxed"
-        if (
-            model_checked
-            and RAW_ATOMIC.search(code)
-            and not any(MODEL_EXEMPT.search(ctx) for ctx in context)
-        ):
-            yield i + 1, line.strip(), "raw-atomic"
+    idx = posix.rfind("/src/")
+    return posix[idx + len("/src/"):] if idx >= 0 else posix.lstrip("/")
 
 
 def collect_sources(paths):
@@ -81,6 +69,8 @@ def collect_sources(paths):
         path = pathlib.Path(raw)
         if path.is_dir():
             for child in sorted(path.rglob("*")):
+                if FIXTURE_CORPUS in child.resolve().as_posix():
+                    continue
                 if child.suffix in SOURCE_SUFFIXES and child.is_file():
                     yield child
         elif path.is_file():
@@ -103,11 +93,27 @@ def main():
     args = parser.parse_args()
 
     checked = 0
-    offenders = []
+    project = ProjectFacts()
+    display = {}  # analysis key -> (display path, source lines)
     for source in collect_sources(args.paths):
         checked += 1
-        for line_number, text, rule in find_offenders(source, args.window):
-            offenders.append((source, line_number, text, rule))
+        try:
+            text = source.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        key = analysis_key(source)
+        project.files[key] = parse_file(key, text)
+        display[key] = (source, text.splitlines())
+
+    cfg = CheckConfig(window=args.window)
+    offenders = []
+    for diag in check_atomics(project, cfg):
+        rule = RULE_NAMES.get(diag.check)
+        if rule is None:  # e.g. atomics-cmpxchg — not this tool's remit
+            continue
+        source, lines = display[diag.path]
+        text = lines[diag.line - 1].strip() if diag.line <= len(lines) else ""
+        offenders.append((source, diag.line, text, rule))
 
     if offenders:
         print(

@@ -4,6 +4,11 @@
  * controller's *update staging queue* and *sample queue* (Fig. 5): trainers
  * push parameter updates, the drain thread pops them; the prefetcher pushes
  * future batches, the controller pops them.
+ *
+ * Locking goes through the annotated Mutex wrapper (common/mutex.h) so
+ * Clang TSA sees every critical section; condition-variable waits use
+ * Mutex::Wait/WaitUntil predicate loops, which keep the release/reacquire
+ * inside one REQUIRES(this) method the analysis accepts.
  */
 #ifndef FRUGAL_COMMON_BLOCKING_QUEUE_H_
 #define FRUGAL_COMMON_BLOCKING_QUEUE_H_
@@ -11,12 +16,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "frugal/thread_safety.h"
 
 namespace frugal {
 
@@ -38,13 +44,14 @@ class BlockingQueue
     bool
     Push(T item)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock,
-                       [&] { return items_.size() < capacity_ || closed_; });
-        if (closed_)
-            return false;
-        items_.push_back(std::move(item));
-        lock.unlock();
+        {
+            MutexLock lock(mutex_);
+            while (items_.size() >= capacity_ && !closed_)
+                mutex_.Wait(not_full_);
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
         not_empty_.notify_one();
         return true;
     }
@@ -54,7 +61,7 @@ class BlockingQueue
     TryPush(T item)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (closed_ || items_.size() >= capacity_)
                 return false;
             items_.push_back(std::move(item));
@@ -67,13 +74,16 @@ class BlockingQueue
     std::optional<T>
     Pop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-        if (items_.empty())
-            return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
-        lock.unlock();
+        std::optional<T> item;
+        {
+            MutexLock lock(mutex_);
+            while (items_.empty() && !closed_)
+                mutex_.Wait(not_empty_);
+            if (items_.empty())
+                return std::nullopt;
+            item = std::move(items_.front());
+            items_.pop_front();
+        }
         not_full_.notify_one();
         return item;
     }
@@ -90,17 +100,17 @@ class BlockingQueue
     std::optional<T>
     PopFor(std::chrono::duration<Rep, Period> timeout)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (!not_empty_.wait_for(lock, timeout, [&] {
-                return !items_.empty() || closed_;
-            })) {
-            return std::nullopt;  // timed out
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        std::optional<T> item;
+        {
+            MutexLock lock(mutex_);
+            if (!WaitNotEmptyUntil(deadline))
+                return std::nullopt;  // timed out
+            if (items_.empty())
+                return std::nullopt;  // closed and drained
+            item = std::move(items_.front());
+            items_.pop_front();
         }
-        if (items_.empty())
-            return std::nullopt;  // closed and drained
-        T item = std::move(items_.front());
-        items_.pop_front();
-        lock.unlock();
         not_full_.notify_one();
         return item;
     }
@@ -116,18 +126,17 @@ class BlockingQueue
     PopBatchFor(std::size_t max_items,
                 std::chrono::duration<Rep, Period> timeout)
     {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
         std::vector<T> batch;
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (!not_empty_.wait_for(lock, timeout, [&] {
-                return !items_.empty() || closed_;
-            })) {
-            return batch;  // timed out
+        {
+            MutexLock lock(mutex_);
+            if (!WaitNotEmptyUntil(deadline))
+                return batch;  // timed out
+            while (!items_.empty() && batch.size() < max_items) {
+                batch.push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
         }
-        while (!items_.empty() && batch.size() < max_items) {
-            batch.push_back(std::move(items_.front()));
-            items_.pop_front();
-        }
-        lock.unlock();
         if (!batch.empty())
             not_full_.notify_all();
         return batch;
@@ -137,12 +146,14 @@ class BlockingQueue
     [[nodiscard]] std::optional<T>
     TryPop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (items_.empty())
-            return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
-        lock.unlock();
+        std::optional<T> item;
+        {
+            MutexLock lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            item = std::move(items_.front());
+            items_.pop_front();
+        }
         not_full_.notify_one();
         return item;
     }
@@ -156,13 +167,15 @@ class BlockingQueue
     PopBatch(std::size_t max_items)
     {
         std::vector<T> batch;
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-        while (!items_.empty() && batch.size() < max_items) {
-            batch.push_back(std::move(items_.front()));
-            items_.pop_front();
+        {
+            MutexLock lock(mutex_);
+            while (items_.empty() && !closed_)
+                mutex_.Wait(not_empty_);
+            while (!items_.empty() && batch.size() < max_items) {
+                batch.push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
         }
-        lock.unlock();
         not_full_.notify_all();
         return batch;
     }
@@ -172,7 +185,7 @@ class BlockingQueue
     Close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         not_empty_.notify_all();
@@ -182,26 +195,44 @@ class BlockingQueue
     bool
     closed() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
     std::size_t capacity() const { return capacity_; }
 
   private:
+    /** Waits until items/closed or `deadline`; true iff the predicate
+     *  held on return. Mirrors wait_until-with-predicate semantics: a
+     *  timeout still re-checks the predicate once before giving up. */
+    template <typename Clock, typename Duration>
+    bool
+    WaitNotEmptyUntil(
+        const std::chrono::time_point<Clock, Duration> &deadline)
+        FRUGAL_REQUIRES(mutex_)
+    {
+        while (items_.empty() && !closed_) {
+            if (mutex_.WaitUntil(not_empty_, deadline) ==
+                std::cv_status::timeout) {
+                return !items_.empty() || closed_;
+            }
+        }
+        return true;
+    }
+
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    std::deque<T> items_ FRUGAL_GUARDED_BY(mutex_);
+    bool closed_ FRUGAL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace frugal

@@ -23,8 +23,9 @@
 
 #include "data/rec_dataset.h"
 #include "data/trace.h"
+#include "models/grad_fn.h"
 #include "models/mlp.h"
-#include "runtime/engine.h"
+#include "table/embedding_table.h"
 
 namespace frugal {
 

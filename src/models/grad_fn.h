@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The model ↔ engine contract: a model plugs into any engine as a pair
+ * of callbacks, and this header is the *whole* interface between the
+ * two layers. It lives in models/ (below runtime/ in the module DAG —
+ * see DESIGN.md §11) so that model headers never include engine
+ * headers: models define the callbacks, engines consume them.
+ */
+#ifndef FRUGAL_MODELS_GRAD_FN_H_
+#define FRUGAL_MODELS_GRAD_FN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace frugal {
+
+/**
+ * Model callback: given the gathered embedding rows for `keys`
+ * (`values`, flattened keys.size()×dim), produce the per-key gradients
+ * (`grads`, same shape). Must be deterministic in its inputs so engine
+ * runs are comparable against the oracle.
+ */
+using GradFn = std::function<void(GpuId gpu, Step step,
+                                  const std::vector<Key> &keys,
+                                  const std::vector<float> &values,
+                                  std::vector<float> *grads)>;
+
+/** Hook run single-threaded once per step after all GPUs finished their
+ *  backward pass (dense-parameter allreduce, loss bookkeeping, ...). */
+using StepHook = std::function<void(Step step)>;
+
+}  // namespace frugal
+
+#endif  // FRUGAL_MODELS_GRAD_FN_H_

@@ -16,8 +16,8 @@
 
 #include "data/kg_dataset.h"
 #include "data/trace.h"
+#include "models/grad_fn.h"
 #include "models/kg_scorers.h"
-#include "runtime/engine.h"
 
 namespace frugal {
 

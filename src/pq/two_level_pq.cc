@@ -125,6 +125,9 @@ TwoLevelPQ::DrainBucket(std::size_t bucket_index, Priority priority,
                 bucket.logical.fetch_sub(1, std::memory_order_release);
                 // relaxed: approximate global size (SizeApprox contract).
                 size_->fetch_sub(1, std::memory_order_relaxed);
+                // alloc-ok: bounded by max_entries (<= flush_batch) and
+                // each flush thread reuses one claim vector across
+                // dequeues, so capacity growth is one-time per thread.
                 out.push_back(ClaimTicket{entry, priority});
                 ++claimed;
             } else {

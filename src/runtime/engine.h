@@ -35,6 +35,7 @@
 #include "cache/gpu_cache.h"
 #include "data/trace.h"
 #include "metrics/recovery_metrics.h"
+#include "models/grad_fn.h"
 #include "table/embedding_table.h"
 #include "table/optimizer.h"
 
@@ -159,21 +160,6 @@ struct EngineConfig
         return per_gpu < 1.0 ? 1 : static_cast<std::size_t>(per_gpu);
     }
 };
-
-/**
- * Model callback: given the gathered embedding rows for `keys`
- * (`values`, flattened keys.size()×dim), produce the per-key gradients
- * (`grads`, same shape). Must be deterministic in its inputs so engine
- * runs are comparable against the oracle.
- */
-using GradFn = std::function<void(GpuId gpu, Step step,
-                                  const std::vector<Key> &keys,
-                                  const std::vector<float> &values,
-                                  std::vector<float> *grads)>;
-
-/** Hook run single-threaded once per step after all GPUs finished their
- *  backward pass (dense-parameter allreduce, loss bookkeeping, ...). */
-using StepHook = std::function<void(Step step)>;
 
 /** Outcome and instrumentation of one engine run. */
 struct RunReport

@@ -88,9 +88,12 @@ struct FlusherSlot
     std::atomic<bool> dead{false};
     /** True while a dequeued batch is being processed. */
     std::atomic<bool> busy{false};
-    /** Flush lag (staging→commit seconds) of runs this slot applied;
-     *  written only by the slot's thread, merged after the joins. */
+    /** Flush lag (staging→commit seconds) of runs this slot applied.
+     *  tsa-exempt: written only by the slot's own thread; the engine
+     *  merges it after joining every flusher. */
     Histogram lag;
+    // tsa-exempt: set before the thread starts, joined by the engine's
+    // wind-down; never touched under `lock`.
     std::thread thread;
 };
 
@@ -535,6 +538,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         // runs on the watchdog thread when reclaiming abandoned claims,
         // hence the thread-local row buffer.
         thread_local std::vector<float> row;
+        // alloc-ok: thread_local scratch; after the first call on each
+        // thread this resize never reallocates (dim is run-constant).
         row.resize(config_.dim);
         const GpuId owner = ownership_.OwnerOf(key);
         table_->ReadRow(key, row.data());
@@ -579,6 +584,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         thread_local std::vector<const float *> grad_ptrs;
         grad_ptrs.clear();
         for (const WriteRecord &record : writes)
+            // alloc-ok: thread_local scratch; capacity amortizes across
+            // entry runs (clear() keeps it), so growth is one-time.
             grad_ptrs.push_back(record.grad.data());
         table_->ApplyGradients(key, grad_ptrs.data(), writes.size(),
                                *optimizer_);

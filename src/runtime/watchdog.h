@@ -138,8 +138,10 @@ class Watchdog
     Mutex mutex_;
     std::condition_variable cv_;
     bool stop_requested_ FRUGAL_GUARDED_BY(mutex_) = false;
+    // tsa-exempt: written in Start() before the sampling thread exists
+    // and joined in Stop(); never accessed under mutex_.
     std::thread thread_;
-    /** Confined to the owner thread (Start/Stop caller); unannotated. */
+    // tsa-exempt: confined to the owner thread (the Start/Stop caller).
     bool started_ = false;
 
     std::atomic<std::uint64_t> stalls_detected_{0};

@@ -118,11 +118,12 @@ class HostEmbeddingTable
         return static_cast<std::size_t>(key) * config_.dim;
     }
 
-    EmbeddingTableConfig config_;
+    const EmbeddingTableConfig config_;
     // values_ and versions_ are guarded by *dynamically chosen* stripes
     // (row i under row_locks_.For(key)), which static thread-safety
     // analysis cannot express — the stripe discipline is enforced by
     // review plus the interleaving explorer, not by GUARDED_BY.
+    // tsa-exempt: striped row locks; see the paragraph above.
     std::vector<float> values_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
     mutable StripedLocks row_locks_;

@@ -1,0 +1,14 @@
+// Known-bad atomics fixture: a compare_exchange whose failure order is
+// memory_order_release, which the C++ standard forbids outright.
+
+namespace frugal {
+
+inline bool ClaimFixture(model_atomic<int> &slot)
+{
+    int expected = 0;
+    return slot.compare_exchange_strong(
+        expected, 1, std::memory_order_acq_rel,
+        std::memory_order_release);  // EXPECT:atomics-cmpxchg
+}
+
+}  // namespace frugal

@@ -1,0 +1,12 @@
+// Known-bad atomics fixture: a bare std::atomic member inside the
+// model-checked core (pq/) with no exemption tag — state the
+// interleaving explorer cannot intercept.
+
+namespace frugal {
+
+struct RawAtomicFixture
+{
+    std::atomic<int> spins{0};  // EXPECT:atomics-raw
+};
+
+}  // namespace frugal

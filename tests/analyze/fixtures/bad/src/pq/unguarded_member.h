@@ -1,0 +1,17 @@
+// Known-bad tsa-coverage fixture: a lock-owning class with a mutable
+// data member that is neither FRUGAL_GUARDED_BY one of its locks nor
+// carries an exemption tag.
+
+namespace frugal {
+
+class UnguardedMemberFixture
+{
+  public:
+    void Bump();
+
+  private:
+    Spinlock lock_{LockRank::kGEntry};
+    unsigned long hits_ = 0;  // EXPECT:tsa-coverage
+};
+
+}  // namespace frugal

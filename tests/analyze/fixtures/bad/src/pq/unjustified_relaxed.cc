@@ -1,0 +1,11 @@
+// Known-bad atomics fixture: a relaxed load with no justification tag
+// on the line or in the window above it.
+
+namespace frugal {
+
+inline unsigned PeekFixture(const model_atomic<unsigned> &counter)
+{
+    return counter.load(std::memory_order_relaxed);  // EXPECT:atomics-relaxed
+}
+
+}  // namespace frugal

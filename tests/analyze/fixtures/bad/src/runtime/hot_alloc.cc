@@ -1,0 +1,12 @@
+// Known-bad hot-path fixture: the driver runs the analyzer with
+// `--hot FixtureHotLoop`, so this direct `new` (with no exemption tag)
+// must be flagged as an allocation on a hot path.
+
+namespace frugal {
+
+inline float *FixtureHotLoop(unsigned long n)
+{
+    return new float[n];  // EXPECT:hotpath-alloc
+}
+
+}  // namespace frugal

@@ -1,0 +1,25 @@
+// Known-bad lock-rank fixture: acquires a kGEntry guard while a
+// kTableRow guard is held in the same scope. Ranks must strictly
+// increase inward (see src/common/lock_rank.h), so the nested
+// acquisition below is an inversion.
+//
+// Fixture TUs are never compiled — the analyzer reads them lexically,
+// so the Spinlock/SpinGuard vocabulary needs no includes here.
+
+namespace frugal {
+
+class RankInversionFixture
+{
+  public:
+    void DowngradeUnderRowLock()
+    {
+        SpinGuard row(row_lock_);
+        SpinGuard entry(entry_lock_);  // EXPECT:lock-rank
+    }
+
+  private:
+    Spinlock row_lock_{LockRank::kTableRow};
+    Spinlock entry_lock_{LockRank::kGEntry};
+};
+
+}  // namespace frugal

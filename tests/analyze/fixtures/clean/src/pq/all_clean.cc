@@ -1,0 +1,51 @@
+// All-clean fixture: the same constructs the known-bad fixtures use,
+// each carrying the discipline the checks require — correctly ordered
+// nested guards, an annotated member plus a tagged exemption, a
+// justified relaxed load, an exempted raw atomic, a legal
+// compare_exchange order pair, and a tagged hot-path allocation
+// (the driver passes `--hot FixtureHotLoop` here too). The driver
+// asserts the analyzer reports zero findings for this tree.
+
+namespace frugal {
+
+class CleanFixture
+{
+  public:
+    void OrderedAcquire()
+    {
+        SpinGuard entry(entry_lock_);
+        SpinGuard row(row_lock_);  // ranks increase inward: 20 -> 40
+    }
+
+    unsigned Peek() const
+    {
+        // relaxed: monotonic stats counter; readers tolerate staleness.
+        return stats_.load(std::memory_order_relaxed);
+    }
+
+    bool Claim()
+    {
+        int expected = 0;
+        return slot_.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel,
+            std::memory_order_acquire);
+    }
+
+  private:
+    Spinlock entry_lock_{LockRank::kGEntry};
+    Spinlock row_lock_{LockRank::kTableRow};
+    unsigned pending_ FRUGAL_GUARDED_BY(entry_lock_) = 0;
+    // tsa-exempt: confined to the constructing thread in this fixture.
+    unsigned warmup_ = 0;
+    // modelcheck-exempt: stats only; never part of a lock-free protocol.
+    std::atomic<unsigned> stats_{0};
+    model_atomic<int> slot_{0};
+};
+
+inline void FixtureHotLoop(std::vector<float> &out)
+{
+    // alloc-ok: capacity pre-reserved by the caller in this fixture.
+    out.push_back(1.0f);
+}
+
+}  // namespace frugal

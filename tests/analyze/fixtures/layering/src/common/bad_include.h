@@ -1,0 +1,12 @@
+// Layering fixture, known-bad edge: common (rank 1) including runtime
+// (rank 4) is a back-edge in the module DAG. The driver asserts the
+// `layering` check fires on the marked include line and nowhere else.
+#ifndef ANALYZE_FIXTURE_COMMON_BAD_INCLUDE_H_
+#define ANALYZE_FIXTURE_COMMON_BAD_INCLUDE_H_
+
+#include "common/util_stub.h"
+#include "runtime/engine_stub.h"  // EXPECT:layering
+
+inline int fixture_uses_runtime() { return fixture_engine_stub(); }
+
+#endif  // ANALYZE_FIXTURE_COMMON_BAD_INCLUDE_H_

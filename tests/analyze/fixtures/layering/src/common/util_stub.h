@@ -1,0 +1,9 @@
+// Layering fixture, clean leaf: a rank-1 (common) header with no
+// includes at all. Both the legal and the illegal edge in this fixture
+// tree point at this file's module.
+#ifndef ANALYZE_FIXTURE_COMMON_UTIL_STUB_H_
+#define ANALYZE_FIXTURE_COMMON_UTIL_STUB_H_
+
+inline int fixture_util_stub() { return 42; }
+
+#endif  // ANALYZE_FIXTURE_COMMON_UTIL_STUB_H_

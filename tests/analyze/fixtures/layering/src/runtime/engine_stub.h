@@ -1,0 +1,10 @@
+// Layering fixture, legal edge: runtime (rank 4) including common
+// (rank 1) points *down* the module DAG and must produce no finding.
+#ifndef ANALYZE_FIXTURE_RUNTIME_ENGINE_STUB_H_
+#define ANALYZE_FIXTURE_RUNTIME_ENGINE_STUB_H_
+
+#include "common/util_stub.h"
+
+inline int fixture_engine_stub() { return fixture_util_stub(); }
+
+#endif  // ANALYZE_FIXTURE_RUNTIME_ENGINE_STUB_H_

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Test driver for scripts/frugal_analyze (ctest label: analyze).
+
+Four suites:
+
+1. Fixture TUs under tests/analyze/fixtures/: one known-bad snippet per
+   check plus an all-clean tree. Expected findings are written *in* the
+   fixtures as `// EXPECT:<check-id>` markers on the exact line the
+   diagnostic must anchor to; the driver asserts the analyzer's finding
+   set equals the marker set (nothing missing, nothing extra) and that
+   the seven check ids are collectively covered.
+2. A synthetic clang -ast-dump=json walk through
+   frontend_clang.collect_from_ast — the clang frontend's extraction is
+   unit-tested even on hosts without clang++ (this repo's CI container),
+   and the extracted facts are pushed through run_checks end to end.
+3. The LOCK_RANKS table in frugal_analyze.project cross-checked against
+   the enumerators in src/common/lock_rank.h.
+4. The scripts/lint_atomics.py shim: fires on the bad fixtures, stays
+   quiet on the clean tree, and keeps its CLI exit semantics.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+TESTS = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(TESTS))
+SCRIPTS = os.path.join(REPO, "scripts")
+FIXTURES = os.path.join(TESTS, "fixtures")
+
+sys.path.insert(0, SCRIPTS)
+
+from frugal_analyze.checks import CHECK_IDS, CheckConfig, run_checks  # noqa: E402
+from frugal_analyze.facts import ProjectFacts  # noqa: E402
+from frugal_analyze import frontend_clang  # noqa: E402
+from frugal_analyze.project import LOCK_RANKS  # noqa: E402
+
+EXPECT_RE = re.compile(r"EXPECT:([\w-]+)")
+DIAG_RE = re.compile(r"^(.*?):(\d+): ([\w-]+): ")
+
+failures = []
+
+
+def check(cond, label):
+    print(f"  {'ok  ' if cond else 'FAIL'} {label}")
+    if not cond:
+        failures.append(label)
+
+
+def expected_findings(root):
+    """(src-relative path, line, check-id) triples from EXPECT markers."""
+    out = set()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                for lineno, text in enumerate(f, 1):
+                    for m in EXPECT_RE.finditer(text):
+                        out.add((rel, lineno, m.group(1)))
+    return out
+
+
+def run_analyzer(src_root, *extra):
+    cmd = [sys.executable, os.path.join(SCRIPTS, "frugal_analyze"),
+           "--frontend", "internal", "--no-cache", "--no-baseline",
+           "--src-root", src_root, src_root, *extra]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def parse_findings(stdout):
+    out = set()
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            out.add((m.group(1), int(m.group(2)), m.group(3)))
+    return out
+
+
+def test_fixtures():
+    print("== fixture TUs ==")
+    covered = set()
+    for name, extra, want_exit in (
+            ("layering", (), 1),
+            ("bad", ("--hot", "FixtureHotLoop"), 1),
+            ("clean", ("--hot", "FixtureHotLoop"), 0)):
+        src = os.path.join(FIXTURES, name, "src")
+        proc = run_analyzer(src, *extra)
+        want = expected_findings(src)
+        got = parse_findings(proc.stdout)
+        covered |= {c for _, _, c in want}
+        check(proc.returncode == want_exit,
+              f"{name}: exit code {proc.returncode} == {want_exit}")
+        check(got == want, f"{name}: findings == EXPECT markers "
+                           f"({len(want)} expected)")
+        for f in sorted(want - got):
+            print(f"    missing: {f}")
+        for f in sorted(got - want):
+            print(f"    surplus: {f}")
+    check(covered == set(CHECK_IDS),
+          f"fixtures cover every check id ({', '.join(sorted(covered))})")
+
+
+# A hand-written miniature of `clang++ -Xclang -ast-dump=json` output:
+# one record with a ranked lock pair, a guarded member, an unguarded
+# member, and a method whose body nests guards in inverted order, calls
+# compare_exchange with a forbidden failure order, uses a relaxed load,
+# and allocates with `new`.
+_FIXTURE_TU = "/ast/pq/fixture.cc"
+_AST = {
+    "kind": "TranslationUnitDecl",
+    "inner": [{
+        "kind": "CXXRecordDecl", "name": "AstFixture",
+        "completeDefinition": True,
+        "loc": {"file": _FIXTURE_TU, "line": 3},
+        "inner": [
+            {"kind": "FieldDecl", "name": "row_lock_",
+             "loc": {"line": 4},
+             "type": {"qualType": "frugal::Spinlock"},
+             "inner": [{"kind": "CXXConstructExpr", "inner": [
+                 {"kind": "DeclRefExpr",
+                  "referencedDecl": {"name": "kTableRow"}}]}]},
+            {"kind": "FieldDecl", "name": "lock_",
+             "loc": {"line": 5},
+             "type": {"qualType": "frugal::Spinlock"},
+             "inner": [{"kind": "CXXConstructExpr", "inner": [
+                 {"kind": "DeclRefExpr",
+                  "referencedDecl": {"name": "kGEntry"}}]}]},
+            {"kind": "FieldDecl", "name": "pending_",
+             "loc": {"line": 6},
+             "type": {"qualType": "unsigned int"},
+             "inner": [{"kind": "GuardedByAttr", "inner": [
+                 {"kind": "MemberExpr", "name": "lock_"}]}]},
+            {"kind": "FieldDecl", "name": "bare_",
+             "loc": {"line": 7},
+             "type": {"qualType": "int"}},
+            {"kind": "CXXMethodDecl", "name": "Bad",
+             "loc": {"line": 8},
+             "inner": [{"kind": "CompoundStmt", "inner": [
+                 {"kind": "DeclStmt", "inner": [
+                     {"kind": "VarDecl", "name": "g1",
+                      "loc": {"line": 9},
+                      "type": {"qualType": "frugal::SpinGuard"},
+                      "inner": [{"kind": "DeclRefExpr",
+                                 "referencedDecl":
+                                     {"name": "row_lock_"}}]}]},
+                 {"kind": "DeclStmt", "inner": [
+                     {"kind": "VarDecl", "name": "g2",
+                      "loc": {"line": 10},
+                      "type": {"qualType": "frugal::SpinGuard"},
+                      "inner": [{"kind": "MemberExpr",
+                                 "name": "lock_"}]}]},
+                 {"kind": "CXXNewExpr",
+                  "range": {"begin": {"line": 11}}},
+                 {"kind": "DeclRefExpr", "loc": {"line": 12},
+                  "referencedDecl": {"name": "memory_order_relaxed"}},
+                 {"kind": "CXXMemberCallExpr",
+                  "range": {"begin": {"line": 13}},
+                  "inner": [
+                      {"kind": "MemberExpr",
+                       "name": "compare_exchange_strong"},
+                      {"kind": "DeclRefExpr",
+                       "referencedDecl":
+                           {"name": "memory_order_acq_rel"}},
+                      {"kind": "DeclRefExpr",
+                       "referencedDecl":
+                           {"name": "memory_order_release"}}]},
+             ]}]},
+        ],
+    }],
+}
+
+
+def test_clang_ast_walk():
+    print("== synthetic clang AST walk ==")
+    rel = "pq/fixture.cc"
+    files = frontend_clang.collect_from_ast(
+        _AST, lambda p: rel if p == _FIXTURE_TU else None)
+    check(rel in files, "TU mapped through want_file()")
+    ff = files[rel]
+    members = {m.name: m for m in ff.classes[0].members} \
+        if ff.classes else {}
+    check(members.get("lock_") is not None and
+          members["lock_"].lock_type == "Spinlock" and
+          members["lock_"].lock_rank == "kGEntry",
+          "FieldDecl -> lock member with ctor rank")
+    check(members.get("pending_") is not None and
+          members["pending_"].guarded_by == "lock_",
+          "GuardedByAttr -> guarded_by")
+    fns = [fn for fn in ff.functions if fn.name == "Bad"]
+    check(bool(fns), "CXXMethodDecl with body -> FunctionFacts")
+    fn = fns[0] if fns else None
+    check(fn is not None and len(fn.nests) == 1 and
+          fn.nests[0].inner == "lock_" and
+          fn.nests[0].outers == ["row_lock_"] and
+          fn.nests[0].line == 10,
+          "guard VarDecls -> nested guard scopes")
+    check(fn is not None and
+          any(a.what == "new" and a.line == 11 for a in fn.allocs),
+          "CXXNewExpr -> alloc site")
+    check(ff.relaxed_lines == [12], "relaxed DeclRefExpr -> relaxed line")
+    check(len(ff.cmpxchg) == 1 and ff.cmpxchg[0].success == "acq_rel" and
+          ff.cmpxchg[0].failure == "release" and
+          ff.cmpxchg[0].line == 13,
+          "compare_exchange orders extracted")
+
+    # The AST-sourced facts must drive the same checks end to end.
+    project = ProjectFacts()
+    project.files[rel] = ff
+    got = {(d.check, d.line) for d in run_checks(project, CheckConfig())}
+    for want in (("lock-rank", 10), ("tsa-coverage", 7),
+                 ("atomics-relaxed", 12), ("atomics-cmpxchg", 13)):
+        check(want in got, f"run_checks on AST facts reports {want}")
+
+
+def test_lock_ranks_in_sync():
+    print("== LOCK_RANKS vs src/common/lock_rank.h ==")
+    path = os.path.join(REPO, "src", "common", "lock_rank.h")
+    with open(path, encoding="utf-8") as f:
+        declared = dict(re.findall(r"(k\w+)\s*=\s*(\d+)", f.read()))
+    for name, val in sorted(LOCK_RANKS.items()):
+        check(declared.get(name) == str(val),
+              f"LockRank::{name} == {val}")
+    check(set(declared) == set(LOCK_RANKS),
+          "no enumerator missing from either side")
+
+
+def test_lint_atomics_shim():
+    print("== lint_atomics shim ==")
+    shim = os.path.join(SCRIPTS, "lint_atomics.py")
+    bad_pq = os.path.join(FIXTURES, "bad", "src", "pq")
+    # Directory walks deliberately skip the fixture corpus (check.sh
+    # lints `tests`); explicit file arguments bypass the skip.
+    bad = subprocess.run(
+        [sys.executable, shim,
+         os.path.join(bad_pq, "unjustified_relaxed.cc"),
+         os.path.join(bad_pq, "raw_atomic.h")],
+        capture_output=True, text=True)
+    check(bad.returncode == 1, "bad fixture files: exit 1")
+    check("[relaxed]" in bad.stderr and "[raw-atomic]" in bad.stderr,
+          "bad fixture files: both legacy rule names fire")
+    skipped = subprocess.run(
+        [sys.executable, shim, os.path.join(FIXTURES, "bad")],
+        capture_output=True, text=True)
+    check(skipped.returncode == 0,
+          "fixture corpus skipped on directory walks")
+    clean = subprocess.run(
+        [sys.executable, shim,
+         os.path.join(FIXTURES, "clean", "src", "pq", "all_clean.cc")],
+        capture_output=True, text=True)
+    check(clean.returncode == 0, "clean fixture file: exit 0")
+
+
+def test_cli_surface():
+    print("== CLI surface ==")
+    analyzer = os.path.join(SCRIPTS, "frugal_analyze")
+    ex = subprocess.run([sys.executable, analyzer, "--explain",
+                         "lock-rank"], capture_output=True, text=True)
+    check(ex.returncode == 0 and "lock-rank" in ex.stdout,
+          "--explain lock-rank")
+    bogus = subprocess.run([sys.executable, analyzer, "--explain",
+                            "bogus"], capture_output=True, text=True)
+    check(bogus.returncode == 2, "--explain bogus exits 2 (usage)")
+    ls = subprocess.run([sys.executable, analyzer, "--list-checks"],
+                        capture_output=True, text=True)
+    check(ls.returncode == 0 and
+          all(cid in ls.stdout for cid in CHECK_IDS),
+          "--list-checks names every check")
+
+
+def main():
+    test_fixtures()
+    test_clang_ast_walk()
+    test_lock_ranks_in_sync()
+    test_lint_atomics_shim()
+    test_cli_surface()
+    if failures:
+        print(f"\n{len(failures)} analyze subtest(s) FAILED")
+        return 1
+    print("\nall analyze subtests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
