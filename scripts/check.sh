@@ -179,7 +179,18 @@ else
     failures=$((failures + 1))
 fi
 
-# --- 4d. deterministic interleaving explorer ----------------------------
+# --- 4d. chaos/overload smoke -------------------------------------------
+# A shrunken seeded chaos campaign against the real engine: flusher
+# deaths, flaky writes, a trainer death against a one-slot staging bound,
+# and a mid-run memory-budget squeeze. The binary is its own hard gate —
+# it exits non-zero if the degraded run diverges from the fault-free
+# oracle, stalls, or never reaches kCritical (DESIGN.md §12.4).
+note "bench_chaos smoke (degradation hard gate)"
+if ! ./build/bench/bench_chaos --smoke --out build/BENCH_chaos.json; then
+    failures=$((failures + 1))
+fi
+
+# --- 4e. deterministic interleaving explorer ----------------------------
 # Rebuilds the flush-path core with the model_atomic shims live and
 # exhausts/samples schedules per scenario (DESIGN.md §10.2). Complements
 # TSan: this finds sequentially-consistent interleaving bugs

@@ -1,6 +1,6 @@
 """frugal_analyze: project-specific static analysis for the Frugal repo.
 
-Five checks over the C++ sources (see `python3 scripts/frugal_analyze
+Eight checks over the C++ sources (see `python3 scripts/frugal_analyze
 --list-checks`):
 
   layering        module DAG from #include edges (no back-edges)
@@ -10,6 +10,8 @@ Five checks over the C++ sources (see `python3 scripts/frugal_analyze
   atomics-raw     raw std::atomic in model-checked dirs needs
                   `modelcheck-exempt:`
   atomics-cmpxchg compare_exchange success/failure order pairs are legal
+  retry-loop      bare sleeps route through RetryWithBackoff (or carry
+                  `retry-exempt:`)
   hotpath-alloc   hot-list functions are allocation-free (or `alloc-ok:`)
 
 Two frontends share one facts model: `clang` drives
@@ -23,4 +25,4 @@ __version__ = "1.0"
 
 # Bump whenever the facts schema or frontend extraction changes, so stale
 # incremental-cache entries (keyed by content hash + schema) are ignored.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6

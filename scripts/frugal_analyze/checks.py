@@ -1,4 +1,4 @@
-"""The five checks, run over an assembled ProjectFacts.
+"""The checks, run over an assembled ProjectFacts.
 
 Every check resolves names through cross-file registries built once per
 run; anything unresolvable is silently skipped (a parse miss must never
@@ -55,6 +55,14 @@ Illegal compare_exchange order pair: the failure order may not be
 memory_order_release/acq_rel (the C++ standard forbids it) and must not
 be stronger than the success order. Fix the pair; if the failure path
 truly needs acquire, the success order must be at least acquire too.""",
+    "retry-loop": """\
+Hand-rolled retry backoff: a bare std::this_thread::sleep_for/until in
+production code is almost always the waiting half of a retry loop, and
+hand-rolled loops drift (unbounded total wait, missing caps/jitter —
+DESIGN.md §12.3). Route the loop through RetryWithBackoff
+(src/common/retry.h, whose own sleep is the one sanctioned site) or tag
+the sleep `// retry-exempt: <why>` when it is genuinely not a retry
+(sampling period, injected test delay, idle self-wake).""",
     "hotpath-alloc": """\
 Allocation on a hot path: functions on the hot list (flush_entry_run,
 DrainBucket, GpuCache::TryGet/Put/UpdateIfPresent, the row kernels) must
@@ -355,6 +363,28 @@ def check_atomics(project: ProjectFacts, cfg: CheckConfig) \
     return diags
 
 
+# The one file whose sleep is the policy, not a policy violation.
+_RETRY_POLICY_FILE = "common/retry.h"
+
+
+def check_retry_loop(project: ProjectFacts, cfg: CheckConfig) \
+        -> List[Diagnostic]:
+    diags = []
+    for path, ff in sorted(project.files.items()):
+        if path == _RETRY_POLICY_FILE:
+            continue
+        for line in ff.sleep_lines:
+            if ff.has_tag_near(line, "retry-exempt:", window=cfg.window):
+                continue
+            diags.append(Diagnostic(
+                path=path, line=line, check="retry-loop",
+                message="bare sleep_for/sleep_until outside "
+                        "RetryWithBackoff; route the retry through "
+                        "common/retry.h or tag `retry-exempt:`",
+                token=token_for_line(_line_text(project, path, line))))
+    return diags
+
+
 def _line_text(project: ProjectFacts, path: str, line: int) -> str:
     # Facts don't carry source text; token over path+line of the *fact*
     # kind keeps baselines stable enough without it.
@@ -413,6 +443,8 @@ def run_checks(project: ProjectFacts, cfg: CheckConfig) \
             "atomics-cmpxchg"} & set(cfg.checks):
         atomics = check_atomics(project, cfg)
         diags += [d for d in atomics if d.check in cfg.checks]
+    if "retry-loop" in cfg.checks:
+        diags += check_retry_loop(project, cfg)
     if "hotpath-alloc" in cfg.checks:
         diags += check_hotpath_alloc(project, reg, cfg)
     seen = set()

@@ -94,6 +94,7 @@ class FileFacts:
     functions: List[FunctionFacts] = field(default_factory=list)
     relaxed_lines: List[int] = field(default_factory=list)
     raw_atomic_lines: List[int] = field(default_factory=list)
+    sleep_lines: List[int] = field(default_factory=list)
     cmpxchg: List[CmpxchgSite] = field(default_factory=list)
     # tag -> lines carrying it (copied from the lexer so cached facts
     # stay self-contained)
@@ -128,6 +129,7 @@ class FileFacts:
             ff.functions.append(fn)
         ff.relaxed_lines = list(d.get("relaxed_lines", []))
         ff.raw_atomic_lines = list(d.get("raw_atomic_lines", []))
+        ff.sleep_lines = list(d.get("sleep_lines", []))
         ff.cmpxchg = [CmpxchgSite(**c) for c in d.get("cmpxchg", [])]
         ff.tag_lines = {k: list(v) for k, v in d.get("tag_lines",
                                                      {}).items()}

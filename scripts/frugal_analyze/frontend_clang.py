@@ -358,6 +358,9 @@ def merge_lexer_facts(ast_facts: FileFacts, path: str,
     if not ast_facts.relaxed_lines:
         ast_facts.relaxed_lines = lx.relaxed_lines
     ast_facts.raw_atomic_lines = lx.raw_atomic_lines
+    # The AST walker has no sleep extraction; the lexer's textual scan is
+    # authoritative for both frontends.
+    ast_facts.sleep_lines = lx.sleep_lines
     if not ast_facts.cmpxchg:
         ast_facts.cmpxchg = lx.cmpxchg
     return ast_facts

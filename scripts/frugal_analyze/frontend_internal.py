@@ -507,6 +507,8 @@ class Parser:
             self.ff.relaxed_lines.append(line)
         if re.search(r"\bstd::atomic\s*<|\bstd::atomic_flag\b", code):
             self.ff.raw_atomic_lines.append(line)
+        if re.search(r"\bsleep_(?:for|until)\s*\(", code):
+            self.ff.sleep_lines.append(line)
 
     def _scan_sites_line(self, line: int, code: str,
                          frame: _Frame) -> None:

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 # The project's exemption-tag vocabulary (DESIGN.md §11).
-KNOWN_TAGS = ("relaxed:", "modelcheck-exempt:", "tsa-exempt:", "alloc-ok:")
+KNOWN_TAGS = ("relaxed:", "modelcheck-exempt:", "tsa-exempt:", "alloc-ok:",
+              "retry-exempt:")
 
 
 @dataclass

@@ -118,6 +118,75 @@ GpuCache::Contains(Key key) const
     return map_.Contains(key);
 }
 
+std::size_t
+GpuCache::Resize(std::size_t new_capacity_rows)
+{
+    FRUGAL_CHECK_MSG(new_capacity_rows > 0,
+                     "cache capacity must stay positive");
+    FRUGAL_CHECK_MSG(new_capacity_rows < kNilSlot,
+                     "cache capacity exceeds the u32 slot index space");
+    SpinGuard guard(lock_);
+    if (new_capacity_rows == capacity_)
+        return 0;
+
+    // 1. Emergency-evict from the LRU tail until the survivors fit.
+    //    Detached slots are not recycled — every array is rebuilt below.
+    std::size_t evicted = 0;
+    while (map_.size() > new_capacity_rows) {
+        const std::uint32_t victim = lru_tail_;
+        FRUGAL_CHECK(victim != kNilSlot);
+        map_.Erase(slot_key_[victim]);
+        DetachLocked(victim);
+        ++stats_.evictions;
+        ++evicted;
+    }
+
+    // 2. Rebuild at the new size: walk the LRU list from the MRU head,
+    //    packing survivors into slots 0..live-1 in recency order, so
+    //    the replacement order is preserved exactly.
+    std::vector<float> new_storage(new_capacity_rows * dim_);
+    std::vector<Key> new_slot_key(new_capacity_rows, kInvalidKey);
+    std::vector<std::uint32_t> new_prev(new_capacity_rows, kNilSlot);
+    std::vector<std::uint32_t> new_next(new_capacity_rows, kNilSlot);
+    FlatMap<Key, std::uint32_t> new_map(new_capacity_rows);
+    std::uint32_t live = 0;
+    for (std::uint32_t slot = lru_head_; slot != kNilSlot;
+         slot = lru_next_[slot], ++live) {
+        RowCopy(new_storage.data() + live * dim_,
+                storage_.data() + slot * dim_, dim_);
+        new_slot_key[live] = slot_key_[slot];
+        new_map.TryEmplace(slot_key_[slot], live);
+        if (live > 0) {
+            new_prev[live] = live - 1;
+            new_next[live - 1] = live;
+        }
+    }
+    lru_head_ = live > 0 ? 0 : kNilSlot;
+    lru_tail_ = live > 0 ? live - 1 : kNilSlot;
+    free_head_ = kNilSlot;
+    for (std::size_t i = new_capacity_rows; i-- > live;) {
+        new_next[i] = free_head_;
+        free_head_ = static_cast<std::uint32_t>(i);
+    }
+
+    storage_ = std::move(new_storage);
+    slot_key_ = std::move(new_slot_key);
+    lru_prev_ = std::move(new_prev);
+    lru_next_ = std::move(new_next);
+    map_ = std::move(new_map);
+    capacity_ = new_capacity_rows;
+    return evicted;
+}
+
+std::size_t
+GpuCache::MemoryBytes() const
+{
+    SpinGuard guard(lock_);
+    return storage_.size() * sizeof(float) + map_.MemoryBytes() +
+           slot_key_.size() * sizeof(Key) +
+           (lru_prev_.size() + lru_next_.size()) * sizeof(std::uint32_t);
+}
+
 void
 GpuCache::Clear()
 {

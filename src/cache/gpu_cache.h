@@ -101,7 +101,30 @@ class GpuCache
      */
     void Clear();
 
-    std::size_t capacity() const { return capacity_; }
+    /**
+     * Changes the row capacity online (memory-pressure reactions,
+     * DESIGN.md §12.2). Shrinking emergency-evicts from the LRU tail
+     * until the survivors fit, then reallocates every array at the new
+     * size so the freed bytes actually return to the allocator; growing
+     * back restores headroom the same way. Write-through coherence
+     * makes this correctness-free — an evicted row is refetched from
+     * host memory on next use. Runs under the cache lock; O(capacity),
+     * intended for rare stage transitions, never the hot path.
+     *
+     * @return the number of rows evicted (0 when growing).
+     */
+    std::size_t Resize(std::size_t new_capacity_rows);
+
+    /** Bytes held: row storage + index + LRU bookkeeping. */
+    std::size_t MemoryBytes() const;
+
+    std::size_t
+    capacity() const
+    {
+        SpinGuard guard(lock_);
+        return capacity_;
+    }
+
     std::size_t dim() const { return dim_; }
 
     std::size_t
@@ -143,7 +166,8 @@ class GpuCache
         PushFrontLocked(slot);
     }
 
-    const std::size_t capacity_;
+    /** Row capacity; mutable for online Resize. */
+    std::size_t capacity_ FRUGAL_GUARDED_BY(lock_);
     const std::size_t dim_;
     mutable Spinlock lock_{LockRank::kGpuCache};
     /** capacity_ × dim_ rows. */

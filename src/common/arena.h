@@ -27,9 +27,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace frugal {
@@ -67,6 +69,12 @@ class ChunkArena
     Create(Args &&...args)
     {
         if (chunks_.empty() || chunks_.back().used == chunk_capacity_) {
+            // Injected growth failure fires *before* any allocation or
+            // bookkeeping: the arena is untouched (strong guarantee),
+            // so the caller may retry the Create.
+            if (FaultPoint(injector_, FaultSite::kAllocFailure,
+                           chunks_.size()))
+                throw std::bad_alloc();
             std::allocator<T> alloc;
             chunks_.push_back(
                 Chunk{alloc.allocate(chunk_capacity_), 0});
@@ -84,6 +92,17 @@ class ChunkArena
 
     std::size_t chunk_capacity() const { return chunk_capacity_; }
     std::size_t chunks() const { return chunks_.size(); }
+
+    /** Bytes of chunk storage currently allocated. */
+    std::size_t
+    MemoryBytes() const
+    {
+        return chunks_.size() * chunk_capacity_ * sizeof(T);
+    }
+
+    /** Arms (or disarms, nullptr) the kAllocFailure growth fault point.
+     *  Caller-owned injector; same serialisation rules as Create. */
+    void ArmFaultInjector(FaultInjector *injector) { injector_ = injector; }
 
     /** Visits every object in creation order. */
     template <typename Fn>
@@ -106,6 +125,7 @@ class ChunkArena
     const std::size_t chunk_capacity_;
     std::vector<Chunk> chunks_;
     std::size_t size_ = 0;
+    FaultInjector *injector_ = nullptr;
 };
 
 }  // namespace frugal

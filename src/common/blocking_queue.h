@@ -56,6 +56,31 @@ class BlockingQueue
         return true;
     }
 
+    /**
+     * Pushes one element, waiting at most `timeout` for space. `item`
+     * is taken by reference and consumed only on success, so a caller
+     * under backpressure can loop — counting throttle time per retry —
+     * without losing the element. Returns false on timeout *or* when
+     * the queue is closed; callers that must distinguish (give up vs.
+     * keep throttling) check closed() on false.
+     */
+    template <typename Rep, typename Period>
+    [[nodiscard]] bool
+    PushFor(T &item, std::chrono::duration<Rep, Period> timeout)
+    {
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        {
+            MutexLock lock(mutex_);
+            if (!WaitNotFullUntil(deadline))
+                return false;  // timed out
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
     /** Non-blocking push; returns false when full or closed. */
     [[nodiscard]] bool
     TryPush(T item)
@@ -222,6 +247,23 @@ class BlockingQueue
             if (mutex_.WaitUntil(not_empty_, deadline) ==
                 std::cv_status::timeout) {
                 return !items_.empty() || closed_;
+            }
+        }
+        return true;
+    }
+
+    /** Waits until space/closed or `deadline`; true iff the predicate
+     *  held on return (same timeout-re-check contract as
+     *  WaitNotEmptyUntil). */
+    template <typename Clock, typename Duration>
+    bool
+    WaitNotFullUntil(const std::chrono::time_point<Clock, Duration> &deadline)
+        FRUGAL_REQUIRES(mutex_)
+    {
+        while (items_.size() >= capacity_ && !closed_) {
+            if (mutex_.WaitUntil(not_full_, deadline) ==
+                std::cv_status::timeout) {
+                return items_.size() < capacity_ || closed_;
             }
         }
         return true;

@@ -33,7 +33,18 @@
  *                           fsync, simulating a torn write that a crash
  *                           committed under the final name;
  *  - kCheckpointCorrupt   — one payload byte of the checkpoint temp
- *                           file is flipped before rename.
+ *                           file is flipped before rename;
+ *  - kAllocFailure        — a container growth allocation (ChunkArena
+ *                           chunk, FlatMap rehash) fails with
+ *                           std::bad_alloc *before* any state changes,
+ *                           so the container stays intact and the
+ *                           operation is retryable (context: the
+ *                           container's growth ordinal);
+ *  - kCheckpointTornWrite — the checkpoint temp-file write stage dies
+ *                           mid-stream *before* fsync: only a prefix of
+ *                           the image reaches the file and SaveCheckpoint
+ *                           reports a transient failure (the temp file is
+ *                           discarded; the previous checkpoint survives).
  */
 #ifndef FRUGAL_COMMON_FAULT_INJECTOR_H_
 #define FRUGAL_COMMON_FAULT_INJECTOR_H_
@@ -59,6 +70,8 @@ enum class FaultSite : std::uint8_t {
     kTrainerDeath,
     kCheckpointTruncate,
     kCheckpointCorrupt,
+    kAllocFailure,
+    kCheckpointTornWrite,
     kSiteCount,  // sentinel; keep last
 };
 

@@ -28,10 +28,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -90,8 +92,10 @@ class FlatMap
         std::size_t target = kMinCapacity;
         while (target * 7 < expected * 8)
             target <<= 1;
-        if (target > slots_.size())
+        if (target > slots_.size()) {
+            MaybeInjectGrowthFailure();
             Rehash(target);
+        }
     }
 
     /** Pointer to the value for `key`, or nullptr. */
@@ -246,6 +250,16 @@ class FlatMap
         return longest;
     }
 
+    /** Bytes of slot storage currently allocated. */
+    std::size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+    /** Arms (or disarms, nullptr) the kAllocFailure growth fault point.
+     *  Injected failures model the *planned* growth allocations
+     *  (Reserve, load-factor growth) and throw std::bad_alloc before
+     *  any mutation, so the map is unchanged and the insert can be
+     *  retried. Same serialisation rules as every other mutator. */
+    void ArmFaultInjector(FaultInjector *injector) { injector_ = injector; }
+
   private:
     struct Slot
     {
@@ -275,10 +289,24 @@ class FlatMap
     GrowIfNeeded()
     {
         if (slots_.empty()) {
+            MaybeInjectGrowthFailure();
             Rehash(kMinCapacity);
         } else if ((size_ + 1) * 8 > slots_.size() * 7) {
+            MaybeInjectGrowthFailure();
             Rehash(slots_.size() * 2);
         }
+    }
+
+    /** Fires the armed kAllocFailure rule (if any) *before* a planned
+     *  growth touches state — strong guarantee, see ArmFaultInjector.
+     *  The mid-displacement growth inside InsertUncounted is left
+     *  uninstrumented on purpose: failing there could drop the carried
+     *  element, and that path is unreachable below kMaxProbe anyway. */
+    void
+    MaybeInjectGrowthFailure()
+    {
+        if (FaultPoint(injector_, FaultSite::kAllocFailure, slots_.size()))
+            throw std::bad_alloc();
     }
 
     /**
@@ -344,6 +372,7 @@ class FlatMap
      *  meaningful once slots_ is non-empty (Rehash maintains it). */
     unsigned shift_ = 63;
     std::size_t size_ = 0;
+    FaultInjector *injector_ = nullptr;
 };
 
 }  // namespace frugal

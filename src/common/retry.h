@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unified retry policy for transient-failure sites (DESIGN.md §12.3).
+ *
+ * Every place that retries a flaky operation — host writes behind the
+ * PCIe bridge, checkpoint I/O, future RPC tiers — used to hand-roll the
+ * same loop: attempt counter, `1 << attempt` backoff, an ad-hoc cap.
+ * Hand-rolled loops drift (different caps, missing jitter, unbounded
+ * total wait) and are invisible to tooling. `RetryWithBackoff` is the
+ * one vocabulary:
+ *
+ *   - attempts are bounded (`max_attempts`) and the *total* wait can be
+ *     bounded too (`deadline`), so a retry site can never turn a
+ *     transient fault into an unbounded stall;
+ *   - backoff grows exponentially (`initial_backoff`, `multiplier`,
+ *     capped at `max_backoff`) with optional deterministic jitter so
+ *     colliding retriers decorrelate without losing reproducibility
+ *     (the jitter stream is a pure function of the caller's seed);
+ *   - the outcome is `[[nodiscard]]`: a site cannot silently ignore
+ *     exhaustion — it must decide (escalate, degrade, or give up).
+ *
+ * Testability: the operation itself is a callable, so fault-injector
+ * hooks (`FaultPoint`) compose naturally inside it, and the sleep
+ * function is injectable so unit tests can count/skip real sleeping.
+ *
+ * The static analyzer's `retry-loop` check (scripts/frugal_analyze)
+ * enforces that production sleeps live here or carry a `retry-exempt:`
+ * justification — see DESIGN.md §11.6.
+ */
+#ifndef FRUGAL_COMMON_RETRY_H_
+#define FRUGAL_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace frugal {
+
+/** Tunables of one retry site. The defaults mirror the engine's
+ *  historical host-write loop (exponential from 2 µs, capped at 1 ms). */
+struct RetryPolicy
+{
+    /** Maximum number of attempts (initial try included); ≥ 1. */
+    int max_attempts = 12;
+    /** Sleep after the first failed attempt. */
+    std::chrono::microseconds initial_backoff{2};
+    /** Growth factor applied to the backoff after every failure. */
+    double multiplier = 2.0;
+    /** Upper bound for a single backoff sleep. */
+    std::chrono::microseconds max_backoff{1000};
+    /** Fraction of each backoff randomized (± jitter/2, deterministic
+     *  from the call's seed). 0 = no jitter. */
+    double jitter = 0.0;
+    /** Bound on the *cumulative* backoff slept across all attempts;
+     *  zero = attempts alone bound the loop. */
+    std::chrono::microseconds deadline{0};
+};
+
+/** Why a retry loop stopped. */
+enum class RetryStatus : std::uint8_t {
+    kSuccess = 0,
+    /** All `max_attempts` tries failed. */
+    kAttemptsExhausted,
+    /** The next backoff would overrun `deadline`. */
+    kDeadlineExceeded,
+};
+
+inline const char *
+RetryStatusName(RetryStatus status)
+{
+    switch (status) {
+    case RetryStatus::kSuccess:
+        return "success";
+    case RetryStatus::kAttemptsExhausted:
+        return "attempts-exhausted";
+    case RetryStatus::kDeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "unknown";
+}
+
+/** Result of one `RetryWithBackoff` run. `[[nodiscard]]` at the call
+ *  site: exhaustion must be handled, not dropped. */
+struct RetryOutcome
+{
+    RetryStatus status = RetryStatus::kSuccess;
+    /** Attempts performed (1 = first try succeeded). */
+    int attempts = 0;
+    /** Total backoff requested from the sleep function. */
+    std::chrono::microseconds slept{0};
+
+    bool ok() const { return status == RetryStatus::kSuccess; }
+};
+
+/** The backoff before attempt `attempt + 2` (i.e. after `attempt + 1`
+ *  failures), jittered deterministically from `seed`. Exposed for
+ *  tests; pure. */
+inline std::chrono::microseconds
+RetryBackoff(const RetryPolicy &policy, std::uint64_t seed, int attempt)
+{
+    double us = static_cast<double>(policy.initial_backoff.count());
+    for (int i = 0; i < attempt; ++i) {
+        us *= policy.multiplier;
+        if (us >= static_cast<double>(policy.max_backoff.count()))
+            break;
+    }
+    us = std::min(us, static_cast<double>(policy.max_backoff.count()));
+    if (policy.jitter > 0.0) {
+        // Uniform in [-jitter/2, +jitter/2), as a fraction of the base
+        // backoff, from a stateless hash — reproducible per (seed,
+        // attempt) pair.
+        const std::uint64_t h =
+            MixHash64(seed ^ (static_cast<std::uint64_t>(attempt) + 1) *
+                                 0x9e3779b97f4a7c15ULL);
+        const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+        us *= 1.0 + policy.jitter * (unit - 0.5);
+    }
+    return std::chrono::microseconds(
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(us)));
+}
+
+/**
+ * Runs `try_fn` (a `bool()` callable; true = success) under `policy`.
+ * Sleeps between attempts via `sleep_fn(std::chrono::microseconds)` —
+ * pass a recording stub in tests. `seed` feeds the jitter stream only.
+ */
+template <typename TryFn, typename SleepFn>
+[[nodiscard]] RetryOutcome
+RetryWithBackoff(const RetryPolicy &policy, std::uint64_t seed, TryFn &&try_fn,
+                 SleepFn &&sleep_fn)
+{
+    RetryOutcome outcome;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+        ++outcome.attempts;
+        if (try_fn()) {
+            outcome.status = RetryStatus::kSuccess;
+            return outcome;
+        }
+        if (attempt + 1 >= policy.max_attempts)
+            break;
+        const std::chrono::microseconds backoff =
+            RetryBackoff(policy, seed, attempt);
+        if (policy.deadline.count() > 0 &&
+            outcome.slept + backoff > policy.deadline) {
+            outcome.status = RetryStatus::kDeadlineExceeded;
+            return outcome;
+        }
+        outcome.slept += backoff;
+        sleep_fn(backoff);
+    }
+    outcome.status = RetryStatus::kAttemptsExhausted;
+    return outcome;
+}
+
+/** Overload using a real `sleep_for` between attempts. */
+template <typename TryFn>
+[[nodiscard]] RetryOutcome
+RetryWithBackoff(const RetryPolicy &policy, std::uint64_t seed, TryFn &&try_fn)
+{
+    return RetryWithBackoff(policy, seed, static_cast<TryFn &&>(try_fn),
+                            [](std::chrono::microseconds backoff) {
+                                std::this_thread::sleep_for(backoff);
+                            });
+}
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_RETRY_H_

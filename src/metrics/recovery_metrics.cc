@@ -28,11 +28,31 @@ RecoveryTable(const RecoveryCounters &c, const std::string &caption)
                   FormatCount(static_cast<double>(c.watchdog_polls))});
     table.AddRow({"checkpoint barriers",
                   FormatCount(static_cast<double>(c.checkpoint_barriers))});
+    table.AddRow({"checkpoint retries",
+                  FormatCount(static_cast<double>(c.checkpoint_retries))});
     table.AddRow(
         {"checkpoint pause", FormatSeconds(c.checkpoint_pause_seconds)});
     table.AddRow(
         {"checkpoint save", FormatSeconds(c.checkpoint_save_seconds)});
     table.AddRow({"recovery time", FormatSeconds(c.recovery_seconds)});
+    return table;
+}
+
+TablePrinter
+OverloadTable(const OverloadCounters &c, const std::string &caption)
+{
+    TablePrinter table(caption, {"metric", "value"});
+    table.AddRow({"throttle events",
+                  FormatCount(static_cast<double>(c.throttle_events))});
+    table.AddRow({"throttle wait", FormatSeconds(c.throttle_wait_seconds)});
+    table.AddRow({"pressure transitions",
+                  FormatCount(static_cast<double>(c.pressure_transitions))});
+    table.AddRow({"peak stage",
+                  FormatCount(static_cast<double>(c.peak_stage))});
+    table.AddRow({"peak tracked bytes",
+                  FormatCount(static_cast<double>(c.peak_tracked_bytes))});
+    table.AddRow({"cache rows shed",
+                  FormatCount(static_cast<double>(c.cache_rows_shed))});
     return table;
 }
 

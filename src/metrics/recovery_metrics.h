@@ -43,6 +43,9 @@ struct RecoveryCounters
     std::uint64_t watchdog_polls = 0;
     /** Consistent checkpoint barriers taken mid-run. */
     std::uint64_t checkpoint_barriers = 0;
+    /** Checkpoint save attempts that failed transiently and were
+     *  retried under the unified RetryPolicy. */
+    std::uint64_t checkpoint_retries = 0;
     /** Wall time trainers spent gated waiting for barrier quiescence. */
     double checkpoint_pause_seconds = 0.0;
     /** Wall time spent serialising checkpoints (excluded from pause). */
@@ -53,6 +56,32 @@ struct RecoveryCounters
 
 /** Renders non-trivial recovery counters as a two-column table. */
 TablePrinter RecoveryTable(const RecoveryCounters &counters,
+                           const std::string &caption);
+
+/**
+ * Overload/degradation counters (DESIGN.md §12): what backpressure and
+ * the memory-pressure monitor did during a run. All zero on a run with
+ * an unbounded queue and no memory budget.
+ */
+struct OverloadCounters
+{
+    /** Trainer pushes that hit a full staging queue and throttled. */
+    std::uint64_t throttle_events = 0;
+    /** Wall time trainers spent blocked on backpressure. */
+    double throttle_wait_seconds = 0.0;
+    /** Pressure-stage changes observed by the monitor. */
+    std::uint64_t pressure_transitions = 0;
+    /** Highest pressure stage reached (0 normal / 1 elevated /
+     *  2 critical). */
+    std::uint32_t peak_stage = 0;
+    /** Largest tracked total across arena/index/cache/queue gauges. */
+    std::uint64_t peak_tracked_bytes = 0;
+    /** Cache rows emergency-evicted by critical-stage shrinks. */
+    std::uint64_t cache_rows_shed = 0;
+};
+
+/** Renders overload counters as a two-column table. */
+TablePrinter OverloadTable(const OverloadCounters &counters,
                            const std::string &caption);
 
 }  // namespace frugal

@@ -66,8 +66,17 @@ class GEntryRegistry
         Shard &shard = ShardFor(key);
         SpinGuard guard(shard.lock);
         auto [entry, inserted] = shard.entries.TryEmplace(key, nullptr);
-        if (inserted)
-            *entry = shard.arena.Create(key);
+        if (inserted) {
+            // A throwing arena growth (injected kAllocFailure) must not
+            // leave the placeholder behind: erase it so the shard keeps
+            // the strong guarantee and the caller can simply retry.
+            try {
+                *entry = shard.arena.Create(key);
+            } catch (...) {
+                shard.entries.Erase(key);
+                throw;
+            }
+        }
         return **entry;
     }
 
@@ -107,8 +116,18 @@ class GEntryRegistry
                     static_cast<std::size_t>(grouped[i] & 0xffffffffu);
                 auto [entry, inserted] =
                     shard.entries.TryEmplace(keys[idx], nullptr);
-                if (inserted)
-                    *entry = shard.arena.Create(keys[idx]);
+                if (inserted) {
+                    // See GetOrCreate: roll the placeholder back on a
+                    // throwing growth. Keys already resolved stay
+                    // resolved (per-key atomicity); rerunning the batch
+                    // converges.
+                    try {
+                        *entry = shard.arena.Create(keys[idx]);
+                    } catch (...) {
+                        shard.entries.Erase(keys[idx]);
+                        throw;
+                    }
+                }
                 out[idx] = *entry;
             }
         }
@@ -145,6 +164,44 @@ class GEntryRegistry
         for (const Shard &shard : shards_) {
             SpinGuard guard(shard.lock);
             total += shard.arena.size();
+        }
+        return total;
+    }
+
+    /** Arms the kAllocFailure growth fault point on every shard's arena
+     *  and index (nullptr disarms). A firing growth throws
+     *  std::bad_alloc out of GetOrCreate/GetOrCreateBatch with the
+     *  shard untouched, so the call is retryable. */
+    void
+    ArmFaultInjector(FaultInjector *injector)
+    {
+        for (Shard &shard : shards_) {
+            SpinGuard guard(shard.lock);
+            shard.entries.ArmFaultInjector(injector);
+            shard.arena.ArmFaultInjector(injector);
+        }
+    }
+
+    /** Bytes held by the entry arenas across shards. */
+    std::size_t
+    ArenaBytes() const
+    {
+        std::size_t total = 0;
+        for (const Shard &shard : shards_) {
+            SpinGuard guard(shard.lock);
+            total += shard.arena.MemoryBytes();
+        }
+        return total;
+    }
+
+    /** Bytes held by the key → entry indexes across shards. */
+    std::size_t
+    IndexBytes() const
+    {
+        std::size_t total = 0;
+        for (const Shard &shard : shards_) {
+            SpinGuard guard(shard.lock);
+            total += shard.entries.MemoryBytes();
         }
         return total;
     }

@@ -400,6 +400,22 @@ TwoLevelPQ::DebugDump() const
     }
     if (listed == 0)
         out << "  (all buckets empty)\n";
+    // Per-shard backlog: resident slot-set entries summed across
+    // buckets. Skewed shards point at a flush thread that stopped
+    // draining its own shard (each dequeue scans its shard first).
+    out << "  per-shard backlog:";
+    for (std::size_t shard = 0; shard < n_shards_; ++shard) {
+        std::size_t resident = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            const AtomicSlotSet<GEntry> *set =
+                sets_[i * n_shards_ + shard].load(
+                    std::memory_order_acquire);
+            if (set != nullptr)
+                resident += set->size();
+        }
+        out << " s" << shard << "=" << resident;
+    }
+    out << "\n";
     return out.str();
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/memory_budget.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "cache/gpu_cache.h"
@@ -88,6 +89,34 @@ struct EngineConfig
     /** Update staging queue capacity, in per-(step, GPU) batches (each
      *  batch carries one trace GPU's whole step of gradients). */
     std::size_t staging_capacity = 1 << 15;
+
+    /**
+     * Backpressure bound on the update staging queue, in batches
+     * (FrugalEngine only). 0 = legacy behaviour: the queue is sized by
+     * `staging_capacity`, which is large enough that trainers never
+     * block. Non-zero replaces that size with a hard bound: a trainer
+     * whose push finds the queue full *throttles* (timed PushFor loop,
+     * counted per trainer in RunReport::overload) until the flush tier
+     * catches up — a slow flush tier slows trainers down instead of
+     * growing RSS without limit. Liveness is preserved because every
+     * consumer (drainer) keeps draining regardless of the bound.
+     */
+    std::size_t update_queue_cap = 0;
+
+    /**
+     * Optional memory-pressure monitor (FrugalEngine only); the caller
+     * owns it and keeps it alive across Run. When set, the engine
+     * publishes its component byte gauges (registry arena/index, GPU
+     * caches, staging queue) into the budget every monitor period and
+     * applies staged degradation reactions on pressure transitions:
+     * elevated sheds prefetch lookahead and flush coalescing width;
+     * critical additionally shrinks the GPU caches online
+     * (GpuCache::Resize). See DESIGN.md §12.2.
+     */
+    MemoryBudget *memory_budget = nullptr;
+
+    /** Pressure monitor sampling period. */
+    int memory_poll_ms = 2;
 
     /** "sgd" or "adagrad". */
     std::string optimizer = "sgd";
@@ -193,6 +222,13 @@ struct RunReport
 
     /** Fault-tolerance counters (all zero on a fault-free run). */
     RecoveryCounters recovery;
+
+    /** Backpressure/memory-pressure counters (zero without a bound or
+     *  budget). */
+    OverloadCounters overload;
+
+    /** Pressure stage in force when the run finished. */
+    PressureStage final_pressure_stage = PressureStage::kNormal;
 };
 
 /** A functional multi-GPU training engine. */

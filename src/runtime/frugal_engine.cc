@@ -14,6 +14,8 @@
 #include "common/cacheline.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
+#include "common/memory_budget.h"
+#include "common/retry.h"
 #include "common/spinlock.h"
 #include "pq/g_entry_registry.h"
 #include "pq/invariant_auditor.h"
@@ -62,6 +64,10 @@ struct TrainerLocalStats
     std::uint64_t host_reads = 0;
     std::uint64_t updates_emitted = 0;
     std::uint64_t gate_waits = 0;
+    /** Pushes that found the bounded staging queue full (backpressure). */
+    std::uint64_t throttle_events = 0;
+    /** Nanoseconds spent blocked on backpressure. */
+    std::uint64_t throttle_wait_ns = 0;
 };
 
 /**
@@ -150,7 +156,17 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     }
 
     GEntryRegistry registry(64, config_.key_space);
-    BlockingQueue<UpdateBatch> staging(config_.staging_capacity);
+    if (injector != nullptr) {
+        // Arm the container growth fault points (kAllocFailure). Plans
+        // without a rule for that site see zero behaviour change.
+        registry.ArmFaultInjector(injector);
+    }
+    // Backpressure bound (update_queue_cap > 0) or the legacy
+    // effectively-unbounded size.
+    const std::size_t staging_cap = config_.update_queue_cap != 0
+                                        ? config_.update_queue_cap
+                                        : config_.staging_capacity;
+    BlockingQueue<UpdateBatch> staging(staging_cap);
     std::vector<std::unique_ptr<GpuCache>> caches;
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
         caches.push_back(std::make_unique<GpuCache>(
@@ -195,11 +211,23 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::atomic<std::uint64_t> flusher_deaths{0};
     std::atomic<std::uint64_t> flusher_respawns{0};
     std::atomic<std::uint64_t> claims_reclaimed{0};
+    std::atomic<std::uint64_t> throttle_events{0};
+    std::atomic<std::uint64_t> throttle_wait_ns{0};
+    // Staging payload bytes currently queued (trainers add on push, the
+    // drainer subtracts on pop); feeds the kQueue pressure gauge.
+    std::atomic<std::size_t> staging_bytes{0};
+    // Degradation knobs, written by the pressure monitor and read on
+    // the prefetch/flush paths. They start at the configured values and
+    // only move on stage transitions.
+    std::atomic<std::size_t> effective_lookahead{config_.lookahead};
+    std::atomic<std::size_t> effective_flush_batch{config_.flush_batch};
+    std::atomic<std::uint64_t> cache_rows_shed{0};
     // Written only by the single-threaded barrier completion; read after
     // the trainer joins, which provide the happens-before edge.
     std::uint64_t trainer_death_count = 0;
     std::uint64_t ownership_remap_count = 0;
     std::uint64_t checkpoint_barriers = 0;
+    std::uint64_t checkpoint_retry_count = 0;
     double checkpoint_pause_seconds = 0.0;
     double checkpoint_save_seconds = 0.0;
 
@@ -263,12 +291,32 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 extras.optimizer_name = optimizer_->Name();
                 extras.optimizer_state = optimizer_->ExportState();
                 extras.next_step = config_.step_offset + s + 1;
-                if (!SaveCheckpoint(*table_, extras,
-                                    config_.checkpoint_path, injector)) {
+                // Unified retry policy (common/retry.h): transient
+                // checkpoint failures (injected I/O errors, torn
+                // writes) get a few backed-off attempts before the
+                // barrier gives up. The previous checkpoint survives
+                // either way — the tmp-file + rename protocol never
+                // touches it until a replacement is durable.
+                RetryPolicy ckpt_policy;
+                ckpt_policy.max_attempts = 3;
+                ckpt_policy.initial_backoff =
+                    std::chrono::microseconds(100);
+                ckpt_policy.max_backoff = std::chrono::microseconds(2000);
+                const RetryOutcome saved = RetryWithBackoff(
+                    ckpt_policy, static_cast<std::uint64_t>(s), [&] {
+                        if (SaveCheckpoint(*table_, extras,
+                                           config_.checkpoint_path,
+                                           injector)) {
+                            return true;
+                        }
+                        ++checkpoint_retry_count;
+                        return false;
+                    });
+                if (!saved.ok()) {
                     FRUGAL_WARN("checkpoint barrier after step "
-                                << s
-                                << " failed to persist; training "
-                                   "continues");
+                                << s << " failed to persist ("
+                                << saved.attempts
+                                << " attempts); training continues");
                 }
                 ++checkpoint_barriers;
                 const auto save_end = std::chrono::steady_clock::now();
@@ -347,9 +395,10 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         // round trip per training step. Sleep until a burst of headroom
         // (half the lookahead window) has opened, then register every
         // available step before re-parking — same RegisterRead stream,
-        // a fraction of the wakeups.
-        const Step burst =
-            std::max<Step>(1, static_cast<Step>(config_.lookahead / 2));
+        // a fraction of the wakeups. The burst tracks the *effective*
+        // lookahead: under memory-pressure degradation the window can
+        // shrink to 1, and a burst sized off the configured window
+        // would then demand headroom that never opens (livelock).
         while (true) {
             // relaxed: only the prefetcher itself advances the frontier,
             // so its own prior store is always visible to it.
@@ -359,14 +408,20 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             {
                 std::unique_lock<std::mutex> lock(gate_mutex);
                 auto can_prefetch = [&] {
+                    // relaxed: degradation knob; any recent value is
+                    // acceptable.
+                    const Step eff =
+                        static_cast<Step>(effective_lookahead.load(
+                            std::memory_order_relaxed));
                     const Step limit = std::min<Step>(
                         n_steps,
                         current_step.load(std::memory_order_acquire) +
-                            config_.lookahead);
+                            eff);
                     if (frontier >= limit)
                         return false;
                     // The final (partial) burst must not wait for
                     // headroom the run will never produce.
+                    const Step burst = std::max<Step>(1, eff / 2);
                     return frontier + burst <= limit || limit >= n_steps;
                 };
                 // Timed re-check: recovery paths can lose a wakeup; the
@@ -380,7 +435,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 const Step limit = std::min<Step>(
                     n_steps,
                     current_step.load(std::memory_order_acquire) +
-                        config_.lookahead);
+                        // relaxed: degradation knob (see above).
+                        static_cast<Step>(effective_lookahead.load(
+                            std::memory_order_relaxed)));
                 if (frontier >= limit)
                     break;
                 for (std::uint32_t g = 0; g < n_gpus; ++g) {
@@ -430,18 +487,14 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             }
             for (UpdateBatch &incoming : popped) {
                 const Step s = incoming.step;
+                // relaxed: pressure gauge; the monitor tolerates skew
+                // against the trainers' increments.
+                staging_bytes.fetch_sub(
+                    incoming.grads.size() * sizeof(float),
+                    std::memory_order_relaxed);
                 step_batches[s].push_back(std::move(incoming));
                 if (step_batches[s].size() < n_gpus)
                     continue;
-                if (auto stall_ms = FaultPoint(
-                        injector, FaultSite::kStagingDrainStall,
-                        static_cast<std::uint64_t>(s))) {
-                    FRUGAL_WARN("fault injection: staging drain stalls "
-                                << *stall_ms << " ms at step " << s);
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(
-                            std::max<std::uint32_t>(*stall_ms, 1)));
-                }
                 // Step complete everywhere: now its R-set removals and
                 // W-set insertions are safe. Register in (key, src)
                 // order so a key's W records always *arrive* in
@@ -497,6 +550,21 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 step_batches[s].shrink_to_fit();
                 drained_steps.store(s + 1, std::memory_order_release);
                 nudge_gate();
+                if (auto stall_ms = FaultPoint(
+                        injector, FaultSite::kStagingDrainStall,
+                        static_cast<std::uint64_t>(s))) {
+                    FRUGAL_WARN("fault injection: staging drain stalls "
+                                << *stall_ms << " ms after step " << s);
+                    // The nap sits *after* the gate reopened for the
+                    // next step: trainers run against a parked drainer,
+                    // which is the interesting regime — a bounded
+                    // staging queue must fill and throttle the pushers
+                    // (§12.1) rather than grow without limit.
+                    // retry-exempt: injected stall, not a retry backoff.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            std::max<std::uint32_t>(*stall_ms, 1)));
+                }
             }
         }
         drain_done.store(true, std::memory_order_release);
@@ -505,26 +573,31 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
 
     // --- flush threads (§3.4 parallel flushing + recovery slots) ------
     auto await_host_write = [&](Key key) {
-        // Transient host-write failures retry with bounded exponential
-        // backoff. This runs under the g-entry lock, so a retry storm
+        // Transient host-write failures retry under the unified policy
+        // (common/retry.h): bounded exponential backoff, 2 µs doubling
+        // to a 1 ms cap — the same envelope the old hand-rolled loop
+        // used. This runs under the g-entry lock, so a retry storm
         // delays only this parameter's flush.
-        int attempt = 0;
-        while (FaultPoint(injector, FaultSite::kHostWriteTransient,
-                          static_cast<std::uint64_t>(key))) {
-            ++attempt;
-            // relaxed: monotonic stat counter, read after joins.
-            write_retries.fetch_add(1, std::memory_order_relaxed);
-            FRUGAL_CHECK_MSG(attempt <= config_.write_retry_limit,
-                             "host-table write for key "
-                                 << key << " still failing after "
-                                 << attempt
-                                 << " attempts; giving up (permanent "
-                                    "failure, not transient)");
-            const long backoff_us = std::min<long>(
-                1L << std::min(attempt, 10), 1000);
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(backoff_us));
-        }
+        RetryPolicy policy;
+        policy.max_attempts = config_.write_retry_limit + 1;
+        policy.initial_backoff = std::chrono::microseconds(2);
+        policy.max_backoff = std::chrono::microseconds(1000);
+        const RetryOutcome outcome = RetryWithBackoff(
+            policy, static_cast<std::uint64_t>(key), [&] {
+                if (FaultPoint(injector, FaultSite::kHostWriteTransient,
+                               static_cast<std::uint64_t>(key))) {
+                    // relaxed: monotonic stat counter, read after joins.
+                    write_retries.fetch_add(1, std::memory_order_relaxed);
+                    return false;
+                }
+                return true;
+            });
+        FRUGAL_CHECK_MSG(outcome.ok(),
+                         "host-table write for key "
+                             << key << " still failing after "
+                             << outcome.attempts
+                             << " attempts; giving up (permanent "
+                                "failure, not transient)");
     };
     auto apply_update = [&](Key key, const WriteRecord &record) {
         await_host_write(key);
@@ -631,6 +704,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                         // blockers (cooperative flush), so an idle
                         // flusher only needs to wake often enough to
                         // absorb later-step and deferred backlog.
+                        // retry-exempt: idle self-wake, not a retry.
                         std::this_thread::sleep_for(idle_sleep);
                         idle_sleep =
                             std::min(idle_sleep * 2,
@@ -662,7 +736,11 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     prefetch_frontier.load(std::memory_order_acquire));
                 claimed.clear();
                 slot->busy.store(true, std::memory_order_release);
-                if (queue->DequeueClaim(claimed, config_.flush_batch,
+                if (queue->DequeueClaim(claimed,
+                                        // relaxed: degradation knob
+                                        // (coalescing width).
+                                        effective_flush_batch.load(
+                                            std::memory_order_relaxed),
                                         slot->index) == 0) {
                     // Entries exist but are momentarily unclaimable
                     // (mid-publish or taken by a peer); back off briefly.
@@ -683,6 +761,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                         if (++empty_claims < kParkAfterEmptyClaims) {
                             std::this_thread::yield();
                         } else {
+                            // retry-exempt: contention backoff while
+                            // peers hold the claims, not a retry.
                             std::this_thread::sleep_for(
                                 std::chrono::microseconds(200));
                         }
@@ -770,6 +850,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                         if (config_.flush_delay_us > 0) {
                             // Fault injection: a slow host-memory path
                             // (per ticket, as in the per-ticket shape).
+                            // retry-exempt: injected delay.
                             std::this_thread::sleep_for(
                                 std::chrono::microseconds(
                                     config_.flush_delay_us *
@@ -807,6 +888,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                             return;
                         if (config_.flush_delay_us > 0) {
                             // Fault injection: a slow host-memory path.
+                            // retry-exempt: injected delay.
                             std::this_thread::sleep_for(
                                 std::chrono::microseconds(
                                     config_.flush_delay_us));
@@ -929,8 +1011,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         auto diagnose = [&]() -> std::string {
             std::ostringstream out;
             out << queue->DebugDump();
-            out << "staging size " << staging.size()
-                << ", drained through step "
+            out << "staging " << staging.size() << "/" << staging_cap
+                << " batch(es), drained through step "
                 << drained_steps.load(std::memory_order_acquire)
                 << ", prefetch frontier "
                 << prefetch_frontier.load(std::memory_order_acquire)
@@ -950,12 +1032,102 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                             : " idle")
                     << ", " << ledger << " claim(s) in ledger\n";
             }
+            if (config_.memory_budget != nullptr) {
+                out << "memory pressure stage "
+                    << PressureStageName(config_.memory_budget->stage())
+                    << ", tracked "
+                    << config_.memory_budget->TotalBytes() << " of "
+                    << config_.memory_budget->budget_bytes()
+                    << " budget bytes\n";
+            }
             return out.str();
         };
         watchdog = std::make_unique<Watchdog>(
             wd_config, std::move(snapshot), std::move(recover),
             std::move(diagnose));
         watchdog->Start();
+    }
+
+    // --- memory-pressure monitor (DESIGN.md §12.2) ---------------------
+    MemoryBudget *const budget = config_.memory_budget;
+    std::atomic<bool> monitor_stop{false};
+    std::thread pressure_monitor;
+    if (budget != nullptr) {
+        const std::size_t healthy_rows = config_.CacheRowsPerGpu();
+        pressure_monitor = std::thread([&, healthy_rows] {
+            const auto poll = std::chrono::milliseconds(
+                std::max(1, config_.memory_poll_ms));
+            PressureStage reacted = PressureStage::kNormal;
+            while (!monitor_stop.load(std::memory_order_acquire)) {
+                budget->Publish(MemoryComponent::kArena,
+                                registry.ArenaBytes());
+                budget->Publish(MemoryComponent::kFlatMap,
+                                registry.IndexBytes());
+                std::size_t cache_total = 0;
+                for (const auto &cache : caches)
+                    cache_total += cache->MemoryBytes();
+                budget->Publish(MemoryComponent::kCache, cache_total);
+                budget->Publish(MemoryComponent::kQueue,
+                                // relaxed: gauge; skew tolerated.
+                                staging_bytes.load(
+                                    std::memory_order_relaxed));
+                const PressureStage stage = budget->Evaluate();
+                if (stage != reacted) {
+                    // Staged reactions. Elevated sheds the prefetch
+                    // window (fewer R sets and staged batches in
+                    // flight) and the flush coalescing width; critical
+                    // additionally halves the GPU caches — safe at any
+                    // moment because the cache is write-through, so
+                    // eviction changes throughput, never table
+                    // contents. Returning to normal restores every
+                    // knob, including the cache capacity.
+                    std::size_t lookahead = config_.lookahead;
+                    std::size_t flush_batch = config_.flush_batch;
+                    std::size_t cache_rows = healthy_rows;
+                    if (stage == PressureStage::kElevated) {
+                        lookahead = std::max<std::size_t>(
+                            1, config_.lookahead / 2);
+                        flush_batch = 1;
+                    } else if (stage == PressureStage::kCritical) {
+                        lookahead = 1;
+                        flush_batch = 1;
+                        cache_rows =
+                            std::max<std::size_t>(1, healthy_rows / 2);
+                    }
+                    // relaxed: degradation knobs; readers tolerate any
+                    // recent value.
+                    effective_lookahead.store(lookahead,
+                                              std::memory_order_relaxed);
+                    // relaxed: see above.
+                    effective_flush_batch.store(
+                        flush_batch, std::memory_order_relaxed);
+                    std::uint64_t shed = 0;
+                    for (const auto &cache : caches) {
+                        if (cache->capacity() != cache_rows)
+                            shed += cache->Resize(cache_rows);
+                    }
+                    if (shed > 0) {
+                        // relaxed: monotonic stat counter.
+                        cache_rows_shed.fetch_add(
+                            shed, std::memory_order_relaxed);
+                    }
+                    FRUGAL_WARN("memory pressure: "
+                                << PressureStageName(reacted) << " -> "
+                                << PressureStageName(stage) << " ("
+                                << budget->TotalBytes() << " of "
+                                << budget->budget_bytes()
+                                << " budget bytes; lookahead "
+                                << lookahead << ", flush batch "
+                                << flush_batch << ", " << shed
+                                << " cache row(s) shed)");
+                    reacted = stage;
+                    nudge_gate();
+                }
+                // retry-exempt: monitor sampling period, not a retry
+                // backoff.
+                std::this_thread::sleep_for(poll);
+            }
+        });
     }
 
     // --- trainer threads ----------------------------------------------
@@ -1034,8 +1206,11 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                             // their writes keep coalescing for the
                             // flush threads.
                             if (queue->DequeueClaimBelow(
-                                    assist, config_.flush_batch, t, s) ==
-                                0) {
+                                    assist,
+                                    // relaxed: degradation knob.
+                                    effective_flush_batch.load(
+                                        std::memory_order_relaxed),
+                                    t, s) == 0) {
                                 // Nothing claimable: the gate waits on
                                 // the prefetcher/drainer, or the work
                                 // is in flight on a flusher. Yield
@@ -1081,6 +1256,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                            assist[i].entry)
                                     ++j;
                                 if (config_.flush_delay_us > 0) {
+                                    // retry-exempt: injected delay.
                                     std::this_thread::sleep_for(
                                         std::chrono::microseconds(
                                             config_.flush_delay_us *
@@ -1197,7 +1373,35 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     batch.src = trace_gpu;
                     batch.keys = &keys;
                     batch.grads = std::move(grads);
-                    FRUGAL_CHECK(staging.Push(std::move(batch)));
+                    const std::size_t batch_bytes =
+                        batch.grads.size() * sizeof(float);
+                    // Bounded staging: PushFor consumes the batch only
+                    // on success, so a full queue throttles the trainer
+                    // in timed slices (backpressure) instead of growing
+                    // memory without limit. The queue cannot close
+                    // before every trainer joined, so the push always
+                    // lands eventually.
+                    if (!staging.PushFor(batch,
+                                         std::chrono::microseconds(0))) {
+                        ++local.throttle_events;
+                        const auto throttle_start =
+                            std::chrono::steady_clock::now();
+                        while (!staging.PushFor(
+                            batch, std::chrono::milliseconds(1))) {
+                            FRUGAL_CHECK(!staging.closed());
+                        }
+                        local.throttle_wait_ns +=
+                            static_cast<std::uint64_t>(
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() -
+                                    throttle_start)
+                                    .count());
+                    }
+                    // relaxed: pressure gauge; the monitor tolerates
+                    // skew against the drainer's decrements.
+                    staging_bytes.fetch_add(batch_bytes,
+                                            std::memory_order_relaxed);
                     local.updates_emitted += keys.size();
                 }
 
@@ -1215,6 +1419,12 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // relaxed: see above.
                 gate_waits.fetch_add(local.gate_waits,
                                      std::memory_order_relaxed);
+                // relaxed: see above.
+                throttle_events.fetch_add(local.throttle_events,
+                                          std::memory_order_relaxed);
+                // relaxed: see above.
+                throttle_wait_ns.fetch_add(local.throttle_wait_ns,
+                                           std::memory_order_relaxed);
                 local = TrainerLocalStats{};
 
                 step_barrier.arrive_and_wait();
@@ -1261,6 +1471,7 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     updates_emitted.load(std::memory_order_relaxed)) {
                 break;
             }
+            // retry-exempt: wind-down poll, not a retry backoff.
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
         // Stop before joining the slots so recovery can't touch a slot
@@ -1271,6 +1482,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         if (slot->thread.joinable())
             slot->thread.join();
     }
+    monitor_stop.store(true, std::memory_order_release);
+    if (pressure_monitor.joinable())
+        pressure_monitor.join();
 
     const auto run_end = std::chrono::steady_clock::now();
 
@@ -1309,10 +1523,21 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     report.recovery.trainer_deaths = trainer_death_count;
     report.recovery.ownership_remaps = ownership_remap_count;
     report.recovery.checkpoint_barriers = checkpoint_barriers;
+    report.recovery.checkpoint_retries = checkpoint_retry_count;
     report.recovery.checkpoint_pause_seconds = checkpoint_pause_seconds;
     report.recovery.checkpoint_save_seconds = checkpoint_save_seconds;
     if (watchdog != nullptr)
         watchdog->Harvest(&report.recovery);
+    report.overload.throttle_events = throttle_events.load();
+    report.overload.throttle_wait_seconds =
+        static_cast<double>(throttle_wait_ns.load()) * 1e-9;
+    report.overload.cache_rows_shed = cache_rows_shed.load();
+    if (budget != nullptr) {
+        report.overload.pressure_transitions = budget->transitions();
+        report.overload.peak_stage = budget->peak_stage();
+        report.overload.peak_tracked_bytes = budget->peak_total_bytes();
+        report.final_pressure_stage = budget->stage();
+    }
 
     FRUGAL_CHECK_MSG(report.updates_applied == report.updates_emitted,
                      "flush pipeline lost updates: emitted "

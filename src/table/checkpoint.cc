@@ -164,12 +164,31 @@ SaveCheckpoint(const HostEmbeddingTable &table,
         return false;
     }
 
-    bool ok = WriteAll(fd, &header, sizeof(header)) &&
-              WriteAll(fd, rows.data(), rows.size() * sizeof(float)) &&
-              (extras.optimizer_state.empty() ||
-               WriteAll(fd, extras.optimizer_state.data(),
-                        extras.optimizer_state.size() * sizeof(float))) &&
-              WriteAll(fd, &checksum, sizeof(checksum));
+    bool ok;
+    if (auto torn = FaultPoint(injector, FaultSite::kCheckpointTornWrite)) {
+        // Torn write in the temp-file stage, *before* fsync: the writer
+        // dies mid-stream and only a prefix of the image reaches the
+        // file. Unlike kCheckpointTruncate (which damages an image the
+        // rename then commits), the tear is caught here — the save
+        // reports a transient failure, the temp file is discarded
+        // below, and the previous checkpoint stays in place. Payload:
+        // row bytes to write before dying (0 = half).
+        const std::size_t row_bytes = rows.size() * sizeof(float);
+        const std::size_t keep =
+            *torn == 0 ? row_bytes / 2
+                       : std::min<std::size_t>(*torn, row_bytes);
+        FRUGAL_WARN("fault injection: torn checkpoint write after "
+                    << keep << " of " << row_bytes << " row bytes");
+        ok = WriteAll(fd, &header, sizeof(header)) &&
+             WriteAll(fd, rows.data(), keep) && false;
+    } else {
+        ok = WriteAll(fd, &header, sizeof(header)) &&
+             WriteAll(fd, rows.data(), rows.size() * sizeof(float)) &&
+             (extras.optimizer_state.empty() ||
+              WriteAll(fd, extras.optimizer_state.data(),
+                       extras.optimizer_state.size() * sizeof(float))) &&
+             WriteAll(fd, &checksum, sizeof(checksum));
+    }
     if (ok && ::fsync(fd) != 0)
         ok = false;
 

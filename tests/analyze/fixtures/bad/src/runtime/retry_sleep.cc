@@ -1,0 +1,21 @@
+// Known-bad retry fixture: a hand-rolled retry loop whose backoff is a
+// bare sleep_for with no `retry-exempt:` tag. The retry-loop check must
+// flag the sleep line and point the author at RetryWithBackoff.
+
+namespace frugal {
+
+inline bool FixtureFlakyWrite();
+
+inline bool FixtureRetryLoop()
+{
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        if (FixtureFlakyWrite()) {
+            return true;
+        }
+        std::this_thread::sleep_for(  // EXPECT:retry-loop
+            std::chrono::milliseconds(1 << attempt));
+    }
+    return false;
+}
+
+}  // namespace frugal

@@ -2,7 +2,8 @@
 // each carrying the discipline the checks require — correctly ordered
 // nested guards, an annotated member plus a tagged exemption, a
 // justified relaxed load, an exempted raw atomic, a legal
-// compare_exchange order pair, and a tagged hot-path allocation
+// compare_exchange order pair, a retry-exempt monitor sleep, and a
+// tagged hot-path allocation
 // (the driver passes `--hot FixtureHotLoop` here too). The driver
 // asserts the analyzer reports zero findings for this tree.
 
@@ -41,6 +42,12 @@ class CleanFixture
     std::atomic<unsigned> stats_{0};
     model_atomic<int> slot_{0};
 };
+
+inline void FixtureMonitorTick()
+{
+    // retry-exempt: monitor sampling period, not a retry backoff.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
 
 inline void FixtureHotLoop(std::vector<float> &out)
 {

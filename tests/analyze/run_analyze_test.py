@@ -8,7 +8,7 @@ Four suites:
    fixtures as `// EXPECT:<check-id>` markers on the exact line the
    diagnostic must anchor to; the driver asserts the analyzer's finding
    set equals the marker set (nothing missing, nothing extra) and that
-   the seven check ids are collectively covered.
+   the eight check ids are collectively covered.
 2. A synthetic clang -ast-dump=json walk through
    frontend_clang.collect_from_ast — the clang frontend's extraction is
    unit-tested even on hosts without clang++ (this repo's CI container),

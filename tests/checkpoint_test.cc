@@ -298,6 +298,69 @@ TEST_F(CheckpointTest, InjectedBitFlipRejectedOnLoad)
     EXPECT_FALSE(LoadCheckpoint(restored, path_));
 }
 
+TEST_F(CheckpointTest, InjectedTornWriteFailsTransientlyThenRetrySucceeds)
+{
+    // Unlike kCheckpointTruncate (post-fsync, invisible to Save), the
+    // torn write fires *before* fsync: Save itself must report the
+    // transient failure, discard the temp file, and leave any previous
+    // checkpoint untouched — exactly what the engine's RetryPolicy
+    // wrapper needs to retry safely.
+    HostEmbeddingTable table(SmallConfig());
+    ASSERT_TRUE(SaveCheckpoint(table, path_));
+    const std::size_t intact_size = FileSize(path_);
+    ASSERT_GT(intact_size, 0u);
+
+    SgdOptimizer sgd(0.5f);
+    std::vector<float> grad(8, 2.0f);
+    table.ApplyGradient(0, grad.data(), sgd);
+
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::kCheckpointTornWrite;
+    rule.until_hit = 1;
+    plan.rules.push_back(rule);
+    FaultInjector injector(plan);
+    EXPECT_FALSE(
+        SaveCheckpoint(table, CheckpointExtras{}, path_, &injector));
+    EXPECT_EQ(injector.fires(FaultSite::kCheckpointTornWrite), 1u);
+    // The previous checkpoint survived, byte for byte loadable.
+    EXPECT_EQ(FileSize(path_), intact_size);
+    HostEmbeddingTable restored(SmallConfig());
+    ASSERT_TRUE(LoadCheckpoint(restored, path_));
+    // The torn temp file was discarded, not left to confuse recovery.
+    EXPECT_EQ(FileSize(path_ + ".tmp"), 0u);
+
+    // Window passed: the retry writes a complete, loadable checkpoint
+    // with the new table contents.
+    ASSERT_TRUE(
+        SaveCheckpoint(table, CheckpointExtras{}, path_, &injector));
+    HostEmbeddingTable updated(SmallConfig());
+    ASSERT_TRUE(LoadCheckpoint(updated, path_));
+    std::vector<float> row(8);
+    updated.ReadRow(0, row.data());
+    EXPECT_EQ(row[0], table.Row(0)[0]);
+}
+
+TEST_F(CheckpointTest, TornWritePayloadControlsBytesKept)
+{
+    // payload = N keeps exactly N row bytes in the torn temp file;
+    // payload 0 means "half the rows". Either way Save fails.
+    HostEmbeddingTable table(SmallConfig());
+    for (std::uint64_t payload : {std::uint64_t{0}, std::uint64_t{16}}) {
+        FaultPlan plan;
+        FaultRule rule;
+        rule.site = FaultSite::kCheckpointTornWrite;
+        rule.until_hit = 1;
+        rule.payload = payload;
+        plan.rules.push_back(rule);
+        FaultInjector injector(plan);
+        EXPECT_FALSE(SaveCheckpoint(table, CheckpointExtras{}, path_,
+                                    &injector))
+            << "payload " << payload;
+        EXPECT_EQ(injector.fires(FaultSite::kCheckpointTornWrite), 1u);
+    }
+}
+
 TEST_F(CheckpointTest, TrainSaveResumeMatchesContinuousRun)
 {
     // Train 40 steps, checkpoint, resume into a fresh engine for 40

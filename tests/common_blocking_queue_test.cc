@@ -200,6 +200,108 @@ TEST(BlockingQueueTest, TimedPopRacesCloseWithoutLoss)
     }
 }
 
+TEST(BlockingQueueTest, PushForTimesOutOnSaturationAndKeepsItem)
+{
+    BlockingQueue<std::vector<int>> q(1);
+    std::vector<int> first{1};
+    ASSERT_TRUE(q.PushFor(first, std::chrono::milliseconds(1)));
+    std::vector<int> second{2, 3};
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.PushFor(second, std::chrono::milliseconds(20)));
+    EXPECT_GE(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(20));
+    // Failure must not consume: the caller retries with the same item.
+    EXPECT_EQ(second.size(), 2u);
+    EXPECT_FALSE(q.closed());  // false meant timeout, not shutdown
+    EXPECT_FALSE(q.PushFor(second, std::chrono::seconds(0)));
+    EXPECT_EQ(q.Pop().value().size(), 1u);
+    EXPECT_TRUE(q.PushFor(second, std::chrono::seconds(1)));
+    EXPECT_EQ(q.Pop().value().size(), 2u);
+}
+
+TEST(BlockingQueueTest, PushForUnblocksOnConcurrentPop)
+{
+    BlockingQueue<int> q(1);
+    int first = 1;
+    ASSERT_TRUE(q.PushFor(first, std::chrono::seconds(0)));
+    std::thread popper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        EXPECT_EQ(q.Pop().value(), 1);
+    });
+    int second = 2;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_TRUE(q.PushFor(second, std::chrono::seconds(30)));
+    // The pop must cut the wait short, not run out the deadline.
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(10));
+    popper.join();
+    EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BlockingQueueTest, PushForRejectsOnClose)
+{
+    BlockingQueue<int> q(1);
+    int first = 1;
+    ASSERT_TRUE(q.PushFor(first, std::chrono::seconds(0)));
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.Close();
+    });
+    int second = 2;
+    EXPECT_FALSE(q.PushFor(second, std::chrono::seconds(30)));
+    EXPECT_TRUE(q.closed());
+    closer.join();
+}
+
+TEST(BlockingQueueTest, ThrottledMpmcNoLossNoDuplication)
+{
+    // The backpressure shape the engine uses: producers loop on a timed
+    // PushFor against a deliberately tiny bound while consumers drain.
+    // Every element must arrive exactly once and every producer must
+    // terminate. Run under TSan via the sanitizer stage of check.sh.
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 2;
+    constexpr int kPerProducer = 2000;
+    BlockingQueue<int> q(4);  // 4x over-subscribed producers
+    std::atomic<long> sum{0};
+    std::atomic<int> popped{0};
+    std::atomic<int> throttles{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int item = p * kPerProducer + i;
+                while (!q.PushFor(item, std::chrono::microseconds(50))) {
+                    ASSERT_FALSE(q.closed());
+                    // relaxed: monotonic stat counter, read after joins.
+                    throttles.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (true) {
+                auto v = q.Pop();
+                if (!v.has_value())
+                    return;
+                sum += *v;
+                popped++;
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p)
+        threads[p].join();
+    q.Close();
+    for (int c = 0; c < kConsumers; ++c)
+        threads[kProducers + c].join();
+
+    const long n = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
 TEST(BlockingQueueTest, BlockingPushUnblocksOnPop)
 {
     BlockingQueue<int> q(1);

@@ -1,0 +1,129 @@
+/** Tests for the unified retry policy (common/retry.h). */
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+using std::chrono::microseconds;
+
+RetryPolicy
+TestPolicy()
+{
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff = microseconds(2);
+    policy.multiplier = 2.0;
+    policy.max_backoff = microseconds(10);
+    return policy;
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyAndCaps)
+{
+    const RetryPolicy policy = TestPolicy();
+    EXPECT_EQ(RetryBackoff(policy, 1, 0), microseconds(2));
+    EXPECT_EQ(RetryBackoff(policy, 1, 1), microseconds(4));
+    EXPECT_EQ(RetryBackoff(policy, 1, 2), microseconds(8));
+    EXPECT_EQ(RetryBackoff(policy, 1, 3), microseconds(10));  // capped
+    EXPECT_EQ(RetryBackoff(policy, 1, 20), microseconds(10));
+}
+
+TEST(RetryBackoffTest, JitterIsDeterministicAndBounded)
+{
+    RetryPolicy policy = TestPolicy();
+    policy.jitter = 0.5;  // ± 25% of the base backoff
+    for (std::uint64_t seed : {0ull, 7ull, 12345ull}) {
+        for (int attempt = 0; attempt < 6; ++attempt) {
+            const auto a = RetryBackoff(policy, seed, attempt);
+            const auto b = RetryBackoff(policy, seed, attempt);
+            EXPECT_EQ(a, b) << "jitter must be pure in (seed, attempt)";
+            RetryPolicy plain = policy;
+            plain.jitter = 0.0;
+            const double base = static_cast<double>(
+                RetryBackoff(plain, seed, attempt).count());
+            EXPECT_GE(static_cast<double>(a.count()), base * 0.75 - 1.0);
+            EXPECT_LE(static_cast<double>(a.count()), base * 1.25 + 1.0);
+        }
+    }
+    // Different seeds decorrelate: at least one attempt differs.
+    bool differs = false;
+    for (int attempt = 0; attempt < 6 && !differs; ++attempt) {
+        differs = RetryBackoff(policy, 1, attempt) !=
+                  RetryBackoff(policy, 2, attempt);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(RetryWithBackoffTest, FirstTrySuccessSleepsNothing)
+{
+    int sleeps = 0;
+    const RetryOutcome outcome = RetryWithBackoff(
+        TestPolicy(), 1, [] { return true; },
+        [&](microseconds) { ++sleeps; });
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.status, RetryStatus::kSuccess);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_EQ(outcome.slept, microseconds(0));
+    EXPECT_EQ(sleeps, 0);
+}
+
+TEST(RetryWithBackoffTest, RecoversAfterTransientFailures)
+{
+    std::vector<microseconds> sleeps;
+    int calls = 0;
+    const RetryOutcome outcome = RetryWithBackoff(
+        TestPolicy(), 1, [&] { return ++calls >= 3; },
+        [&](microseconds backoff) { sleeps.push_back(backoff); });
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.attempts, 3);
+    ASSERT_EQ(sleeps.size(), 2u);  // no sleep after the final success
+    EXPECT_EQ(sleeps[0], microseconds(2));
+    EXPECT_EQ(sleeps[1], microseconds(4));
+    EXPECT_EQ(outcome.slept, microseconds(6));
+}
+
+TEST(RetryWithBackoffTest, ExhaustsAttemptsWithoutTrailingSleep)
+{
+    int calls = 0;
+    int sleeps = 0;
+    const RetryOutcome outcome = RetryWithBackoff(
+        TestPolicy(), 1, [&] { ++calls; return false; },
+        [&](microseconds) { ++sleeps; });
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status, RetryStatus::kAttemptsExhausted);
+    EXPECT_EQ(outcome.attempts, 5);
+    EXPECT_EQ(calls, 5);
+    // A failed *last* attempt is terminal; sleeping after it would just
+    // delay the caller's escalation.
+    EXPECT_EQ(sleeps, 4);
+}
+
+TEST(RetryWithBackoffTest, DeadlineBoundsCumulativeBackoff)
+{
+    RetryPolicy policy = TestPolicy();
+    policy.max_attempts = 100;
+    policy.deadline = microseconds(7);  // allows 2 + 4, not 2 + 4 + 8
+    int calls = 0;
+    const RetryOutcome outcome = RetryWithBackoff(
+        policy, 1, [&] { ++calls; return false; }, [](microseconds) {});
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status, RetryStatus::kDeadlineExceeded);
+    EXPECT_EQ(calls, 3);
+    EXPECT_LE(outcome.slept, policy.deadline);
+}
+
+TEST(RetryWithBackoffTest, StatusNamesAreStable)
+{
+    EXPECT_STREQ(RetryStatusName(RetryStatus::kSuccess), "success");
+    EXPECT_STREQ(RetryStatusName(RetryStatus::kAttemptsExhausted),
+                 "attempts-exhausted");
+    EXPECT_STREQ(RetryStatusName(RetryStatus::kDeadlineExceeded),
+                 "deadline-exceeded");
+}
+
+}  // namespace
+}  // namespace frugal
