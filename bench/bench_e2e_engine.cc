@@ -87,6 +87,11 @@ BaseConfig(const Sizes &sizes, std::uint32_t gpus, std::size_t flushers)
     config.cache_ratio = sizes.cache_ratio;
     config.lookahead = sizes.lookahead;
     config.flush_threads = flushers;
+    // This bench isolates flush/gate scaling against its historical
+    // baseline; oracular warming (its own ablation, bench_prefetch)
+    // would put warm work on the flush threads and shift the lag
+    // distribution for reasons unrelated to what is measured here.
+    config.oracular_prefetch = false;
     return config;
 }
 

@@ -179,6 +179,48 @@ else
     failures=$((failures + 1))
 fi
 
+# --- 4c2. oracular-prefetch ablation smoke + baseline diff ---------------
+# Same contract as 4c for bench_prefetch: the smoke grid runs the engine
+# with oracular warming/eviction on and off across capacities and skews,
+# and exits non-zero if any cell's trained table is not bit-equal to the
+# oracle (hard gate). The diff against the committed BENCH_prefetch.json
+# stays warn-only — smoke sizes make throughput cells noisy by design.
+note "bench_prefetch smoke + baseline diff (warn-only)"
+if ./build/bench/bench_prefetch --smoke --out build/BENCH_prefetch.json; then
+    python3 - <<'EOF' || true
+import json
+
+def load(path):
+    with open(path) as fh:
+        return {m["metric"]: m for m in json.load(fh)}
+
+try:
+    baseline = load("BENCH_prefetch.json")
+except OSError:
+    print("WARN: no committed BENCH_prefetch.json baseline")
+    raise SystemExit(0)
+fresh = load("build/BENCH_prefetch.json")
+
+for name in sorted(set(baseline) | set(fresh)):
+    if name not in fresh:
+        print(f"WARN: metric '{name}' in baseline but not produced")
+    elif name not in baseline:
+        print(f"WARN: new metric '{name}' missing from the baseline")
+    elif baseline[name]["unit"] != fresh[name]["unit"]:
+        print(f"WARN: metric '{name}' changed unit "
+              f"{baseline[name]['unit']} -> {fresh[name]['unit']}")
+    else:
+        old, new = baseline[name]["value"], fresh[name]["value"]
+        if old > 0 and new < old / 10:
+            print(f"WARN: metric '{name}' collapsed {old:.3g} -> "
+                  f"{new:.3g} (>10x below baseline; smoke sizes, "
+                  f"but worth a look)")
+print("bench_prefetch baseline diff done (warnings are non-fatal)")
+EOF
+else
+    failures=$((failures + 1))
+fi
+
 # --- 4d. chaos/overload smoke -------------------------------------------
 # A shrunken seeded chaos campaign against the real engine: flusher
 # deaths, flaky writes, a trainer death against a one-slot staging bound,

@@ -65,10 +65,12 @@ the sleep `// retry-exempt: <why>` when it is genuinely not a retry
 (sampling period, injected test delay, idle self-wake).""",
     "hotpath-alloc": """\
 Allocation on a hot path: functions on the hot list (flush_entry_run,
-DrainBucket, GpuCache::TryGet/Put/UpdateIfPresent, the row kernels) must
-not allocate directly or via a directly-called function. Amortized
-growth of a thread_local or pre-reserved buffer may be exempted with
-`// alloc-ok: <why>` on the allocating (or calling) line.""",
+DrainBucket, GpuCache::TryGet/Put/UpdateIfPresent, the oracular
+warm/evict paths (WarmBegin/WarmCommit/WarmOne/EvictIfDead/
+PickVictimLocked), the row kernels) must not allocate directly or via a
+directly-called function. Amortized growth of a thread_local or
+pre-reserved buffer may be exempted with `// alloc-ok: <why>` on the
+allocating (or calling) line.""",
 }
 
 CHECK_IDS = tuple(EXPLAIN)

@@ -83,6 +83,14 @@ HOT_FUNCTIONS = (
     "GpuCache::TryGet",
     "GpuCache::Put",
     "GpuCache::UpdateIfPresent",
+    # Oracular warm/evict paths: WarmBegin/WarmCommit run on the
+    # prefetcher per warmed batch, WarmOne on flush threads under the
+    # g-entry lock, victim selection and the dead-key sweep per step.
+    "GpuCache::WarmBegin",
+    "GpuCache::WarmCommit",
+    "GpuCache::WarmOne",
+    "GpuCache::EvictIfDead",
+    "GpuCache::PickVictimLocked",
     # Vectorised row kernels (table/row_kernels.h)
     "RowCopy",
     "RowAxpy",

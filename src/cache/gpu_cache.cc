@@ -12,7 +12,10 @@ GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
       map_(capacity_rows),
       slot_key_(capacity_rows, kInvalidKey),
       lru_prev_(capacity_rows, kNilSlot),
-      lru_next_(capacity_rows, kNilSlot)
+      lru_next_(capacity_rows, kNilSlot),
+      next_use_(capacity_rows, kNoFutureUse),
+      flags_(capacity_rows, 0),
+      fill_stamp_(capacity_rows, 0)
 {
     FRUGAL_CHECK_MSG(capacity_rows > 0, "cache capacity must be positive");
     FRUGAL_CHECK_MSG(capacity_rows < kNilSlot,
@@ -52,51 +55,151 @@ GpuCache::PushFrontLocked(std::uint32_t slot)
         lru_tail_ = slot;
 }
 
-bool
-GpuCache::TryGet(Key key, float *out)
+void
+GpuCache::PushBackLocked(std::uint32_t slot)
 {
-    SpinGuard guard(lock_);
+    lru_next_[slot] = kNilSlot;
+    lru_prev_[slot] = lru_tail_;
+    if (lru_tail_ != kNilSlot)
+        lru_next_[lru_tail_] = slot;
+    lru_tail_ = slot;
+    if (lru_head_ == kNilSlot)
+        lru_head_ = slot;
+}
+
+bool
+GpuCache::TryGetLocked(Key key, float *out, const Step *next_use)
+{
     const std::uint32_t *slot = map_.Find(key);
-    if (slot == nullptr) {
+    if (slot == nullptr || (flags_[*slot] & kFillingFlag) != 0) {
+        // A filling slot's row is not valid yet — the warm gather is
+        // still in flight. Reading it would surface garbage, so it
+        // counts as a miss; the demand Put that follows completes the
+        // slot (and invalidates the pending fill via the stamp).
         ++stats_.misses;
         return false;
     }
     ++stats_.hits;
+    if ((flags_[*slot] & kWarmFlag) != 0) {
+        ++stats_.warm_hits;
+        flags_[*slot] &= static_cast<std::uint8_t>(~kWarmFlag);
+    }
+    if (next_use != nullptr)
+        next_use_[*slot] = *next_use;
     RowCopy(out, storage_.data() + *slot * dim_, dim_);
     MoveToFrontLocked(*slot);  // refresh to MRU
     return true;
+}
+
+bool
+GpuCache::TryGet(Key key, float *out)
+{
+    SpinGuard guard(lock_);
+    return TryGetLocked(key, out, nullptr);
+}
+
+bool
+GpuCache::TryGet(Key key, float *out, Step next_use)
+{
+    SpinGuard guard(lock_);
+    return TryGetLocked(key, out, &next_use);
+}
+
+std::uint32_t
+GpuCache::PickVictimLocked(Step incoming_next_use)
+{
+    std::uint32_t best = kNilSlot;
+    Step best_use = 0;
+    std::uint32_t slot = lru_tail_;
+    for (std::size_t scanned = 0;
+         scanned < kVictimScanDepth && slot != kNilSlot;
+         ++scanned, slot = lru_prev_[slot]) {
+        const Step use = next_use_[slot];
+        if (use > horizon_) {
+            // Beyond the Belady window (or no known future use): fall
+            // back to LRU order — the tail-most such slot wins.
+            best = slot;
+            best_use = use;
+            break;
+        }
+        if (best == kNilSlot || use > best_use) {
+            best = slot;
+            best_use = use;
+        }
+    }
+    if (best == kNilSlot || incoming_next_use >= best_use)
+        return kNilSlot;  // every candidate is needed sooner: decline
+    return best;
+}
+
+std::uint32_t
+GpuCache::AcquireSlotLocked(Step incoming_next_use, bool hinted,
+                            Key *evicted)
+{
+    *evicted = kInvalidKey;
+    if (free_head_ != kNilSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = lru_next_[slot];
+        return slot;
+    }
+    std::uint32_t victim;
+    if (hinted) {
+        victim = PickVictimLocked(incoming_next_use);
+        if (victim == kNilSlot)
+            return kNilSlot;  // admission declined
+    } else {
+        victim = lru_tail_;
+        FRUGAL_CHECK(victim != kNilSlot);
+    }
+    *evicted = slot_key_[victim];
+    DetachLocked(victim);
+    map_.Erase(*evicted);
+    ++stats_.evictions;
+    return victim;
+}
+
+Key
+GpuCache::PutLocked(Key key, const float *row, Step next_use, bool hinted)
+{
+    if (const std::uint32_t *existing = map_.Find(key)) {
+        RowCopy(storage_.data() + *existing * dim_, row, dim_);
+        ++fill_stamp_[*existing];  // a fresher value landed
+        flags_[*existing] = 0;     // demand write: readable, not warm
+        if (hinted)
+            next_use_[*existing] = next_use;
+        MoveToFrontLocked(*existing);
+        return kInvalidKey;
+    }
+
+    Key evicted = kInvalidKey;
+    const std::uint32_t slot =
+        AcquireSlotLocked(next_use, hinted, &evicted);
+    if (slot == kNilSlot)
+        return kInvalidKey;  // admission declined (hinted path only)
+
+    slot_key_[slot] = key;
+    map_.TryEmplace(key, slot);
+    PushFrontLocked(slot);
+    RowCopy(storage_.data() + slot * dim_, row, dim_);
+    ++fill_stamp_[slot];
+    flags_[slot] = 0;
+    next_use_[slot] = hinted ? next_use : kNoFutureUse;
+    ++stats_.insertions;
+    return evicted;
 }
 
 Key
 GpuCache::Put(Key key, const float *row)
 {
     SpinGuard guard(lock_);
-    if (const std::uint32_t *existing = map_.Find(key)) {
-        RowCopy(storage_.data() + *existing * dim_, row, dim_);
-        MoveToFrontLocked(*existing);
-        return kInvalidKey;
-    }
+    return PutLocked(key, row, kNoFutureUse, /*hinted=*/false);
+}
 
-    Key evicted = kInvalidKey;
-    std::uint32_t slot;
-    if (free_head_ != kNilSlot) {
-        slot = free_head_;
-        free_head_ = lru_next_[slot];
-    } else {
-        slot = lru_tail_;
-        FRUGAL_CHECK(slot != kNilSlot);
-        evicted = slot_key_[slot];
-        DetachLocked(slot);
-        map_.Erase(evicted);
-        ++stats_.evictions;
-    }
-
-    slot_key_[slot] = key;
-    map_.TryEmplace(key, slot);
-    PushFrontLocked(slot);
-    RowCopy(storage_.data() + slot * dim_, row, dim_);
-    ++stats_.insertions;
-    return evicted;
+Key
+GpuCache::Put(Key key, const float *row, Step next_use)
+{
+    SpinGuard guard(lock_);
+    return PutLocked(key, row, next_use, /*hinted=*/true);
 }
 
 bool
@@ -107,8 +210,122 @@ GpuCache::UpdateIfPresent(Key key, const float *row)
     if (slot == nullptr)
         return false;
     RowCopy(storage_.data() + *slot * dim_, row, dim_);
+    // The flushed value is the committed host row: it completes any
+    // in-flight warm for this slot (the row is now readable) and bumps
+    // the fill stamp so the late WarmCommit yields to it.
+    ++fill_stamp_[*slot];
+    flags_[*slot] &= static_cast<std::uint8_t>(~kFillingFlag);
     ++stats_.flush_writes;
     return true;
+}
+
+std::size_t
+GpuCache::WarmBegin(const Key *keys, const Step *next_use, std::size_t n,
+                    WarmPending *pending)
+{
+    SpinGuard guard(lock_);
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (const std::uint32_t *existing = map_.Find(keys[i])) {
+            next_use_[*existing] = next_use[i];  // refresh hint only
+            continue;
+        }
+        if (next_use[i] == kNoFutureUse)
+            continue;  // dead on arrival: never worth a slot
+        Key evicted = kInvalidKey;
+        const std::uint32_t slot =
+            AcquireSlotLocked(next_use[i], /*hinted=*/true, &evicted);
+        if (slot == kNilSlot)
+            continue;  // every victim candidate is needed sooner
+        slot_key_[slot] = keys[i];
+        map_.TryEmplace(keys[i], slot);
+        PushBackLocked(slot);  // cold end: never promotes past residents
+        next_use_[slot] = next_use[i];
+        flags_[slot] = kWarmFlag | kFillingFlag;
+        ++fill_stamp_[slot];
+        ++stats_.warm_inserts;
+        pending[m].batch_index = static_cast<std::uint32_t>(i);
+        pending[m].stamp = fill_stamp_[slot];
+        ++m;
+    }
+    return m;
+}
+
+void
+GpuCache::WarmCommit(const Key *keys, const WarmPending *pending,
+                     std::size_t m, const float *rows)
+{
+    SpinGuard guard(lock_);
+    for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t *slot = map_.Find(keys[pending[j].batch_index]);
+        if (slot == nullptr)
+            continue;  // evicted (or resized away) while gathering
+        if ((flags_[*slot] & kFillingFlag) == 0)
+            continue;  // a flush or demand write already completed it
+        if (fill_stamp_[*slot] != pending[j].stamp) {
+            // Not our reservation any more; leave it to its owner.
+            continue;
+        }
+        RowCopy(storage_.data() + *slot * dim_,
+                rows + j * dim_, dim_);
+        flags_[*slot] &= static_cast<std::uint8_t>(~kFillingFlag);
+    }
+}
+
+bool
+GpuCache::WarmOne(Key key, const float *row, Step next_use)
+{
+    SpinGuard guard(lock_);
+    if (const std::uint32_t *existing = map_.Find(key)) {
+        RowCopy(storage_.data() + *existing * dim_, row, dim_);
+        ++fill_stamp_[*existing];
+        flags_[*existing] &= static_cast<std::uint8_t>(~kFillingFlag);
+        next_use_[*existing] = next_use;
+        ++stats_.flush_writes;
+        return true;
+    }
+    if (next_use == kNoFutureUse)
+        return false;
+    Key evicted = kInvalidKey;
+    const std::uint32_t slot =
+        AcquireSlotLocked(next_use, /*hinted=*/true, &evicted);
+    if (slot == kNilSlot)
+        return false;
+    slot_key_[slot] = key;
+    map_.TryEmplace(key, slot);
+    PushBackLocked(slot);  // cold end, same as the batched warm
+    RowCopy(storage_.data() + slot * dim_, row, dim_);
+    ++fill_stamp_[slot];
+    flags_[slot] = kWarmFlag;  // complete row: readable immediately
+    next_use_[slot] = next_use;
+    ++stats_.warm_inserts;
+    return true;
+}
+
+bool
+GpuCache::EvictIfDead(Key key)
+{
+    SpinGuard guard(lock_);
+    const std::uint32_t *found = map_.Find(key);
+    if (found == nullptr)
+        return false;
+    const std::uint32_t slot = *found;
+    DetachLocked(slot);
+    map_.Erase(key);
+    slot_key_[slot] = kInvalidKey;
+    flags_[slot] = 0;
+    next_use_[slot] = kNoFutureUse;
+    lru_next_[slot] = free_head_;
+    free_head_ = slot;
+    ++stats_.dead_evictions;
+    return true;
+}
+
+void
+GpuCache::SetEvictionHorizon(Step horizon)
+{
+    SpinGuard guard(lock_);
+    horizon_ = horizon;
 }
 
 bool
@@ -143,11 +360,16 @@ GpuCache::Resize(std::size_t new_capacity_rows)
 
     // 2. Rebuild at the new size: walk the LRU list from the MRU head,
     //    packing survivors into slots 0..live-1 in recency order, so
-    //    the replacement order is preserved exactly.
+    //    the replacement order is preserved exactly. Fill stamps travel
+    //    with their rows, so in-flight warm commits stay well-defined
+    //    (they re-find the slot through the map).
     std::vector<float> new_storage(new_capacity_rows * dim_);
     std::vector<Key> new_slot_key(new_capacity_rows, kInvalidKey);
     std::vector<std::uint32_t> new_prev(new_capacity_rows, kNilSlot);
     std::vector<std::uint32_t> new_next(new_capacity_rows, kNilSlot);
+    std::vector<Step> new_use(new_capacity_rows, kNoFutureUse);
+    std::vector<std::uint8_t> new_flags(new_capacity_rows, 0);
+    std::vector<std::uint32_t> new_stamp(new_capacity_rows, 0);
     FlatMap<Key, std::uint32_t> new_map(new_capacity_rows);
     std::uint32_t live = 0;
     for (std::uint32_t slot = lru_head_; slot != kNilSlot;
@@ -155,6 +377,9 @@ GpuCache::Resize(std::size_t new_capacity_rows)
         RowCopy(new_storage.data() + live * dim_,
                 storage_.data() + slot * dim_, dim_);
         new_slot_key[live] = slot_key_[slot];
+        new_use[live] = next_use_[slot];
+        new_flags[live] = flags_[slot];
+        new_stamp[live] = fill_stamp_[slot];
         new_map.TryEmplace(slot_key_[slot], live);
         if (live > 0) {
             new_prev[live] = live - 1;
@@ -173,6 +398,9 @@ GpuCache::Resize(std::size_t new_capacity_rows)
     slot_key_ = std::move(new_slot_key);
     lru_prev_ = std::move(new_prev);
     lru_next_ = std::move(new_next);
+    next_use_ = std::move(new_use);
+    flags_ = std::move(new_flags);
+    fill_stamp_ = std::move(new_stamp);
     map_ = std::move(new_map);
     capacity_ = new_capacity_rows;
     return evicted;
@@ -184,7 +412,10 @@ GpuCache::MemoryBytes() const
     SpinGuard guard(lock_);
     return storage_.size() * sizeof(float) + map_.MemoryBytes() +
            slot_key_.size() * sizeof(Key) +
-           (lru_prev_.size() + lru_next_.size()) * sizeof(std::uint32_t);
+           (lru_prev_.size() + lru_next_.size()) * sizeof(std::uint32_t) +
+           next_use_.size() * sizeof(Step) +
+           flags_.size() * sizeof(std::uint8_t) +
+           fill_stamp_.size() * sizeof(std::uint32_t);
 }
 
 void
@@ -198,6 +429,8 @@ GpuCache::Clear()
         slot_key_[i] = kInvalidKey;
         lru_prev_[i] = kNilSlot;
         lru_next_[i] = free_head_;
+        next_use_[i] = kNoFutureUse;
+        flags_[i] = 0;
         free_head_ = static_cast<std::uint32_t>(i);
     }
 }

@@ -8,14 +8,33 @@
  * caches only keys it owns, so no two caches ever replicate a parameter
  * and no replica-synchronisation traffic exists.
  *
- * The replacement policy is LRU over whole rows, mirroring the HugeCTR
- * cache strategy all competitor systems share (§4.1, so hit ratios are
- * comparable across engines).
+ * The base replacement policy is LRU over whole rows, mirroring the
+ * HugeCTR cache strategy all competitor systems share (§4.1, so hit
+ * ratios are comparable across engines). On top of it sits the oracular
+ * mode (DESIGN.md §13): callers that know the trace attach *next-use
+ * hints* (the next step that will read a key, kInfiniteStep for never)
+ * to lookups and inserts, and eviction becomes Belady-style — the
+ * victim is the resident with the farthest or absent next use within a
+ * bounded scan from the LRU tail, falling back to plain LRU order for
+ * residents whose next use lies beyond the published eviction horizon.
+ *
+ * Warming (WarmBatch / WarmBegin / WarmCommit) inserts rows for future
+ * steps *without promoting past hot residents*: warmed rows enter at
+ * the cold (LRU-tail) end and only move to MRU when a trainer actually
+ * hits them. The warm path is two-phase so the host-table gather runs
+ * outside the cache lock: WarmBegin reserves "filling" slots (invisible
+ * to TryGet) and records a per-slot fill stamp; every row write bumps
+ * the stamp, so if a flush thread lands a fresher value between the
+ * phases, WarmCommit observes the stamp mismatch and yields — the flush
+ * value wins and stale warm data can never surface. EvictIfDead drops a
+ * row with no future reader at zero cost (no copy, no write-back —
+ * the cache is write-through).
  *
  * Concurrency: the owning trainer reads and refills; Frugal's flush
  * threads write committed values into cached rows ("H2D" in the real
- * system). A single cache lock arbitrates — adequate because each cache
- * has exactly one reader thread and writers touch disjoint keys.
+ * system); the prefetcher warms. A single cache lock arbitrates —
+ * adequate because each cache has exactly one reader thread and writers
+ * touch disjoint keys.
  *
  * Layout (data-plane overhaul): the index is a FlatMap Key → slot
  * (open addressing, no per-entry heap node) and the LRU order is an
@@ -47,6 +66,9 @@ struct GpuCacheStats
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t flush_writes = 0;  ///< rows updated by flush threads
+    std::uint64_t warm_inserts = 0;  ///< rows inserted by the warm paths
+    std::uint64_t warm_hits = 0;     ///< first hit on a still-warm row
+    std::uint64_t dead_evictions = 0;  ///< EvictIfDead reclamations
 
     double
     HitRatio() const
@@ -58,10 +80,25 @@ struct GpuCacheStats
     }
 };
 
-/** Fixed-capacity LRU cache of embedding rows. */
+/** Fixed-capacity cache of embedding rows: LRU base policy plus
+ *  next-use-aware (Belady-style) eviction and trace-driven warming for
+ *  oracular callers. */
 class GpuCache
 {
   public:
+    /** Next-use hint meaning "never read again" (== NextUseIndex::kNever)
+     *  — also what unhinted operations record for a slot. */
+    static constexpr Step kNoFutureUse = kInfiniteStep;
+
+    /** A slot reserved by WarmBegin, awaiting its row via WarmCommit.
+     *  `batch_index` addresses the caller's key array; `stamp` is the
+     *  fill stamp the commit must match for its row to still be wanted. */
+    struct WarmPending
+    {
+        std::uint32_t batch_index;
+        std::uint32_t stamp;
+    };
+
     /**
      * @param capacity_rows maximum number of cached rows (> 0)
      * @param dim embedding dimension
@@ -73,9 +110,14 @@ class GpuCache
 
     /**
      * Looks up `key`; on hit copies the row into `out` and refreshes LRU.
-     * @return true on hit.
+     * Slots mid-warm (reserved by WarmBegin, row not yet committed) read
+     * as misses. @return true on hit.
      */
     bool TryGet(Key key, float *out);
+
+    /** TryGet that also records `next_use` (the next step that will read
+     *  `key`) as the slot's eviction hint on hit. */
+    bool TryGet(Key key, float *out, Step next_use);
 
     /**
      * Inserts (or overwrites) `key` with `row`, evicting the LRU row if
@@ -84,11 +126,95 @@ class GpuCache
     Key Put(Key key, const float *row);
 
     /**
+     * Hinted insert: records `next_use` and, when full, picks the victim
+     * by next use (see PickVictimLocked). Admission-controlled — if every
+     * scanned victim candidate is needed sooner than `next_use`, the
+     * insert is declined (the row would be the best victim itself) and
+     * kInvalidKey is returned with nothing evicted.
+     */
+    Key Put(Key key, const float *row, Step next_use);
+
+    /**
      * Overwrites the cached row for `key` with `row` if present (used by
      * flush threads to keep the owner's copy coherent with host memory).
-     * Does not touch LRU order. @return true if the key was cached.
+     * Does not touch LRU order. Also completes a mid-warm slot: the
+     * flushed value is authoritative, so the slot becomes readable and
+     * the pending WarmCommit for it is invalidated via the fill stamp.
+     * @return true if the key was cached.
      */
     bool UpdateIfPresent(Key key, const float *row);
+
+    /**
+     * Phase 1 of the batched warm: for each of the `n` keys, refresh the
+     * hint if resident, otherwise reserve a cold-end "filling" slot
+     * (admission-controlled, never promoting past hot residents).
+     * Reserved slots are recorded in `pending` (caller-sized to `n`).
+     * Keys hinted kNoFutureUse are skipped — dead on arrival.
+     * @return the number of pending fills written.
+     */
+    std::size_t WarmBegin(const Key *keys, const Step *next_use,
+                          std::size_t n, WarmPending *pending);
+
+    /**
+     * Phase 2: commits gathered rows (`rows[j]` for `pending[j]`, packed
+     * `dim()` floats each) into their reserved slots. A slot whose fill
+     * stamp moved on — evicted, resized away, or refreshed by a flush —
+     * is skipped: the newer value wins.
+     */
+    void WarmCommit(const Key *keys, const WarmPending *pending,
+                    std::size_t m, const float *rows);
+
+    /**
+     * Convenience wrapper over WarmBegin/WarmCommit: `gather(keys, m,
+     * rows)` is invoked *outside* the cache lock to fetch the rows that
+     * actually need filling. @return rows warmed (i.e. pending fills).
+     */
+    template <typename GatherFn>
+    std::size_t
+    WarmBatch(const Key *keys, const Step *next_use, std::size_t n,
+              GatherFn &&gather)
+    {
+        // alloc-ok: thread_local scratch amortises to zero steady-state
+        // allocations; the warm path runs on the prefetch thread, off
+        // the trainer critical path.
+        thread_local std::vector<WarmPending> pending;
+        thread_local std::vector<Key> fill_keys;
+        thread_local std::vector<float> rows;
+        pending.resize(n);
+        const std::size_t m = WarmBegin(keys, next_use, n, pending.data());
+        if (m == 0)
+            return 0;
+        fill_keys.resize(m);
+        rows.resize(m * dim_);
+        for (std::size_t j = 0; j < m; ++j)
+            fill_keys[j] = keys[pending[j].batch_index];
+        gather(fill_keys.data(), m, rows.data());
+        WarmCommit(keys, pending.data(), m, rows.data());
+        return m;
+    }
+
+    /**
+     * Single-row warm used by the flush path (caller holds the g-entry
+     * lock, so `row` is the committed host value): refreshes in place if
+     * resident, otherwise admission-inserts at the cold end as a
+     * complete (readable) row. @return true if the row is now cached.
+     */
+    bool WarmOne(Key key, const float *row, Step next_use);
+
+    /**
+     * Drops `key` without any write-back or copy — the zero-cost
+     * reclamation for keys whose last reader has passed (the cache is
+     * write-through, so no state is lost). @return true if present.
+     */
+    bool EvictIfDead(Key key);
+
+    /**
+     * Publishes the Belady window boundary: residents with a next use at
+     * or before `horizon` are ranked by next use; anything beyond it (or
+     * unhinted) falls back to LRU order. Typically current step +
+     * effective lookahead, refreshed at step boundaries.
+     */
+    void SetEvictionHorizon(Step horizon);
 
     /** Whether `key` is currently cached (no LRU effect). */
     bool Contains(Key key) const;
@@ -153,9 +279,19 @@ class GpuCache
     /** Slot index sentinel (list end / no free slot). */
     static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
+    /** Victim scan is bounded: Belady *within the scan window* keeps
+     *  eviction O(1); beyond it the policy degrades gracefully to LRU. */
+    static constexpr std::size_t kVictimScanDepth = 8;
+
+    /** Slot flag: row inserted by a warm path, not yet hit. */
+    static constexpr std::uint8_t kWarmFlag = 0x1;
+    /** Slot flag: reserved by WarmBegin, row content not yet valid. */
+    static constexpr std::uint8_t kFillingFlag = 0x2;
+
     // LRU intrusive-list helpers; cache lock held.
     void DetachLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_);
     void PushFrontLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_);
+    void PushBackLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_);
 
     void
     MoveToFrontLocked(std::uint32_t slot) FRUGAL_REQUIRES(lock_)
@@ -165,6 +301,28 @@ class GpuCache
         DetachLocked(slot);
         PushFrontLocked(slot);
     }
+
+    bool TryGetLocked(Key key, float *out, const Step *next_use)
+        FRUGAL_REQUIRES(lock_);
+    Key PutLocked(Key key, const float *row, Step next_use, bool hinted)
+        FRUGAL_REQUIRES(lock_);
+
+    /**
+     * Picks the eviction victim for an incoming row whose next use is
+     * `incoming_next_use`: scans up to kVictimScanDepth slots from the
+     * LRU tail; the first candidate beyond the eviction horizon (or
+     * unhinted/never-used) wins in LRU order, else the scanned slot
+     * with the farthest next use. Returns kNilSlot when every candidate
+     * is needed sooner than (or when) the incoming row is — the caller
+     * should decline admission.
+     */
+    std::uint32_t PickVictimLocked(Step incoming_next_use)
+        FRUGAL_REQUIRES(lock_);
+
+    /** Takes a free slot, or evicts per `hinted` policy (plain LRU tail
+     *  vs PickVictimLocked). kNilSlot = admission declined. */
+    std::uint32_t AcquireSlotLocked(Step incoming_next_use, bool hinted,
+                                    Key *evicted) FRUGAL_REQUIRES(lock_);
 
     /** Row capacity; mutable for online Resize. */
     std::size_t capacity_ FRUGAL_GUARDED_BY(lock_);
@@ -180,12 +338,22 @@ class GpuCache
     std::vector<std::uint32_t> lru_prev_ FRUGAL_GUARDED_BY(lock_);
     /** towards LRU. */
     std::vector<std::uint32_t> lru_next_ FRUGAL_GUARDED_BY(lock_);
+    /** slot → next step that reads its key (kNoFutureUse = unknown or
+     *  never); feeds PickVictimLocked. */
+    std::vector<Step> next_use_ FRUGAL_GUARDED_BY(lock_);
+    /** slot → kWarmFlag / kFillingFlag bits. */
+    std::vector<std::uint8_t> flags_ FRUGAL_GUARDED_BY(lock_);
+    /** slot → fill stamp; every row write bumps it, so an in-flight
+     *  WarmCommit can detect that a fresher value landed first. */
+    std::vector<std::uint32_t> fill_stamp_ FRUGAL_GUARDED_BY(lock_);
     /** MRU slot. */
     std::uint32_t lru_head_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
     /** LRU slot (eviction victim). */
     std::uint32_t lru_tail_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
     /** free list via lru_next_. */
     std::uint32_t free_head_ FRUGAL_GUARDED_BY(lock_) = kNilSlot;
+    /** Belady window boundary; kNoFutureUse = unbounded window. */
+    Step horizon_ FRUGAL_GUARDED_BY(lock_) = kInfiniteStep;
     GpuCacheStats stats_ FRUGAL_GUARDED_BY(lock_);
 };
 

@@ -82,14 +82,22 @@ class StatAccumulator
 
 /**
  * Log-scaled histogram for latency-like values. Buckets are
- * `[base * growth^i, base * growth^(i+1))`; percentile queries interpolate
- * within a bucket.
+ * `[base * growth^i, base * growth^(i+1))`; percentile queries
+ * interpolate linearly within the bucket that crosses the target rank,
+ * clamped to the observed min/max so single-value and narrow
+ * distributions report exact endpoints.
+ *
+ * Default resolution: 5% buckets (growth 1.05) spanning 1 ns .. ~700 s
+ * in 560 buckets. The previous 25% buckets (growth 1.25) collapsed
+ * nearby tail percentiles onto one bucket boundary — BENCH_e2e.json
+ * cells reported byte-identical p50/p95 values across unrelated
+ * configurations, hiding any sub-25% tail regression.
  */
 class Histogram
 {
   public:
-    explicit Histogram(double base = 1e-9, double growth = 1.25,
-                       std::size_t buckets = 160)
+    explicit Histogram(double base = 1e-9, double growth = 1.05,
+                       std::size_t buckets = 560)
         : base_(base), growth_(growth), counts_(buckets, 0)
     {
     }
@@ -115,9 +123,17 @@ class Histogram
         const double target = p / 100.0 * static_cast<double>(all_.count());
         double seen = 0.0;
         for (std::size_t i = 0; i < counts_.size(); ++i) {
-            seen += static_cast<double>(counts_[i]);
-            if (seen >= target)
-                return BucketLow(i);
+            const auto in_bucket = static_cast<double>(counts_[i]);
+            if (in_bucket > 0.0 && seen + in_bucket >= target) {
+                // Interpolate the rank's position within the bucket,
+                // assuming mass is spread uniformly across it.
+                const double frac = std::clamp(
+                    (target - seen) / in_bucket, 0.0, 1.0);
+                const double low = BucketLow(i);
+                const double value = low + frac * (low * growth_ - low);
+                return std::clamp(value, all_.min(), all_.max());
+            }
+            seen += in_bucket;
         }
         return all_.max();
     }

@@ -25,6 +25,8 @@
 
 namespace frugal {
 
+class NextUseIndex;
+
 /** The keys one synchronous step touches, split by GPU. */
 struct StepKeys
 {
@@ -105,6 +107,14 @@ class Trace
      * `end` is clamped to NumSteps().
      */
     Trace Slice(std::size_t begin, std::size_t end) const;
+
+    /**
+     * Precomputes the per-key next-use oracle over this trace (next-use
+     * hints, dead-after lists, successor chains); see data/next_use.h.
+     * One backward pass over the materialized future — the basis for
+     * oracular cache warming and Belady-style eviction.
+     */
+    NextUseIndex BuildNextUseIndex() const;
 
   private:
     std::vector<StepKeys> steps_;

@@ -84,6 +84,31 @@ struct OverloadCounters
 TablePrinter OverloadTable(const OverloadCounters &counters,
                            const std::string &caption);
 
+/**
+ * Oracular-prefetch counters (DESIGN.md §13): what the trace-driven
+ * warming and dead-key reclamation paths did during a run. All zero
+ * when `oracular_prefetch` is off.
+ */
+struct PrefetchCounters
+{
+    /** Rows inserted ahead of use by the warm paths (prefetcher batch
+     *  warms + flush-side warms). */
+    std::uint64_t rows_warmed = 0;
+    /** Trainer lookups served by a warmed row on its first touch. */
+    std::uint64_t warm_hits = 0;
+    /** Rows reclaimed because their last reader had passed. */
+    std::uint64_t dead_evictions = 0;
+    /** Warm attempts skipped because the target step had already been
+     *  reached — the prefetcher fell behind the trainers. */
+    std::uint64_t late_warms = 0;
+    /** Step boundaries where warming was shed by memory pressure. */
+    std::uint64_t warms_shed = 0;
+};
+
+/** Renders prefetch counters as a two-column table. */
+TablePrinter PrefetchTable(const PrefetchCounters &counters,
+                           const std::string &caption);
+
 }  // namespace frugal
 
 #endif  // FRUGAL_METRICS_RECOVERY_METRICS_H_

@@ -56,6 +56,19 @@ struct EngineConfig
     /** Prefetch lookahead L (§3.2: default 10). */
     std::size_t lookahead = 10;
 
+    /**
+     * Oracular lookahead (FrugalEngine only; DESIGN.md §13): the
+     * prefetcher additionally *warms* each owner GPU's cache with the
+     * rows future steps will read (batch host gathers, cold-end
+     * inserts), eviction turns next-use-aware (Belady within the
+     * lookahead window), and keys whose last reader has passed are
+     * reclaimed at step boundaries. Warming only moves reads earlier —
+     * trained parameters stay bit-identical to the sequential oracle.
+     * Under memory pressure warming is the first mechanism shed
+     * (before lookahead narrows, before caches shrink).
+     */
+    bool oracular_prefetch = true;
+
     /** Background flushing threads (§4.1: default 8). */
     std::size_t flush_threads = 8;
 
@@ -150,6 +163,21 @@ struct EngineConfig
     int flush_delay_us = 0;
 
     /**
+     * Simulated UVA gather latency, per row read from host memory
+     * (FrugalEngine only; 0 = off). On real hardware a scattered
+     * host-memory gather over PCIe is latency-bound (~µs per
+     * transaction) while a GPU-cache hit is an HBM access — an
+     * asymmetry the functional engine's memcpy-for-memcpy reads erase.
+     * Trainer-side host reads pay this inline (amortized into sleep
+     * quanta so timer overshoot doesn't distort the model); the
+     * oracular prefetcher's warm gathers pay it as sleeps off the
+     * critical path, modeling DMA transfers that block the requesting
+     * kernel but burn no host CPU. Timing-only: trained parameters are
+     * unaffected. bench_prefetch sets this for its ablation grid.
+     */
+    int host_gather_ns = 0;
+
+    /**
      * Optional armed fault injector (FrugalEngine only); the caller
      * owns it and keeps it alive across Run. Plans containing
      * kFlushThreadDeath rules require `watchdog` — only the watchdog
@@ -226,6 +254,10 @@ struct RunReport
     /** Backpressure/memory-pressure counters (zero without a bound or
      *  budget). */
     OverloadCounters overload;
+
+    /** Oracular warming/reclamation counters (zero with
+     *  `oracular_prefetch` off). */
+    PrefetchCounters prefetch;
 
     /** Pressure stage in force when the run finished. */
     PressureStage final_pressure_stage = PressureStage::kNormal;

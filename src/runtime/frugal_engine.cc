@@ -17,6 +17,7 @@
 #include "common/memory_budget.h"
 #include "common/retry.h"
 #include "common/spinlock.h"
+#include "data/next_use.h"
 #include "pq/g_entry_registry.h"
 #include "pq/invariant_auditor.h"
 #include "pq/pq_ops.h"
@@ -28,6 +29,15 @@
 namespace frugal {
 
 namespace {
+
+/**
+ * Amortization quantum for the simulated UVA gather latency
+ * (EngineConfig::host_gather_ns): per-row debt accumulates and is paid
+ * as one sleep only once it exceeds this, because nanosleep overshoots
+ * by a roughly constant ~60 µs per call — per-gather sleeps would model
+ * timer granularity, not PCIe.
+ */
+constexpr std::uint64_t kGatherSleepQuantumNs = 100'000;
 
 /**
  * One message in the update staging queue: everything one trace GPU
@@ -173,6 +183,26 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             config_.CacheRowsPerGpu(), config_.dim));
     }
 
+    // --- the next-use oracle (DESIGN.md §13) --------------------------
+    // The trace is fully materialized, so the future is known: build the
+    // per-key next-use index once (one backward pass) and drive cache
+    // warming, Belady-style eviction hints and dead-key reclamation
+    // from it. All step values below are trace-local indices — exactly
+    // the coordinates current_step and the prefetch frontier use.
+    const bool oracular = config_.oracular_prefetch;
+    NextUseIndex next_use;
+    if (oracular) {
+        next_use = trace.BuildNextUseIndex();
+        for (auto &cache : caches)
+            cache->SetEvictionHorizon(
+                static_cast<Step>(config_.lookahead));
+    }
+    // Warming is the first mechanism shed under memory pressure — it is
+    // pure opportunism (extra host gathers + cache inserts), so the
+    // monitor turns it off at kElevated before narrowing the lookahead
+    // window matters and long before caches shrink.
+    std::atomic<bool> warming_enabled{oracular};
+
     std::atomic<Step> prefetch_frontier{0};  // steps with R sets in place
     std::atomic<Step> drained_steps{0};      // steps fully in g-entries
     std::atomic<Step> current_step{0};
@@ -222,6 +252,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::atomic<std::size_t> effective_lookahead{config_.lookahead};
     std::atomic<std::size_t> effective_flush_batch{config_.flush_batch};
     std::atomic<std::uint64_t> cache_rows_shed{0};
+    std::atomic<std::uint64_t> late_warm_count{0};
+    std::atomic<std::uint64_t> warms_shed_count{0};
     // Written only by the single-threaded barrier completion; read after
     // the trainer joins, which provide the happens-before edge.
     std::uint64_t trainer_death_count = 0;
@@ -381,6 +413,26 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     ++trainer_death_count;
                 }
             }
+            // --- dead-key reclamation + eviction-horizon advance ----
+            // Step s is complete on every trainer, so a key whose last
+            // reader is s will never be read again: drop its cached row
+            // now (zero cost — the cache is write-through). A flush for
+            // such a key may still be in flight, but its cache-refresh
+            // side is harmless: UpdateIfPresent on the evicted key is a
+            // no-op and the flush-side warm skips keys with no next use
+            // inside the window.
+            if (oracular) {
+                for (const Key key : next_use.DeadAfter(s))
+                    caches[ownership_.OwnerOf(key)]->EvictIfDead(key);
+                const Step horizon =
+                    s + 1 +
+                    // relaxed: degradation knob; any recent value is
+                    // acceptable for a scan-policy boundary.
+                    static_cast<Step>(effective_lookahead.load(
+                        std::memory_order_relaxed));
+                for (auto &cache : caches)
+                    cache->SetEvictionHorizon(horizon);
+            }
             current_step.store(s + 1, std::memory_order_release);
             { std::lock_guard<std::mutex> lock(gate_mutex); }
             gate_cv.notify_all();
@@ -391,6 +443,60 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     // --- prefetch thread (the sample queue, §3.2) ---------------------
     std::thread prefetcher([&] {
         std::vector<GEntry *> resolved;
+        // Warm scratch: the subset of a future step's keys owned by the
+        // thread that will execute them, plus their hints.
+        std::vector<Key> warm_keys;
+        std::vector<Step> warm_hints;
+        // Oracular warming for one registered step: gather the rows the
+        // step will read from the host table in batches and insert them
+        // cold into the owner GPU's cache (GpuCache::WarmBatch — stamped
+        // two-phase, so a racing flush always wins). Runs strictly
+        // *after* the frontier advance + gate nudge of its step: warming
+        // is opportunistic and must never delay the gate.
+        // Simulated-PCIe debt for warm gathers (see EngineConfig::
+        // host_gather_ns): paid as sleeps, so on an oversubscribed host
+        // the prefetcher yields instead of stealing trainer cycles —
+        // the DMA-latency-hiding the warm path exists to model.
+        std::uint64_t gather_debt_ns = 0;
+        auto warm_step = [&](Step target) {
+            for (std::uint32_t g = 0; g < n_gpus; ++g) {
+                // Only keys the executing trainer owns are cacheable on
+                // its GPU (non-owned keys use the zero-copy host path).
+                const GpuId dst =
+                    executor[g].load(std::memory_order_acquire);
+                const std::vector<Key> &keys = trace.KeysFor(target, g);
+                warm_keys.clear();
+                warm_hints.clear();
+                for (const Key key : keys) {
+                    if (ownership_.OwnerOf(key) == dst) {
+                        // alloc-ok: scratch capacity amortizes across
+                        // steps; warming is off the critical path.
+                        warm_keys.push_back(key);
+                        // The row's next read *from now* is the target
+                        // step itself; the trainer's hinted TryGet
+                        // refreshes it to the post-target next use.
+                        warm_hints.push_back(target);
+                    }
+                }
+                if (warm_keys.empty())
+                    continue;
+                caches[dst]->WarmBatch(
+                    warm_keys.data(), warm_hints.data(), warm_keys.size(),
+                    [&](const Key *fill, std::size_t m, float *rows) {
+                        table_->ReadRows(fill, m, rows);
+                        gather_debt_ns +=
+                            m * static_cast<std::uint64_t>(
+                                    std::max(0, config_.host_gather_ns));
+                    });
+                if (gather_debt_ns >= kGatherSleepQuantumNs) {
+                    // retry-exempt: simulated PCIe latency, not a retry
+                    // backoff.
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(gather_debt_ns));
+                    gather_debt_ns = 0;
+                }
+            }
+        };
         // Wake hysteresis: parking per advanced step costs one futex
         // round trip per training step. Sleep until a burst of headroom
         // (half the lookahead window) has opened, then register every
@@ -451,10 +557,27 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     for (GEntry *entry : resolved)
                         RegisterRead(*queue, *entry, frontier);
                 }
+                const Step target = frontier;
                 ++frontier;
                 prefetch_frontier.store(frontier,
                                         std::memory_order_release);
                 nudge_gate();
+                // Oracular warm, after the gate nudge (see warm_step).
+                // A step the trainers already reached is not worth
+                // gathering for — the demand path is serving it now.
+                // relaxed: degradation flag; a stale read warms (or
+                // skips) one extra step, both harmless.
+                if (oracular &&
+                    warming_enabled.load(std::memory_order_relaxed)) {
+                    if (current_step.load(std::memory_order_acquire) >=
+                        target) {
+                        // relaxed: monotonic stat counter.
+                        late_warm_count.fetch_add(
+                            1, std::memory_order_relaxed);
+                    } else {
+                        warm_step(target);
+                    }
+                }
             }
         }
     });
@@ -616,6 +739,28 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         row.resize(config_.dim);
         const GpuId owner = ownership_.OwnerOf(key);
         table_->ReadRow(key, row.data());
+        // Flush-side warm: the caller holds the g-entry lock and this
+        // row is the freshly committed host value — if the key will be
+        // read again inside the lookahead window, cache it even when it
+        // was not resident (WarmOne update-or-cold-inserts). That turns
+        // the mandatory coherence write into a free prefetch for keys
+        // the prefetcher's batch warm skipped (they had pending writes
+        // then). Fully shed with warming under memory pressure.
+        // relaxed: degradation flag; a stale read warms one extra row.
+        if (oracular && warming_enabled.load(std::memory_order_relaxed)) {
+            const Step now =
+                current_step.load(std::memory_order_acquire);
+            const Step reuse = next_use.NextUseAfter(key, now);
+            const Step window =
+                now +
+                // relaxed: degradation knob; any recent value works.
+                static_cast<Step>(effective_lookahead.load(
+                    std::memory_order_relaxed));
+            if (reuse != NextUseIndex::kNever && reuse <= window) {
+                caches[owner]->WarmOne(key, row.data(), reuse);
+                return;
+            }
+        }
         caches[owner]->UpdateIfPresent(key, row.data());
     };
     /**
@@ -1073,22 +1218,30 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                     std::memory_order_relaxed));
                 const PressureStage stage = budget->Evaluate();
                 if (stage != reacted) {
-                    // Staged reactions. Elevated sheds the prefetch
-                    // window (fewer R sets and staged batches in
-                    // flight) and the flush coalescing width; critical
-                    // additionally halves the GPU caches — safe at any
-                    // moment because the cache is write-through, so
-                    // eviction changes throughput, never table
-                    // contents. Returning to normal restores every
-                    // knob, including the cache capacity.
+                    // Staged reactions. Oracular warming is pure
+                    // optimism (extra host gathers + cold-end inserts),
+                    // so it is the FIRST mechanism shed — at elevated,
+                    // before the prefetch window narrows and long
+                    // before caches shrink. Elevated also sheds the
+                    // prefetch window (fewer R sets and staged batches
+                    // in flight) and the flush coalescing width;
+                    // critical additionally halves the GPU caches —
+                    // safe at any moment because the cache is
+                    // write-through, so eviction changes throughput,
+                    // never table contents. Returning to normal
+                    // restores every knob, including warming and the
+                    // cache capacity.
                     std::size_t lookahead = config_.lookahead;
                     std::size_t flush_batch = config_.flush_batch;
                     std::size_t cache_rows = healthy_rows;
+                    bool warm = oracular;
                     if (stage == PressureStage::kElevated) {
+                        warm = false;
                         lookahead = std::max<std::size_t>(
                             1, config_.lookahead / 2);
                         flush_batch = 1;
                     } else if (stage == PressureStage::kCritical) {
+                        warm = false;
                         lookahead = 1;
                         flush_batch = 1;
                         cache_rows =
@@ -1101,6 +1254,14 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     // relaxed: see above.
                     effective_flush_batch.store(
                         flush_batch, std::memory_order_relaxed);
+                    // relaxed: see above.
+                    if (warming_enabled.exchange(
+                            warm, std::memory_order_relaxed) &&
+                        !warm) {
+                        // relaxed: monotonic stat counter.
+                        warms_shed_count.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
                     std::uint64_t shed = 0;
                     for (const auto &cache : caches) {
                         if (cache->capacity() != cache_rows)
@@ -1116,11 +1277,16 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                 << PressureStageName(stage) << " ("
                                 << budget->TotalBytes() << " of "
                                 << budget->budget_bytes()
-                                << " budget bytes; lookahead "
-                                << lookahead << ", flush batch "
-                                << flush_batch << ", " << shed
+                                << " budget bytes; warming "
+                                << (warm ? "on" : "shed")
+                                << ", lookahead " << lookahead
+                                << ", flush batch " << flush_batch
+                                << ", " << shed
                                 << " cache row(s) shed)");
                     reacted = stage;
+                    // Satellite: every effective_lookahead change must
+                    // nudge the gate CV — a prefetcher parked on a full
+                    // window re-evaluates against the new bound.
                     nudge_gate();
                 }
                 // retry-exempt: monitor sampling period, not a retry
@@ -1149,10 +1315,14 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
             std::vector<Key> miss_keys;
             std::vector<float *> miss_outs;
             std::vector<std::size_t> owned_miss;
+            std::vector<Step> owned_hint;
             // Claim buffer for cooperative flushing at the gate, plus
             // the same 1-in-16 lag sampling the flushers use.
             std::vector<ClaimTicket> assist;
             std::size_t lag_tick = 0;
+            // Simulated-PCIe debt for demand gathers, amortized into
+            // sleep quanta (EngineConfig::host_gather_ns).
+            std::uint64_t gather_debt_ns = 0;
             TrainerLocalStats &local = *local_stats[t];
             for (Step s = 0; s < n_steps; ++s) {
                 if (trainer_dead[t].load(std::memory_order_acquire)) {
@@ -1336,12 +1506,27 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                     miss_keys.clear();
                     miss_outs.clear();
                     owned_miss.clear();
+                    owned_hint.clear();
+                    // Oracular hint row: next_use[i] is key i's next
+                    // reading step strictly after s (kNever if none) —
+                    // each hinted TryGet/Put refreshes the slot's
+                    // next-use field so Belady eviction stays current.
+                    const Step *hints =
+                        oracular ? next_use.HintRow(s, trace_gpu).data()
+                                 : nullptr;
                     for (std::size_t i = 0; i < keys.size(); ++i) {
                         const Key key = keys[i];
                         float *out = values.data() + i * dim;
                         if (ownership_.OwnerOf(key) == t) {
-                            if (!caches[t]->TryGet(key, out)) {
+                            const bool hit =
+                                hints ? caches[t]->TryGet(key, out,
+                                                          hints[i])
+                                      : caches[t]->TryGet(key, out);
+                            if (!hit) {
                                 owned_miss.push_back(miss_keys.size());
+                                owned_hint.push_back(
+                                    hints ? hints[i]
+                                          : GpuCache::kNoFutureUse);
                                 miss_keys.push_back(key);
                                 miss_outs.push_back(out);
                             }
@@ -1357,8 +1542,29 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                                          miss_keys.size(),
                                          miss_outs.data());
                         local.host_reads += miss_keys.size();
-                        for (std::size_t m : owned_miss)
-                            caches[t]->Put(miss_keys[m], miss_outs[m]);
+                        gather_debt_ns +=
+                            miss_keys.size() *
+                            static_cast<std::uint64_t>(
+                                std::max(0, config_.host_gather_ns));
+                        if (gather_debt_ns >= kGatherSleepQuantumNs) {
+                            // retry-exempt: simulated PCIe latency,
+                            // not a retry backoff.
+                            std::this_thread::sleep_for(
+                                std::chrono::nanoseconds(
+                                    gather_debt_ns));
+                            gather_debt_ns = 0;
+                        }
+                        for (std::size_t j = 0; j < owned_miss.size();
+                             ++j) {
+                            const std::size_t m = owned_miss[j];
+                            if (hints)
+                                caches[t]->Put(miss_keys[m],
+                                               miss_outs[m],
+                                               owned_hint[j]);
+                            else
+                                caches[t]->Put(miss_keys[m],
+                                               miss_outs[m]);
+                        }
                     }
 
                     // --- model (forward+backward) ---
@@ -1438,6 +1644,9 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     // system waits for flushing threads to write all deferred parameter
     // updates to host memory").
     staging.Close();
+    // Satellite: wake any prefetcher parked on the gate CV so teardown
+    // never waits out a full 50 ms timed re-check slice.
+    nudge_gate();
     drainer.join();
     prefetcher.join();
     run_complete.store(true, std::memory_order_release);
@@ -1497,7 +1706,15 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         report.cache.insertions += s.insertions;
         report.cache.evictions += s.evictions;
         report.cache.flush_writes += s.flush_writes;
+        report.cache.warm_inserts += s.warm_inserts;
+        report.cache.warm_hits += s.warm_hits;
+        report.cache.dead_evictions += s.dead_evictions;
+        report.prefetch.rows_warmed += s.warm_inserts;
+        report.prefetch.warm_hits += s.warm_hits;
+        report.prefetch.dead_evictions += s.dead_evictions;
     }
+    report.prefetch.late_warms = late_warm_count.load();
+    report.prefetch.warms_shed = warms_shed_count.load();
     // Safe to read without the slot locks: every flusher thread is
     // joined above, which happens-after its last histogram write.
     for (const auto &slot : flusher_slots)

@@ -139,6 +139,164 @@ TEST(GpuCacheTest, ConcurrentReaderAndFlushWriter)
     writer.join();
 }
 
+TEST(GpuCacheWarmTest, WarmBatchInsertsColdWithoutPromotingHotRows)
+{
+    GpuCache cache(4, 4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());  // MRU: 2, LRU: 1
+
+    const Key keys[] = {5, 6};
+    const Step hints[] = {10, 11};
+    std::size_t gathered = 0;
+    const std::size_t warmed = cache.WarmBatch(
+        keys, hints, 2, [&](const Key *fill, std::size_t m, float *rows) {
+            gathered = m;
+            for (std::size_t j = 0; j < m; ++j)
+                for (std::size_t d = 0; d < 4; ++d)
+                    rows[j * 4 + d] = static_cast<float>(fill[j]);
+        });
+    EXPECT_EQ(warmed, 2u);
+    EXPECT_EQ(gathered, 2u);
+    EXPECT_TRUE(cache.Contains(5));
+    EXPECT_TRUE(cache.Contains(6));
+    EXPECT_EQ(cache.stats().warm_inserts, 2u);
+
+    // Warmed rows entered at the cold end: an unhinted insert into the
+    // now-full cache evicts a warmed row, not the hot residents.
+    const Key evicted = cache.Put(7, RowOf(7).data());
+    EXPECT_TRUE(evicted == 5u || evicted == 6u);
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+
+    // First trainer hit on a warmed row counts once as a warm hit.
+    std::vector<float> out(4);
+    const Key survivor = evicted == 5u ? 6u : 5u;
+    ASSERT_TRUE(cache.TryGet(survivor, out.data()));
+    EXPECT_EQ(out[0], static_cast<float>(survivor));
+    ASSERT_TRUE(cache.TryGet(survivor, out.data()));
+    EXPECT_EQ(cache.stats().warm_hits, 1u);
+}
+
+TEST(GpuCacheWarmTest, WarmSkipsDeadOnArrivalAndResidents)
+{
+    GpuCache cache(4, 4);
+    cache.Put(1, RowOf(1).data());
+    const Key keys[] = {1, 2};
+    const Step hints[] = {5, GpuCache::kNoFutureUse};
+    bool gather_ran = false;
+    const std::size_t warmed = cache.WarmBatch(
+        keys, hints, 2,
+        [&](const Key *, std::size_t, float *) { gather_ran = true; });
+    // Key 1 is resident (hint refresh only); key 2 has no future
+    // reader — warming it would be a wasted gather and a wasted slot.
+    EXPECT_EQ(warmed, 0u);
+    EXPECT_FALSE(gather_ran);
+    EXPECT_FALSE(cache.Contains(2));
+    EXPECT_EQ(cache.stats().warm_inserts, 0u);
+}
+
+TEST(GpuCacheWarmTest, StaleWarmCommitYieldsToFresherFlushWrite)
+{
+    GpuCache cache(4, 4);
+    const Key keys[] = {9};
+    const Step hints[] = {3};
+    GpuCache::WarmPending pending[1];
+    ASSERT_EQ(cache.WarmBegin(keys, hints, 1, pending), 1u);
+
+    // Mid-warm slots are invisible to readers.
+    std::vector<float> out(4);
+    EXPECT_FALSE(cache.TryGet(9, out.data()));
+
+    // A flush lands the committed value between the phases: it both
+    // completes the slot and bumps the fill stamp.
+    EXPECT_TRUE(cache.UpdateIfPresent(9, RowOf(42).data()));
+
+    // The gather's (now stale) host row must lose to the flush value.
+    cache.WarmCommit(keys, pending, 1, RowOf(-1).data());
+    ASSERT_TRUE(cache.TryGet(9, out.data()));
+    EXPECT_EQ(out[0], 42.0f);
+}
+
+TEST(GpuCacheWarmTest, WarmOneUpdatesResidentsAndInsertsCold)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    // Resident: refresh in place (a flush write, not a warm insert).
+    EXPECT_TRUE(cache.WarmOne(1, RowOf(7).data(), 4));
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));
+    EXPECT_EQ(out[0], 7.0f);
+    EXPECT_EQ(cache.stats().warm_inserts, 0u);
+    // Absent: cold-end insert, immediately readable.
+    EXPECT_TRUE(cache.WarmOne(2, RowOf(8).data(), 5));
+    ASSERT_TRUE(cache.TryGet(2, out.data()));
+    EXPECT_EQ(out[0], 8.0f);
+    EXPECT_EQ(cache.stats().warm_inserts, 1u);
+}
+
+TEST(GpuCacheWarmTest, EvictIfDeadReclaimsWithoutWriteback)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    EXPECT_TRUE(cache.EvictIfDead(1));
+    EXPECT_FALSE(cache.Contains(1));
+    EXPECT_FALSE(cache.EvictIfDead(1));  // already gone
+    EXPECT_EQ(cache.stats().dead_evictions, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);  // not a capacity eviction
+    // The freed slot is immediately reusable.
+    cache.Put(2, RowOf(2).data());
+    cache.Put(3, RowOf(3).data());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GpuCacheBeladyTest, EvictsFarthestNextUseNotLru)
+{
+    GpuCache cache(2, 4);
+    cache.SetEvictionHorizon(50);
+    cache.Put(1, RowOf(1).data(), /*next_use=*/10);
+    cache.Put(2, RowOf(2).data(), /*next_use=*/100);
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(2, out.data(), 100));  // LRU tail is now 1
+
+    // Plain LRU would evict key 1 — but key 1 is needed at step 10 and
+    // key 2 not until step 100, beyond the horizon: Belady evicts 2.
+    const Key evicted = cache.Put(3, RowOf(3).data(), /*next_use=*/20);
+    EXPECT_EQ(evicted, 2u);
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(GpuCacheBeladyTest, AdmissionDeclinedWhenIncomingIsBestVictim)
+{
+    GpuCache cache(1, 4);
+    cache.Put(1, RowOf(1).data(), /*next_use=*/5);
+    // Key 2 is needed later than every resident: inserting it would
+    // evict a sooner-needed row only for key 2 to be the next victim.
+    const Key evicted = cache.Put(2, RowOf(2).data(), /*next_use=*/100);
+    EXPECT_EQ(evicted, kInvalidKey);
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_FALSE(cache.Contains(2));
+    // The reverse direction admits: sooner-needed keys displace later.
+    const Key evicted2 = cache.Put(3, RowOf(3).data(), /*next_use=*/2);
+    EXPECT_EQ(evicted2, 1u);
+    EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(GpuCacheBeladyTest, HintedTryGetRefreshesEvictionOrder)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data(), /*next_use=*/100);
+    cache.Put(2, RowOf(2).data(), /*next_use=*/4);
+    // Key 1's next use arrives: the trainer's hinted lookup rewrites it
+    // to the post-read next use (soon), flipping the victim choice.
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data(), /*next_use=*/3));
+    ASSERT_TRUE(cache.TryGet(2, out.data(), /*next_use=*/4));
+    const Key evicted = cache.Put(5, RowOf(5).data(), /*next_use=*/2);
+    // Both residents are needed at 3 and 4; farthest next use is 4.
+    EXPECT_EQ(evicted, 2u);
+}
+
 TEST(KeyOwnershipTest, PartitionIsCompleteAndStable)
 {
     KeyOwnership owners(4);

@@ -75,8 +75,60 @@ TEST(HistogramTest, MedianRoughlyCorrect)
     Histogram h;
     for (int i = 1; i <= 1000; ++i)
         h.Add(static_cast<double>(i));
-    // Log-bucketed, so allow generous tolerance (one bucket = 25%).
-    EXPECT_NEAR(h.Percentile(50), 500.0, 150.0);
+    // Log-bucketed (5% buckets) with within-bucket interpolation: the
+    // median of 1..1000 should land well within one bucket of 500.
+    EXPECT_NEAR(h.Percentile(50), 500.0, 30.0);
+}
+
+TEST(HistogramTest, NearbyTailPercentilesAreDistinct)
+{
+    // The pre-fix 25% buckets quantized p95/p99 of realistic latency
+    // spreads onto one bucket boundary; 5% buckets + interpolation must
+    // keep them apart and ordered for a distribution with a real tail.
+    Histogram h;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const double base = 100e-6 * (1 + 0.3 * rng.NextDouble());
+        // A 5% heavy tail stretching to ~10x.
+        const double x =
+            rng.NextDouble() < 0.05 ? base * (2 + 8 * rng.NextDouble())
+                                    : base;
+        h.Add(x);
+    }
+    const double p50 = h.Percentile(50);
+    const double p95 = h.Percentile(95);
+    const double p99 = h.Percentile(99);
+    EXPECT_LT(p50, p95);
+    EXPECT_LT(p95, p99);
+    // The tail must be visibly stretched, not collapsed onto p50's
+    // bucket: p99 sits in the 2x..10x outlier band.
+    EXPECT_GT(p99, p50 * 1.5);
+}
+
+TEST(HistogramTest, SingleValueReportsExactEndpoints)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.Add(3.5e-3);
+    // Interpolation is clamped to observed min/max, so a degenerate
+    // distribution reports the exact value at every percentile.
+    EXPECT_DOUBLE_EQ(h.Percentile(1), 3.5e-3);
+    EXPECT_DOUBLE_EQ(h.Percentile(50), 3.5e-3);
+    EXPECT_DOUBLE_EQ(h.Percentile(99.9), 3.5e-3);
+}
+
+TEST(HistogramTest, InterpolationIsMonotoneInP)
+{
+    Histogram h;
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i)
+        h.Add(1e-5 * (1 + rng.NextBounded(5000)));
+    double prev = 0.0;
+    for (double p = 1; p <= 100; p += 0.5) {
+        const double v = h.Percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
 }
 
 TEST(HistogramTest, ResetClears)
