@@ -74,6 +74,7 @@ struct CellResult
     double lag_p95 = 0.0;
     double lag_p99 = 0.0;
     std::uint64_t updates_applied = 0;
+    GpuCacheStats cache;
     bool bit_equal = false;
 };
 
@@ -112,6 +113,7 @@ RunCell(const EngineConfig &config, const Trace &trace,
     result.lag_p95 = report.flush_lag.Percentile(95);
     result.lag_p99 = report.flush_lag.Percentile(99);
     result.updates_applied = report.updates_applied;
+    result.cache = report.cache;
     result.bit_equal = TablesBitEqual(engine->table(), oracle_table);
     return result;
 }
@@ -179,7 +181,8 @@ main(int argc, char **argv)
     std::vector<Metric> metrics;
     TablePrinter grid("FrugalEngine throughput (Zipf 0.99 trace)",
                       {"Trainers", "Flushers", "Shape", "Steps/s",
-                       "Lag p50 (us)", "Lag p99 (us)"});
+                       "Hit rate", "Hot%", "Declines", "Lag p50 (us)",
+                       "Lag p99 (us)"});
     bool all_bit_equal = true;
 
     for (const std::uint32_t gpus : trainer_counts) {
@@ -222,8 +225,29 @@ main(int argc, char **argv)
                                      cell.lag_p95 * 1e6, "us"});
             metrics.push_back(Metric{"e2e_flush_lag_p99_" + g + f,
                                      cell.lag_p99 * 1e6, "us"});
+            metrics.push_back(Metric{"e2e_cache_hit_rate_" + g + f,
+                                     cell.cache.HitRatio(), "ratio"});
+            // Replacement-policy observability (DESIGN.md §14): hot-
+            // segment share of hits and admission-gate declines make a
+            // policy regression visible right in the throughput grid.
+            const double hot_share =
+                cell.cache.hits > 0
+                    ? static_cast<double>(cell.cache.hot_hits) /
+                          static_cast<double>(cell.cache.hits)
+                    : 0.0;
+            metrics.push_back(Metric{"e2e_cache_hot_share_" + g + f,
+                                     hot_share, "ratio"});
+            metrics.push_back(
+                Metric{"e2e_admission_declines_" + g + f,
+                       static_cast<double>(
+                           cell.cache.admission_declines),
+                       "inserts"});
             grid.AddRow({std::to_string(gpus), std::to_string(flushers),
                          "sharded", FormatDouble(cell.steps_per_s, 1),
+                         FormatDouble(cell.cache.HitRatio() * 100, 1) +
+                             "%",
+                         FormatDouble(hot_share * 100, 1) + "%",
+                         std::to_string(cell.cache.admission_declines),
                          FormatDouble(cell.lag_p50 * 1e6, 1),
                          FormatDouble(cell.lag_p99 * 1e6, 1)});
             if (!cell.bit_equal) {
@@ -250,8 +274,11 @@ main(int argc, char **argv)
                                      : 0.0,
                                  "x"});
         grid.AddRow({std::to_string(gpus), "4", "legacy",
-                     FormatDouble(legacy_cell.steps_per_s, 1), "-",
-                     "-"});
+                     FormatDouble(legacy_cell.steps_per_s, 1),
+                     FormatDouble(
+                         legacy_cell.cache.HitRatio() * 100, 1) +
+                         "%",
+                     "-", "-", "-", "-"});
         if (!legacy_cell.bit_equal) {
             std::fprintf(stderr,
                          "FAIL: legacy %s trained table differs from "

@@ -513,7 +513,14 @@ main(int argc, char **argv)
     std::vector<Metric> metrics;
 
     // --- cache ---
-    GpuCache cache(sizes.cache_rows, sizes.dim);
+    // Pinned to the legacy single-list LRU policy: this bench compares
+    // the flat-array layout against the std::list LegacyLruCache doing
+    // identical work; policy effects (admission declines skip RowCopy)
+    // are bench_cache_policy's subject, not this one's.
+    GpuCacheOptions lru_only;
+    lru_only.segmented = false;
+    lru_only.freq_admission = false;
+    GpuCache cache(sizes.cache_rows, sizes.dim, lru_only);
     const auto [get_rate, put_rate] = RunCacheBench(cache, sizes);
     LegacyLruCache legacy_cache(sizes.cache_rows, sizes.dim);
     const auto [legacy_get, legacy_put] =

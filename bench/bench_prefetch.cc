@@ -4,12 +4,16 @@
  * Drives the real FrugalEngine across a {oracular on, off} ×
  * {cache capacity 100%, 50%, 25% of the trace's working set} ×
  * {Zipf 0.8, 0.99} grid. "Off" is the pre-oracular engine: plain LRU
- * eviction, no trace-driven warming, no dead-key reclamation. "On"
- * enables the full §13 machinery — batch cache warming L steps ahead,
- * Belady-within-window victim selection, and step-boundary dead-key
- * sweeps. Capacity is expressed against the *working set* (distinct
- * keys actually traced), not the key space, so the 25% cells genuinely
- * thrash and the eviction policy is what differs.
+ * eviction (the §14 tiered/admission policy is pinned off so the
+ * baseline stays the historical one; the policy-vs-policy ablation
+ * lives in bench_cache_policy), no trace-driven warming, no dead-key
+ * reclamation. "On" enables the full §13 machinery — batch cache
+ * warming L steps ahead, Belady-within-window victim selection, and
+ * step-boundary dead-key sweeps — composed with the default §14
+ * frequency-aware tiered policy. Capacity is expressed against the
+ * *working set* (distinct keys actually traced), not the key space, so
+ * the 25% cells genuinely thrash and the eviction policy is what
+ * differs.
  *
  * Each cell reports steps/s, the owned-read cache hit rate, flush-lag
  * percentiles, and the prefetch counters (rows warmed, warm hits, dead
@@ -86,6 +90,7 @@ struct CellResult
     double lag_p95 = 0.0;
     double lag_p99 = 0.0;
     PrefetchCounters prefetch;
+    GpuCacheStats cache;
     bool bit_equal = false;
 };
 
@@ -111,6 +116,7 @@ RunCell(const EngineConfig &config, const Trace &trace,
     result.lag_p95 = report.flush_lag.Percentile(95);
     result.lag_p99 = report.flush_lag.Percentile(99);
     result.prefetch = report.prefetch;
+    result.cache = report.cache;
     result.bit_equal = TablesBitEqual(engine->table(), oracle_table);
     return result;
 }
@@ -179,7 +185,8 @@ main(int argc, char **argv)
     std::vector<Metric> metrics;
     TablePrinter grid("FrugalEngine: oracular vs LRU",
                       {"Zipf", "Capacity", "Mode", "Steps/s", "Hit rate",
-                       "Warmed", "Dead evict", "Lag p95 (us)"});
+                       "Hot%", "Declines", "Warmed", "Dead evict",
+                       "Lag p95 (us)"});
     bool all_bit_equal = true;
 
     for (const double theta : thetas) {
@@ -230,6 +237,14 @@ main(int argc, char **argv)
                     EngineConfig config = base;
                     config.cache_ratio = ratio;
                     config.oracular_prefetch = oracular;
+                    if (!oracular) {
+                        // Keep "off" the historical pre-oracular
+                        // baseline: single-list LRU, no admission
+                        // gate. The §14 policies get their own
+                        // ablation in bench_cache_policy.
+                        config.cache_options.segmented = false;
+                        config.cache_options.freq_admission = false;
+                    }
                     const CellResult run =
                         RunCell(config, trace, task, oracle_table);
                     const std::size_t m = oracular ? 1 : 0;
@@ -275,13 +290,44 @@ main(int argc, char **argv)
                         "prefetch_late_warms_" + tag,
                         static_cast<double>(cell.prefetch.late_warms),
                         "steps"});
+                    // §14 policy counters, visible only on the mode
+                    // that runs the tiered cache: how much of the hit
+                    // mass the hot segment absorbs and how often the
+                    // admission gate declines an insert.
+                    const double hot_share =
+                        cell.cache.hits > 0
+                            ? static_cast<double>(cell.cache.hot_hits) /
+                                  static_cast<double>(cell.cache.hits)
+                            : 0.0;
+                    metrics.push_back(Metric{
+                        "prefetch_hot_share_" + tag, hot_share,
+                        "ratio"});
+                    metrics.push_back(Metric{
+                        "prefetch_admission_declines_" + tag,
+                        static_cast<double>(
+                            cell.cache.admission_declines),
+                        "inserts"});
+                    metrics.push_back(Metric{
+                        "prefetch_promotions_" + tag,
+                        static_cast<double>(cell.cache.promotions),
+                        "rows"});
                 }
+                const double hot_pct =
+                    cell.cache.hits > 0
+                        ? 100.0 *
+                              static_cast<double>(cell.cache.hot_hits) /
+                              static_cast<double>(cell.cache.hits)
+                        : 0.0;
                 grid.AddRow(
                     {FormatDouble(theta, 2),
                      FormatDouble(frac * 100, 0) + "%",
                      oracular ? "oracular" : "lru",
                      FormatDouble(cell.steps_per_s, 1),
                      FormatDouble(cell.hit_rate * 100, 1) + "%",
+                     oracular ? FormatDouble(hot_pct, 1) + "%" : "-",
+                     oracular ? std::to_string(
+                                    cell.cache.admission_declines)
+                              : "-",
                      std::to_string(cell.prefetch.rows_warmed),
                      std::to_string(cell.prefetch.dead_evictions),
                      FormatDouble(cell.lag_p95 * 1e6, 1)});

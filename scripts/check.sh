@@ -221,6 +221,51 @@ else
     failures=$((failures + 1))
 fi
 
+# --- 4c3. cache-policy replay smoke + baseline diff ----------------------
+# Same contract as 4c2 for bench_cache_policy: a bare-GpuCache trace
+# replay scores LRU vs TinyLFU admission vs tiered vs tiered+oracular
+# hints across capacities and skews. The binary exits non-zero if the
+# tiered policy fails to beat pure LRU on hit rate in the thrashing
+# Zipf-0.99 cells — hit rates are deterministic, so that part is a hard
+# gate. The diff against the committed BENCH_cache_policy.json stays
+# warn-only.
+note "bench_cache_policy smoke + baseline diff (warn-only)"
+if ./build/bench/bench_cache_policy --smoke \
+        --out build/BENCH_cache_policy.json; then
+    python3 - <<'EOF' || true
+import json
+
+def load(path):
+    with open(path) as fh:
+        return {m["metric"]: m for m in json.load(fh)}
+
+try:
+    baseline = load("BENCH_cache_policy.json")
+except OSError:
+    print("WARN: no committed BENCH_cache_policy.json baseline")
+    raise SystemExit(0)
+fresh = load("build/BENCH_cache_policy.json")
+
+for name in sorted(set(baseline) | set(fresh)):
+    if name not in fresh:
+        print(f"WARN: metric '{name}' in baseline but not produced")
+    elif name not in baseline:
+        print(f"WARN: new metric '{name}' missing from the baseline")
+    elif baseline[name]["unit"] != fresh[name]["unit"]:
+        print(f"WARN: metric '{name}' changed unit "
+              f"{baseline[name]['unit']} -> {fresh[name]['unit']}")
+    else:
+        old, new = baseline[name]["value"], fresh[name]["value"]
+        if old > 0 and new < old / 10:
+            print(f"WARN: metric '{name}' collapsed {old:.3g} -> "
+                  f"{new:.3g} (>10x below baseline; smoke sizes, "
+                  f"but worth a look)")
+print("bench_cache_policy baseline diff done (warnings are non-fatal)")
+EOF
+else
+    failures=$((failures + 1))
+fi
+
 # --- 4d. chaos/overload smoke -------------------------------------------
 # A shrunken seeded chaos campaign against the real engine: flusher
 # deaths, flaky writes, a trainer death against a one-slot staging bound,

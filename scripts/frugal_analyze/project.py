@@ -91,6 +91,14 @@ HOT_FUNCTIONS = (
     "GpuCache::WarmOne",
     "GpuCache::EvictIfDead",
     "GpuCache::PickVictimLocked",
+    # Frequency-aware tiered replacement (DESIGN.md §14): the sketch
+    # probe runs on every cache lookup, the admission gate on every
+    # miss-driven insert at capacity, the segment ops on every hit.
+    "GpuCache::AcquireSlotLocked",
+    "GpuCache::PromoteOnHitLocked",
+    "GpuCache::TailVictimLocked",
+    "FreqSketch::Add",
+    "FreqSketch::Estimate",
     # Vectorised row kernels (table/row_kernels.h)
     "RowCopy",
     "RowAxpy",

@@ -5,9 +5,11 @@
 
 namespace frugal {
 
-GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
+GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim,
+                   const GpuCacheOptions &options)
     : capacity_(capacity_rows),
       dim_(dim),
+      options_(options),
       storage_(capacity_rows * dim),
       map_(capacity_rows),
       slot_key_(capacity_rows, kInvalidKey),
@@ -15,12 +17,20 @@ GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
       lru_next_(capacity_rows, kNilSlot),
       next_use_(capacity_rows, kNoFutureUse),
       flags_(capacity_rows, 0),
-      fill_stamp_(capacity_rows, 0)
+      fill_stamp_(capacity_rows, 0),
+      sketch_(capacity_rows, options.sketch_seed),
+      seg_head_{kNilSlot, kNilSlot},
+      seg_tail_{kNilSlot, kNilSlot},
+      seg_size_{0, 0}
 {
     FRUGAL_CHECK_MSG(capacity_rows > 0, "cache capacity must be positive");
     FRUGAL_CHECK_MSG(capacity_rows < kNilSlot,
                      "cache capacity exceeds the u32 slot index space");
     FRUGAL_CHECK_MSG(dim > 0, "embedding dimension must be positive");
+    FRUGAL_CHECK_MSG(options.hot_fraction > 0.0 &&
+                         options.hot_fraction <= 1.0,
+                     "hot_fraction must lie in (0, 1]");
+    hot_capacity_ = HotCapacityFor(capacity_rows);
     // Thread all slots onto the free list, lowest index first.
     for (std::size_t i = capacity_rows; i-- > 0;) {
         lru_next_[i] = free_head_;
@@ -28,48 +38,114 @@ GpuCache::GpuCache(std::size_t capacity_rows, std::size_t dim)
     }
 }
 
+std::size_t
+GpuCache::HotCapacityFor(std::size_t capacity) const
+{
+    if (!options_.segmented)
+        return 0;
+    auto cap = static_cast<std::size_t>(
+        static_cast<double>(capacity) * options_.hot_fraction);
+    if (cap == 0)
+        cap = 1;
+    if (cap > capacity)
+        cap = capacity;
+    return cap;
+}
+
 void
 GpuCache::DetachLocked(std::uint32_t slot)
 {
+    const Segment seg = SegmentOf(slot);
     const std::uint32_t prev = lru_prev_[slot];
     const std::uint32_t next = lru_next_[slot];
     if (prev == kNilSlot)
-        lru_head_ = next;
+        seg_head_[seg] = next;
     else
         lru_next_[prev] = next;
     if (next == kNilSlot)
-        lru_tail_ = prev;
+        seg_tail_[seg] = prev;
     else
         lru_prev_[next] = prev;
+    --seg_size_[seg];
 }
 
 void
-GpuCache::PushFrontLocked(std::uint32_t slot)
+GpuCache::PushFrontLocked(Segment seg, std::uint32_t slot)
 {
     lru_prev_[slot] = kNilSlot;
-    lru_next_[slot] = lru_head_;
-    if (lru_head_ != kNilSlot)
-        lru_prev_[lru_head_] = slot;
-    lru_head_ = slot;
-    if (lru_tail_ == kNilSlot)
-        lru_tail_ = slot;
+    lru_next_[slot] = seg_head_[seg];
+    if (seg_head_[seg] != kNilSlot)
+        lru_prev_[seg_head_[seg]] = slot;
+    seg_head_[seg] = slot;
+    if (seg_tail_[seg] == kNilSlot)
+        seg_tail_[seg] = slot;
+    ++seg_size_[seg];
+    if (seg == kHot)
+        flags_[slot] |= kHotFlag;
+    else
+        flags_[slot] &= static_cast<std::uint8_t>(~kHotFlag);
 }
 
 void
-GpuCache::PushBackLocked(std::uint32_t slot)
+GpuCache::PushBackLocked(Segment seg, std::uint32_t slot)
 {
     lru_next_[slot] = kNilSlot;
-    lru_prev_[slot] = lru_tail_;
-    if (lru_tail_ != kNilSlot)
-        lru_next_[lru_tail_] = slot;
-    lru_tail_ = slot;
-    if (lru_head_ == kNilSlot)
-        lru_head_ = slot;
+    lru_prev_[slot] = seg_tail_[seg];
+    if (seg_tail_[seg] != kNilSlot)
+        lru_next_[seg_tail_[seg]] = slot;
+    seg_tail_[seg] = slot;
+    if (seg_head_[seg] == kNilSlot)
+        seg_head_[seg] = slot;
+    ++seg_size_[seg];
+    if (seg == kHot)
+        flags_[slot] |= kHotFlag;
+    else
+        flags_[slot] &= static_cast<std::uint8_t>(~kHotFlag);
+}
+
+void
+GpuCache::EnforceHotCapLocked()
+{
+    while (seg_size_[kHot] > hot_capacity_) {
+        const std::uint32_t demoted = seg_tail_[kHot];
+        FRUGAL_CHECK(demoted != kNilSlot);
+        DetachLocked(demoted);
+        // Demoted rows re-enter probation at the cold MRU: they were
+        // the least-recent of the proven set, which still outranks
+        // every unproven probationary resident.
+        PushFrontLocked(kCold, demoted);
+        ++stats_.demotions;
+    }
+}
+
+void
+GpuCache::PromoteOnHitLocked(std::uint32_t slot)
+{
+    if (!options_.segmented) {
+        MoveToFrontLocked(kCold, slot);
+        ++stats_.cold_hits;
+        return;
+    }
+    if (SegmentOf(slot) == kHot) {
+        MoveToFrontLocked(kHot, slot);
+        ++stats_.hot_hits;
+        return;
+    }
+    // Re-reference in probation: the row proved itself — promote.
+    ++stats_.cold_hits;
+    DetachLocked(slot);
+    PushFrontLocked(kHot, slot);
+    ++stats_.promotions;
+    EnforceHotCapLocked();
 }
 
 bool
 GpuCache::TryGetLocked(Key key, float *out, const Step *next_use)
 {
+    // Every lookup — hit or miss — is one access-stream sample for the
+    // admission sketch.
+    if (options_.freq_admission)
+        sketch_.Add(key);
     const std::uint32_t *slot = map_.Find(key);
     if (slot == nullptr || (flags_[*slot] & kFillingFlag) != 0) {
         // A filling slot's row is not valid yet — the warm gather is
@@ -80,14 +156,20 @@ GpuCache::TryGetLocked(Key key, float *out, const Step *next_use)
         return false;
     }
     ++stats_.hits;
-    if ((flags_[*slot] & kWarmFlag) != 0) {
-        ++stats_.warm_hits;
-        flags_[*slot] &= static_cast<std::uint8_t>(~kWarmFlag);
-    }
     if (next_use != nullptr)
         next_use_[*slot] = *next_use;
     RowCopy(out, storage_.data() + *slot * dim_, dim_);
-    MoveToFrontLocked(*slot);  // refresh to MRU
+    if ((flags_[*slot] & kWarmFlag) != 0) {
+        // First hit on a warmed row stands in for the demand insert
+        // the warm replaced: surface at the cold MRU (warm rows always
+        // sit in probation), promotion waits for a real re-reference.
+        ++stats_.warm_hits;
+        ++stats_.cold_hits;
+        flags_[*slot] &= static_cast<std::uint8_t>(~kWarmFlag);
+        MoveToFrontLocked(kCold, *slot);
+        return true;
+    }
+    PromoteOnHitLocked(*slot);
     return true;
 }
 
@@ -106,34 +188,80 @@ GpuCache::TryGet(Key key, float *out, Step next_use)
 }
 
 std::uint32_t
-GpuCache::PickVictimLocked(Step incoming_next_use)
+GpuCache::TailVictimLocked() const
 {
-    std::uint32_t best = kNilSlot;
-    Step best_use = 0;
-    std::uint32_t slot = lru_tail_;
-    for (std::size_t scanned = 0;
-         scanned < kVictimScanDepth && slot != kNilSlot;
-         ++scanned, slot = lru_prev_[slot]) {
-        const Step use = next_use_[slot];
-        if (use > horizon_) {
-            // Beyond the Belady window (or no known future use): fall
-            // back to LRU order — the tail-most such slot wins.
-            best = slot;
-            best_use = use;
-            break;
-        }
-        if (best == kNilSlot || use > best_use) {
-            best = slot;
-            best_use = use;
-        }
-    }
-    if (best == kNilSlot || incoming_next_use >= best_use)
-        return kNilSlot;  // every candidate is needed sooner: decline
-    return best;
+    return seg_tail_[kCold] != kNilSlot ? seg_tail_[kCold]
+                                        : seg_tail_[kHot];
 }
 
 std::uint32_t
-GpuCache::AcquireSlotLocked(Step incoming_next_use, bool hinted,
+GpuCache::PickVictimLocked(Key key, Step incoming_next_use)
+{
+    // Candidate order: probationary (cold) tail first, then the
+    // protected (hot) tail — same bounded zero-allocation scan as
+    // before, spliced across the two segment lists.
+    std::uint32_t best_within = kNilSlot;
+    Step best_within_use = 0;
+    std::uint32_t best_beyond = kNilSlot;
+    Step best_beyond_use = 0;
+    std::uint32_t best_beyond_freq = 0;
+
+    Segment seg = kCold;
+    std::uint32_t slot = seg_tail_[kCold];
+    for (std::size_t scanned = 0; scanned < kVictimScanDepth;
+         ++scanned) {
+        if (slot == kNilSlot) {
+            if (seg == kHot)
+                break;
+            seg = kHot;
+            slot = seg_tail_[kHot];
+            if (slot == kNilSlot)
+                break;
+        }
+        const Step use = next_use_[slot];
+        if (use > horizon_) {
+            // Beyond the Belady window (or no known future use):
+            // Belady has nothing to say, so decayed frequency ranks
+            // the candidates — the coldest one wins. With the sketch
+            // off, the first (tail-most) such slot wins in recency
+            // order, exactly the legacy LRU fallback.
+            const std::uint32_t freq =
+                options_.freq_admission
+                    ? sketch_.Estimate(slot_key_[slot])
+                    : 0;
+            if (best_beyond == kNilSlot || freq < best_beyond_freq) {
+                best_beyond = slot;
+                best_beyond_use = use;
+                best_beyond_freq = freq;
+            }
+            if (!options_.freq_admission)
+                break;
+        } else if (best_within == kNilSlot || use > best_within_use) {
+            best_within = slot;
+            best_within_use = use;
+        }
+        slot = lru_prev_[slot];
+    }
+
+    if (best_beyond != kNilSlot) {
+        // A row needed inside the window always beats a beyond-horizon
+        // victim; when both lie beyond, the sooner next use wins and
+        // decayed frequency breaks the remaining ties.
+        if (incoming_next_use <= horizon_ ||
+            incoming_next_use < best_beyond_use)
+            return best_beyond;
+        if (options_.freq_admission &&
+            sketch_.Estimate(key) > best_beyond_freq)
+            return best_beyond;
+        return kNilSlot;  // incoming row is the better victim: decline
+    }
+    if (best_within == kNilSlot || incoming_next_use >= best_within_use)
+        return kNilSlot;  // every candidate is needed sooner: decline
+    return best_within;
+}
+
+std::uint32_t
+GpuCache::AcquireSlotLocked(Key key, Step incoming_next_use, bool hinted,
                             Key *evicted)
 {
     *evicted = kInvalidKey;
@@ -144,12 +272,23 @@ GpuCache::AcquireSlotLocked(Step incoming_next_use, bool hinted,
     }
     std::uint32_t victim;
     if (hinted) {
-        victim = PickVictimLocked(incoming_next_use);
-        if (victim == kNilSlot)
-            return kNilSlot;  // admission declined
+        victim = PickVictimLocked(key, incoming_next_use);
+        if (victim == kNilSlot) {
+            ++stats_.admission_declines;
+            return kNilSlot;
+        }
     } else {
-        victim = lru_tail_;
+        victim = TailVictimLocked();
         FRUGAL_CHECK(victim != kNilSlot);
+        if (options_.freq_admission &&
+            sketch_.Estimate(key) <=
+                sketch_.Estimate(slot_key_[victim])) {
+            // TinyLFU admission: the newcomer has not been seen more
+            // often than the victim, so it does not get to displace it.
+            // Write-through makes the decline correctness-free.
+            ++stats_.admission_declines;
+            return kNilSlot;
+        }
     }
     *evicted = slot_key_[victim];
     DetachLocked(victim);
@@ -164,25 +303,27 @@ GpuCache::PutLocked(Key key, const float *row, Step next_use, bool hinted)
     if (const std::uint32_t *existing = map_.Find(key)) {
         RowCopy(storage_.data() + *existing * dim_, row, dim_);
         ++fill_stamp_[*existing];  // a fresher value landed
-        flags_[*existing] = 0;     // demand write: readable, not warm
+        // Demand write: readable, not warm; segment membership sticks.
+        flags_[*existing] &=
+            static_cast<std::uint8_t>(~(kWarmFlag | kFillingFlag));
         if (hinted)
             next_use_[*existing] = next_use;
-        MoveToFrontLocked(*existing);
+        MoveToFrontLocked(SegmentOf(*existing), *existing);
         return kInvalidKey;
     }
 
     Key evicted = kInvalidKey;
     const std::uint32_t slot =
-        AcquireSlotLocked(next_use, hinted, &evicted);
+        AcquireSlotLocked(key, next_use, hinted, &evicted);
     if (slot == kNilSlot)
-        return kInvalidKey;  // admission declined (hinted path only)
+        return kInvalidKey;  // admission declined
 
     slot_key_[slot] = key;
     map_.TryEmplace(key, slot);
-    PushFrontLocked(slot);
+    flags_[slot] = 0;
+    PushFrontLocked(kCold, slot);  // inserts start on probation
     RowCopy(storage_.data() + slot * dim_, row, dim_);
     ++fill_stamp_[slot];
-    flags_[slot] = 0;
     next_use_[slot] = hinted ? next_use : kNoFutureUse;
     ++stats_.insertions;
     return evicted;
@@ -233,15 +374,17 @@ GpuCache::WarmBegin(const Key *keys, const Step *next_use, std::size_t n,
         if (next_use[i] == kNoFutureUse)
             continue;  // dead on arrival: never worth a slot
         Key evicted = kInvalidKey;
-        const std::uint32_t slot =
-            AcquireSlotLocked(next_use[i], /*hinted=*/true, &evicted);
+        const std::uint32_t slot = AcquireSlotLocked(
+            keys[i], next_use[i], /*hinted=*/true, &evicted);
         if (slot == kNilSlot)
             continue;  // every victim candidate is needed sooner
         slot_key_[slot] = keys[i];
         map_.TryEmplace(keys[i], slot);
-        PushBackLocked(slot);  // cold end: never promotes past residents
+        flags_[slot] = 0;
+        PushBackLocked(kCold, slot);  // cold end: never promotes past
+                                      // residents
         next_use_[slot] = next_use[i];
-        flags_[slot] = kWarmFlag | kFillingFlag;
+        flags_[slot] |= kWarmFlag | kFillingFlag;
         ++fill_stamp_[slot];
         ++stats_.warm_inserts;
         pending[m].batch_index = static_cast<std::uint32_t>(i);
@@ -288,15 +431,16 @@ GpuCache::WarmOne(Key key, const float *row, Step next_use)
         return false;
     Key evicted = kInvalidKey;
     const std::uint32_t slot =
-        AcquireSlotLocked(next_use, /*hinted=*/true, &evicted);
+        AcquireSlotLocked(key, next_use, /*hinted=*/true, &evicted);
     if (slot == kNilSlot)
         return false;
     slot_key_[slot] = key;
     map_.TryEmplace(key, slot);
-    PushBackLocked(slot);  // cold end, same as the batched warm
+    flags_[slot] = 0;
+    PushBackLocked(kCold, slot);  // cold end, same as the batched warm
     RowCopy(storage_.data() + slot * dim_, row, dim_);
     ++fill_stamp_[slot];
-    flags_[slot] = kWarmFlag;  // complete row: readable immediately
+    flags_[slot] |= kWarmFlag;  // complete row: readable immediately
     next_use_[slot] = next_use;
     ++stats_.warm_inserts;
     return true;
@@ -346,11 +490,13 @@ GpuCache::Resize(std::size_t new_capacity_rows)
     if (new_capacity_rows == capacity_)
         return 0;
 
-    // 1. Emergency-evict from the LRU tail until the survivors fit.
-    //    Detached slots are not recycled — every array is rebuilt below.
+    // 1. Emergency-evict until the survivors fit — cold (probationary)
+    //    tail first, hot tail only once probation is empty, so proven
+    //    residents are retained preferentially. Detached slots are not
+    //    recycled — every array is rebuilt below.
     std::size_t evicted = 0;
     while (map_.size() > new_capacity_rows) {
-        const std::uint32_t victim = lru_tail_;
+        const std::uint32_t victim = TailVictimLocked();
         FRUGAL_CHECK(victim != kNilSlot);
         map_.Erase(slot_key_[victim]);
         DetachLocked(victim);
@@ -358,11 +504,12 @@ GpuCache::Resize(std::size_t new_capacity_rows)
         ++evicted;
     }
 
-    // 2. Rebuild at the new size: walk the LRU list from the MRU head,
-    //    packing survivors into slots 0..live-1 in recency order, so
-    //    the replacement order is preserved exactly. Fill stamps travel
-    //    with their rows, so in-flight warm commits stay well-defined
-    //    (they re-find the slot through the map).
+    // 2. Rebuild at the new size: walk each segment list from its MRU
+    //    head — hot first, then cold — packing survivors into slots
+    //    0..live-1, so segment membership and within-segment recency
+    //    are preserved exactly. Next-use hints, warm/hot flags and
+    //    fill stamps travel with their rows, so in-flight warm commits
+    //    stay well-defined (they re-find the slot through the map).
     std::vector<float> new_storage(new_capacity_rows * dim_);
     std::vector<Key> new_slot_key(new_capacity_rows, kInvalidKey);
     std::vector<std::uint32_t> new_prev(new_capacity_rows, kNilSlot);
@@ -371,23 +518,32 @@ GpuCache::Resize(std::size_t new_capacity_rows)
     std::vector<std::uint8_t> new_flags(new_capacity_rows, 0);
     std::vector<std::uint32_t> new_stamp(new_capacity_rows, 0);
     FlatMap<Key, std::uint32_t> new_map(new_capacity_rows);
+    std::uint32_t new_head[2] = {kNilSlot, kNilSlot};
+    std::uint32_t new_tail[2] = {kNilSlot, kNilSlot};
+    std::size_t new_size[2] = {0, 0};
     std::uint32_t live = 0;
-    for (std::uint32_t slot = lru_head_; slot != kNilSlot;
-         slot = lru_next_[slot], ++live) {
-        RowCopy(new_storage.data() + live * dim_,
-                storage_.data() + slot * dim_, dim_);
-        new_slot_key[live] = slot_key_[slot];
-        new_use[live] = next_use_[slot];
-        new_flags[live] = flags_[slot];
-        new_stamp[live] = fill_stamp_[slot];
-        new_map.TryEmplace(slot_key_[slot], live);
-        if (live > 0) {
-            new_prev[live] = live - 1;
-            new_next[live - 1] = live;
+    for (const Segment seg : {kHot, kCold}) {
+        std::uint32_t packed_prev = kNilSlot;
+        for (std::uint32_t slot = seg_head_[seg]; slot != kNilSlot;
+             slot = lru_next_[slot], ++live) {
+            RowCopy(new_storage.data() + live * dim_,
+                    storage_.data() + slot * dim_, dim_);
+            new_slot_key[live] = slot_key_[slot];
+            new_use[live] = next_use_[slot];
+            new_flags[live] = flags_[slot];
+            new_stamp[live] = fill_stamp_[slot];
+            new_map.TryEmplace(slot_key_[slot], live);
+            if (packed_prev == kNilSlot)
+                new_head[seg] = live;
+            else {
+                new_prev[live] = packed_prev;
+                new_next[packed_prev] = live;
+            }
+            new_tail[seg] = live;
+            packed_prev = live;
+            ++new_size[seg];
         }
     }
-    lru_head_ = live > 0 ? 0 : kNilSlot;
-    lru_tail_ = live > 0 ? live - 1 : kNilSlot;
     free_head_ = kNilSlot;
     for (std::size_t i = new_capacity_rows; i-- > live;) {
         new_next[i] = free_head_;
@@ -402,7 +558,18 @@ GpuCache::Resize(std::size_t new_capacity_rows)
     flags_ = std::move(new_flags);
     fill_stamp_ = std::move(new_stamp);
     map_ = std::move(new_map);
+    for (const Segment seg : {kCold, kHot}) {
+        seg_head_[seg] = new_head[seg];
+        seg_tail_[seg] = new_tail[seg];
+        seg_size_[seg] = new_size[seg];
+    }
     capacity_ = new_capacity_rows;
+    // The protected budget scales with the new capacity; a shrink may
+    // leave the hot segment over budget — demote its tail back to
+    // probation until it fits. The sketch keeps its counts: hotness is
+    // a property of the access stream, not of the residency.
+    hot_capacity_ = HotCapacityFor(new_capacity_rows);
+    EnforceHotCapLocked();
     return evicted;
 }
 
@@ -415,7 +582,8 @@ GpuCache::MemoryBytes() const
            (lru_prev_.size() + lru_next_.size()) * sizeof(std::uint32_t) +
            next_use_.size() * sizeof(Step) +
            flags_.size() * sizeof(std::uint8_t) +
-           fill_stamp_.size() * sizeof(std::uint32_t);
+           fill_stamp_.size() * sizeof(std::uint32_t) +
+           sketch_.MemoryBytes();
 }
 
 void
@@ -423,7 +591,11 @@ GpuCache::Clear()
 {
     SpinGuard guard(lock_);
     map_.Clear();
-    lru_head_ = lru_tail_ = kNilSlot;
+    for (const Segment seg : {kCold, kHot}) {
+        seg_head_[seg] = kNilSlot;
+        seg_tail_[seg] = kNilSlot;
+        seg_size_[seg] = 0;
+    }
     free_head_ = kNilSlot;
     for (std::size_t i = capacity_; i-- > 0;) {
         slot_key_[i] = kInvalidKey;
@@ -433,6 +605,8 @@ GpuCache::Clear()
         flags_[i] = 0;
         free_head_ = static_cast<std::uint32_t>(i);
     }
+    // The sketch is deliberately not reset: residency is gone but the
+    // observed hotness distribution is still the best admission prior.
 }
 
 }  // namespace frugal

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Decayed frequency sketch — the TinyLFU-style hotness estimator
+ * (arXiv:2208.05321: frequency-aware admission/eviction beats LRU at
+ * equal capacity on Zipf-skewed embedding ID streams).
+ *
+ * A count-min sketch of 4-bit saturating counters, two per byte, four
+ * hash rows wide. Add() records one access with the *conservative
+ * update* rule (only counters at the current minimum are bumped, which
+ * provably never increases overestimation); Estimate() answers "how
+ * often was this key seen recently" as the minimum over the rows — an
+ * upper bound on the true count until saturation. Freshness comes from
+ * periodic aging: after `sample_period` Adds every counter is halved
+ * in place (`(b >> 1) & 0x77` halves both nibbles of a byte at once),
+ * so the sketch tracks an exponentially decayed frequency rather than
+ * an all-time count and yesterday's hot keys cannot squat forever.
+ *
+ * The table is sized at construction (next power of two of
+ * `2 × expected_keys` per row, at least 64) and never reallocates:
+ * Add/Estimate are allocation-free and O(rows), fit for the cache hot
+ * path. Hashing is seed-deterministic and costs one MixHash64 per
+ * *probe*, not per row: the four row indexes derive from the hash's
+ * two 32-bit halves by double hashing (Kirsch–Mitzenmacher), so
+ * identical seeds replay identical collision patterns, which the
+ * policy-replay bench and the determinism tests rely on.
+ *
+ * Thread-compatibility: none built in. The sketch is a plain value
+ * type; GpuCache owns one under its cache lock (FRUGAL_GUARDED_BY
+ * there), tests own theirs single-threaded.
+ */
+#ifndef FRUGAL_COMMON_FREQ_SKETCH_H_
+#define FRUGAL_COMMON_FREQ_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace frugal {
+
+/** Decayed count-min frequency sketch (4-bit counters, halving aging). */
+class FreqSketch
+{
+  public:
+    /** Hash rows; each access touches one nibble per row. */
+    static constexpr std::size_t kRows = 4;
+    /** Counter ceiling: 4-bit counters saturate here. */
+    static constexpr std::uint32_t kMaxEstimate = 15;
+
+    /**
+     * @param expected_keys sizing hint — the distinct-key population the
+     *        sketch should resolve (a cache passes its row capacity).
+     *        Each row gets ≥ 2× that many counters, rounded up to a
+     *        power of two, so total state is ~4 bytes per expected key.
+     * @param seed deterministic hash seed; same seed ⇒ same collisions.
+     */
+    explicit FreqSketch(std::size_t expected_keys,
+                        std::uint64_t seed = 0x5eedf4e95eedf4e9ULL)
+        : width_(RowWidth(expected_keys)),
+          sample_period_(SamplePeriod(expected_keys)),
+          table_(kRows * width_ / 2, 0)
+    {
+        std::uint64_t sm = seed;
+        seed_ = SplitMix64(sm);
+    }
+
+    /**
+     * Records one access to `key`: conservative-update increment, then
+     * halve every counter once `sample_period` accesses have been
+     * recorded since the last aging. Allocation-free.
+     */
+    void
+    Add(Key key)
+    {
+        std::size_t idx[kRows];
+        std::uint32_t cnt[kRows];
+        Indexes(key, idx);
+        std::uint32_t est = kMaxEstimate;
+        for (std::size_t r = 0; r < kRows; ++r) {
+            cnt[r] = Nibble(idx[r]);
+            if (cnt[r] < est)
+                est = cnt[r];
+        }
+        if (est < kMaxEstimate) {
+            // Conservative update: only rows still at the minimum grow.
+            for (std::size_t r = 0; r < kRows; ++r) {
+                if (cnt[r] == est)
+                    SetNibble(idx[r], est + 1);
+            }
+        }
+        if (++adds_since_age_ >= sample_period_) {
+            Age();
+            adds_since_age_ = 0;
+        }
+    }
+
+    /** Decayed frequency estimate for `key`: min over the hash rows —
+     *  never below the true decayed count (up to saturation at 15). */
+    std::uint32_t
+    Estimate(Key key) const
+    {
+        std::size_t idx[kRows];
+        Indexes(key, idx);
+        std::uint32_t est = kMaxEstimate;
+        for (std::size_t r = 0; r < kRows; ++r) {
+            const std::uint32_t c = Nibble(idx[r]);
+            if (c < est)
+                est = c;
+        }
+        return est;
+    }
+
+    /** Halves every counter in place (the aging step). Public so tests
+     *  and external decay policies can force an epoch boundary. */
+    void
+    Age()
+    {
+        for (auto &byte : table_)
+            byte = static_cast<std::uint8_t>((byte >> 1) & 0x77);
+        ++agings_;
+    }
+
+    /** Zeroes all counters and the aging clock; seeds are kept. */
+    void
+    Reset()
+    {
+        for (auto &byte : table_)
+            byte = 0;
+        adds_since_age_ = 0;
+        agings_ = 0;
+    }
+
+    /** Counters per hash row (power of two). */
+    std::size_t width() const { return width_; }
+
+    /** Adds between automatic halvings. */
+    std::uint64_t sample_period() const { return sample_period_; }
+
+    /** Number of halvings performed so far. */
+    std::uint64_t agings() const { return agings_; }
+
+    /** Bytes held by the counter table. */
+    std::size_t MemoryBytes() const { return table_.size(); }
+
+  private:
+    static std::size_t
+    RowWidth(std::size_t expected_keys)
+    {
+        std::size_t width = 64;
+        while (width < expected_keys * 2)
+            width <<= 1;
+        FRUGAL_CHECK_MSG(width <= (std::size_t{1} << 40),
+                         "freq sketch sizing hint is implausibly large");
+        return width;
+    }
+
+    /** TinyLFU's reset interval: ~10 samples per tracked key, floored
+     *  so tiny caches still integrate enough history to rank keys. */
+    static std::uint64_t
+    SamplePeriod(std::size_t expected_keys)
+    {
+        const std::uint64_t period =
+            static_cast<std::uint64_t>(expected_keys) * 10;
+        return period < 1024 ? 1024 : period;
+    }
+
+    /** Row-major nibble addresses of `key`, one per row. A single
+     *  MixHash64 feeds all rows: index_r = (h1 + r·h2) mod width with
+     *  h2 forced odd, so the offsets stay pairwise-distinct within a
+     *  power-of-two row. This runs under the GpuCache lock on every
+     *  lookup — one multiply-mix instead of four is measurable there. */
+    void
+    Indexes(Key key, std::size_t idx[kRows]) const
+    {
+        const std::uint64_t h = MixHash64(key ^ seed_);
+        const std::size_t h1 = static_cast<std::size_t>(h);
+        const std::size_t h2 =
+            static_cast<std::size_t>(h >> 32) | std::size_t{1};
+        for (std::size_t r = 0; r < kRows; ++r)
+            idx[r] = r * width_ + ((h1 + r * h2) & (width_ - 1));
+    }
+
+    std::uint32_t
+    Nibble(std::size_t idx) const
+    {
+        const std::uint8_t byte = table_[idx >> 1];
+        return (idx & 1) != 0 ? (byte >> 4) : (byte & 0x0F);
+    }
+
+    void
+    SetNibble(std::size_t idx, std::uint32_t value)
+    {
+        std::uint8_t &byte = table_[idx >> 1];
+        if ((idx & 1) != 0)
+            byte = static_cast<std::uint8_t>(
+                (byte & 0x0F) | (value << 4));
+        else
+            byte = static_cast<std::uint8_t>(
+                (byte & 0xF0) | (value & 0x0F));
+    }
+
+    std::size_t width_;
+    std::uint64_t sample_period_;
+    std::uint64_t adds_since_age_ = 0;
+    std::uint64_t agings_ = 0;
+    std::uint64_t seed_ = 0;
+    /** kRows × width_ 4-bit counters, two per byte, row-major. */
+    std::vector<std::uint8_t> table_;
+};
+
+}  // namespace frugal
+
+#endif  // FRUGAL_COMMON_FREQ_SKETCH_H_

@@ -44,7 +44,8 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
     if (mode != SyncMode::kNoCache) {
         for (std::uint32_t g = 0; g < n_gpus; ++g) {
             caches.push_back(std::make_unique<GpuCache>(
-                config.CacheRowsPerGpu(), config.dim));
+                config.CacheRowsPerGpu(), config.dim,
+                config.cache_options));
         }
     }
 
@@ -205,6 +206,11 @@ RunSync(Engine &engine, const Trace &trace, const GradFn &grad_fn,
             report.cache.insertions += s.insertions;
             report.cache.evictions += s.evictions;
             report.cache.flush_writes += s.flush_writes;
+            report.cache.hot_hits += s.hot_hits;
+            report.cache.cold_hits += s.cold_hits;
+            report.cache.admission_declines += s.admission_declines;
+            report.cache.promotions += s.promotions;
+            report.cache.demotions += s.demotions;
         }
     }
     report.host_reads = host_reads.load();

@@ -53,6 +53,12 @@ struct EngineConfig
      *  default 5%); each GPU gets an equal share of the budget. */
     double cache_ratio = 0.05;
 
+    /** Replacement-policy knobs for every per-GPU cache (DESIGN.md
+     *  §14): segmented hot/cold eviction and TinyLFU-style frequency
+     *  admission, both on by default; disabling both restores the
+     *  legacy single-list LRU the §4.1 competitor engines model. */
+    GpuCacheOptions cache_options;
+
     /** Prefetch lookahead L (§3.2: default 10). */
     std::size_t lookahead = 10;
 

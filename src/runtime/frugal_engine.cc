@@ -180,7 +180,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
     std::vector<std::unique_ptr<GpuCache>> caches;
     for (std::uint32_t g = 0; g < n_gpus; ++g) {
         caches.push_back(std::make_unique<GpuCache>(
-            config_.CacheRowsPerGpu(), config_.dim));
+            config_.CacheRowsPerGpu(), config_.dim,
+            config_.cache_options));
     }
 
     // --- the next-use oracle (DESIGN.md §13) --------------------------
@@ -1709,6 +1710,11 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         report.cache.warm_inserts += s.warm_inserts;
         report.cache.warm_hits += s.warm_hits;
         report.cache.dead_evictions += s.dead_evictions;
+        report.cache.hot_hits += s.hot_hits;
+        report.cache.cold_hits += s.cold_hits;
+        report.cache.admission_declines += s.admission_declines;
+        report.cache.promotions += s.promotions;
+        report.cache.demotions += s.demotions;
         report.prefetch.rows_warmed += s.warm_inserts;
         report.prefetch.warm_hits += s.warm_hits;
         report.prefetch.dead_evictions += s.dead_evictions;

@@ -1,4 +1,5 @@
-/** Tests for the per-GPU LRU embedding cache and key ownership. */
+/** Tests for the per-GPU embedding cache (tiered frequency-aware
+ *  replacement + legacy LRU mode) and key ownership. */
 #include "cache/gpu_cache.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +18,18 @@ RowOf(float v, std::size_t dim = 4)
     return std::vector<float>(dim, v);
 }
 
+/** The pre-§14 single-list LRU: segments and admission off. The tests
+ *  below that assert classic LRU victim order request this explicitly;
+ *  everything else runs the (default) tiered policy. */
+GpuCacheOptions
+LegacyLruOptions()
+{
+    GpuCacheOptions options;
+    options.segmented = false;
+    options.freq_admission = false;
+    return options;
+}
+
 TEST(GpuCacheTest, MissThenHit)
 {
     GpuCache cache(4, 4);
@@ -31,7 +44,7 @@ TEST(GpuCacheTest, MissThenHit)
 
 TEST(GpuCacheTest, EvictsLruWhenFull)
 {
-    GpuCache cache(2, 4);
+    GpuCache cache(2, 4, LegacyLruOptions());
     std::vector<float> out(4);
     cache.Put(1, RowOf(1).data());
     cache.Put(2, RowOf(2).data());
@@ -70,7 +83,7 @@ TEST(GpuCacheTest, UpdateIfPresent)
 
 TEST(GpuCacheTest, UpdateIfPresentDoesNotTouchLru)
 {
-    GpuCache cache(2, 4);
+    GpuCache cache(2, 4, LegacyLruOptions());
     cache.Put(1, RowOf(1).data());
     cache.Put(2, RowOf(2).data());
     // 1 is LRU; a flush write to 1 must NOT promote it.
@@ -83,7 +96,7 @@ TEST(GpuCacheTest, ModelEquivalenceAgainstReferenceLru)
 {
     // Randomised trace checked against a simple map+list reference model.
     constexpr std::size_t kCapacity = 16;
-    GpuCache cache(kCapacity, 2);
+    GpuCache cache(kCapacity, 2, LegacyLruOptions());
     std::list<Key> ref_lru;  // front = MRU
     std::map<Key, float> ref;
 
@@ -141,7 +154,9 @@ TEST(GpuCacheTest, ConcurrentReaderAndFlushWriter)
 
 TEST(GpuCacheWarmTest, WarmBatchInsertsColdWithoutPromotingHotRows)
 {
-    GpuCache cache(4, 4);
+    // Legacy mode: the unhinted Put below must evict in plain LRU
+    // order (the admission gate would decline the never-seen key 7).
+    GpuCache cache(4, 4, LegacyLruOptions());
     cache.Put(1, RowOf(1).data());
     cache.Put(2, RowOf(2).data());  // MRU: 2, LRU: 1
 
@@ -295,6 +310,182 @@ TEST(GpuCacheBeladyTest, HintedTryGetRefreshesEvictionOrder)
     const Key evicted = cache.Put(5, RowOf(5).data(), /*next_use=*/2);
     // Both residents are needed at 3 and 4; farthest next use is 4.
     EXPECT_EQ(evicted, 2u);
+}
+
+TEST(GpuCacheTieredTest, PromotionOnRereferenceAndSegmentCounters)
+{
+    // Capacity 4 → hot budget 3 (0.8 × 4 floored, min 1).
+    GpuCache cache(4, 4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());
+    EXPECT_EQ(cache.hot_size(), 0u);  // inserts start on probation
+
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));  // re-reference: promote
+    EXPECT_EQ(cache.hot_size(), 1u);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));  // hot hit: stays hot
+    EXPECT_EQ(cache.hot_size(), 1u);
+
+    const GpuCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.cold_hits, 1u);
+    EXPECT_EQ(stats.hot_hits, 1u);
+    EXPECT_EQ(stats.hits, stats.hot_hits + stats.cold_hits);
+}
+
+TEST(GpuCacheTieredTest, HotOverflowDemotesLeastRecentHotRow)
+{
+    // Capacity 2 → hot budget 1: promoting a second row must demote
+    // the first back to probation.
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));
+    ASSERT_TRUE(cache.TryGet(2, out.data()));
+    EXPECT_EQ(cache.hot_size(), 1u);
+    EXPECT_EQ(cache.stats().promotions, 2u);
+    EXPECT_EQ(cache.stats().demotions, 1u);
+}
+
+TEST(GpuCacheTieredTest, AdmissionGateBlocksOneHitWonders)
+{
+    GpuCache cache(2, 4);
+    cache.Put(1, RowOf(1).data());
+    cache.Put(2, RowOf(2).data());
+
+    // Key 5 has never been looked up: at full capacity its estimated
+    // frequency (0) does not beat the cold-tail victim's, so the
+    // insert bounces — and loses nothing, the cache is write-through.
+    EXPECT_EQ(cache.Put(5, RowOf(5).data()), kInvalidKey);
+    EXPECT_FALSE(cache.Contains(5));
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+    EXPECT_EQ(cache.stats().admission_declines, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // After the access stream proves key 5 (two recorded misses), it
+    // out-ranks the never-referenced victim and is admitted.
+    std::vector<float> out(4);
+    EXPECT_FALSE(cache.TryGet(5, out.data()));
+    EXPECT_FALSE(cache.TryGet(5, out.data()));
+    EXPECT_NE(cache.Put(5, RowOf(5).data()), kInvalidKey);
+    EXPECT_TRUE(cache.Contains(5));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(GpuCacheTieredTest, EvictionTakesProbationBeforeProtected)
+{
+    // Capacity 4: keys 1 and 2 are promoted (proven), 3 and 4 sit in
+    // probation. A hotter newcomer must displace probation, not the
+    // protected set.
+    GpuCache cache(4, 4);
+    std::vector<float> out(4);
+    for (Key k = 1; k <= 4; ++k)
+        cache.Put(k, RowOf(static_cast<float>(k)).data());
+    ASSERT_TRUE(cache.TryGet(1, out.data()));
+    ASSERT_TRUE(cache.TryGet(2, out.data()));
+
+    EXPECT_FALSE(cache.TryGet(9, out.data()));  // record 9 twice
+    EXPECT_FALSE(cache.TryGet(9, out.data()));
+    const Key evicted = cache.Put(9, RowOf(9).data());
+    EXPECT_TRUE(evicted == 3u || evicted == 4u) << "evicted " << evicted;
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+    EXPECT_TRUE(cache.Contains(9));
+}
+
+TEST(GpuCacheTieredTest, CapacityOneFrequencyDuel)
+{
+    // Degenerate capacity: the sole resident is the victim candidate;
+    // only a strictly hotter key may displace it.
+    GpuCache cache(1, 4);
+    cache.Put(1, RowOf(1).data());
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(1, out.data()));  // est(1) = 1, now hot
+
+    EXPECT_EQ(cache.Put(2, RowOf(2).data()), kInvalidKey);  // 0 ≤ 1
+    EXPECT_FALSE(cache.TryGet(2, out.data()));
+    EXPECT_EQ(cache.Put(2, RowOf(2).data()), kInvalidKey);  // 1 ≤ 1
+    EXPECT_FALSE(cache.TryGet(2, out.data()));
+    EXPECT_EQ(cache.Put(2, RowOf(2).data()), 1u);  // 2 > 1: displaced
+    EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(GpuCacheTieredTest, WarmRowsStayProbationaryUntilRereferenced)
+{
+    GpuCache cache(4, 4);
+    ASSERT_TRUE(cache.WarmOne(7, RowOf(7).data(), /*next_use=*/5));
+    EXPECT_EQ(cache.hot_size(), 0u);
+
+    // First hit stands in for the demand insert the warm replaced:
+    // cold MRU, no promotion. The second hit is the re-reference.
+    std::vector<float> out(4);
+    ASSERT_TRUE(cache.TryGet(7, out.data()));
+    EXPECT_EQ(cache.hot_size(), 0u);
+    EXPECT_EQ(cache.stats().warm_hits, 1u);
+    ASSERT_TRUE(cache.TryGet(7, out.data()));
+    EXPECT_EQ(cache.hot_size(), 1u);
+    EXPECT_EQ(cache.stats().promotions, 1u);
+}
+
+TEST(GpuCacheTieredTest, ResizePreservesSegmentsAndRetainsHotRows)
+{
+    // The kCritical memory-pressure path: squeeze the cache hard, then
+    // grow it back. Proven (hot) residents must be retained
+    // preferentially, keep their segment membership, and survive with
+    // their row data and next-use hints intact.
+    GpuCache cache(8, 4);
+    std::vector<float> out(4);
+    for (Key k = 1; k <= 8; ++k)
+        cache.Put(k, RowOf(static_cast<float>(k)).data());
+    for (Key k = 1; k <= 4; ++k)
+        ASSERT_TRUE(cache.TryGet(k, out.data()));  // promote 1..4
+    EXPECT_EQ(cache.hot_size(), 4u);
+
+    // Squeeze to half (what the monitor does at kCritical): the four
+    // probationary rows are the emergency victims; the hot budget at
+    // capacity 4 is 3, so one hot row demotes back to probation.
+    EXPECT_EQ(cache.Resize(4), 4u);
+    EXPECT_EQ(cache.size(), 4u);
+    for (Key k = 1; k <= 4; ++k)
+        EXPECT_TRUE(cache.Contains(k)) << "hot key " << k << " lost";
+    for (Key k = 5; k <= 8; ++k)
+        EXPECT_FALSE(cache.Contains(k));
+    EXPECT_EQ(cache.hot_size(), 3u);
+    EXPECT_EQ(cache.stats().demotions, 1u);
+
+    // Rows survived the rebuild bit-for-bit.
+    for (Key k = 1; k <= 4; ++k) {
+        ASSERT_TRUE(cache.TryGet(k, out.data()));
+        EXPECT_EQ(out[0], static_cast<float>(k));
+    }
+
+    // Grow back (pressure cleared): nothing is lost, segment state
+    // still consistent, and the cache is immediately usable at the
+    // restored capacity.
+    EXPECT_EQ(cache.Resize(8), 0u);
+    EXPECT_EQ(cache.size(), 4u);
+    for (Key k = 1; k <= 4; ++k)
+        EXPECT_TRUE(cache.Contains(k));
+    cache.Put(9, RowOf(9).data());  // free slots exist again
+    EXPECT_TRUE(cache.Contains(9));
+    EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(GpuCacheTieredTest, ResizePreservesRecencyOrderWithinSegments)
+{
+    // Legacy mode resize keeps exact LRU order (the original resize
+    // contract): shrink, then verify the next victim is the true LRU.
+    GpuCache cache(4, 4, LegacyLruOptions());
+    std::vector<float> out(4);
+    for (Key k = 1; k <= 4; ++k)
+        cache.Put(k, RowOf(static_cast<float>(k)).data());
+    ASSERT_TRUE(cache.TryGet(1, out.data()));  // order (MRU→LRU): 1,4,3,2
+    EXPECT_EQ(cache.Resize(3), 1u);            // evicts 2
+    EXPECT_FALSE(cache.Contains(2));
+    const Key evicted = cache.Put(9, RowOf(9).data());
+    EXPECT_EQ(evicted, 3u);  // 3 is now the LRU tail
 }
 
 TEST(KeyOwnershipTest, PartitionIsCompleteAndStable)

@@ -1,0 +1,140 @@
+/** Tests for the decayed count-min frequency sketch (DESIGN.md §14):
+ *  error bounds under adversarial collisions, aging/halving behaviour,
+ *  seed determinism, and model-equivalence against an exact counter —
+ *  the same idiom as common_flat_map_test. */
+#include "common/freq_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace frugal {
+namespace {
+
+TEST(FreqSketchTest, ModelEquivalenceAgainstExactCounter)
+{
+    // Small population, generously sized table: no 4-row collision is
+    // plausible, so the sketch must agree with an exact hash-map
+    // counter everywhere below the saturation ceiling.
+    FreqSketch sketch(1024, /*seed=*/7);
+    std::map<Key, std::uint32_t> exact;
+
+    Rng rng(123);
+    for (int i = 0; i < 500; ++i) {
+        const Key k = rng.NextBounded(32);
+        if (exact[k] >= FreqSketch::kMaxEstimate)
+            continue;  // stay below saturation so equality is exact
+        sketch.Add(k);
+        ++exact[k];
+    }
+    for (const auto &[key, count] : exact)
+        EXPECT_EQ(sketch.Estimate(key), count) << "key " << key;
+    EXPECT_EQ(sketch.Estimate(/*key=*/999'999), 0u);  // never added
+}
+
+TEST(FreqSketchTest, NeverUnderestimatesUnderAdversarialCollisions)
+{
+    // Tiny table (64 counters per row), 300 distinct keys — collisions
+    // everywhere. Count-min with conservative update may overestimate
+    // but can never underestimate an un-aged, un-saturated count.
+    FreqSketch sketch(8, /*seed=*/11);
+    constexpr std::uint32_t kTrueCount = 3;
+    constexpr Key kKeys = 300;  // 900 adds < sample_period (1024)
+    for (std::uint32_t round = 0; round < kTrueCount; ++round)
+        for (Key k = 0; k < kKeys; ++k)
+            sketch.Add(k);
+    ASSERT_EQ(sketch.agings(), 0u);
+    for (Key k = 0; k < kKeys; ++k) {
+        EXPECT_GE(sketch.Estimate(k), kTrueCount) << "key " << k;
+        EXPECT_LE(sketch.Estimate(k), FreqSketch::kMaxEstimate);
+    }
+}
+
+TEST(FreqSketchTest, CountersSaturateAtCeiling)
+{
+    FreqSketch sketch(64, /*seed=*/3);
+    for (int i = 0; i < 100; ++i)
+        sketch.Add(42);
+    EXPECT_EQ(sketch.Estimate(42), FreqSketch::kMaxEstimate);
+}
+
+TEST(FreqSketchTest, AgingHalvesEstimates)
+{
+    FreqSketch sketch(1024, /*seed=*/5);
+    for (int i = 0; i < 8; ++i)
+        sketch.Add(1);
+    for (int i = 0; i < 3; ++i)
+        sketch.Add(2);
+    ASSERT_EQ(sketch.Estimate(1), 8u);
+    ASSERT_EQ(sketch.Estimate(2), 3u);
+
+    sketch.Age();
+    EXPECT_EQ(sketch.Estimate(1), 4u);
+    EXPECT_EQ(sketch.Estimate(2), 1u);  // floor(3/2)
+    sketch.Age();
+    EXPECT_EQ(sketch.Estimate(1), 2u);
+    EXPECT_EQ(sketch.agings(), 2u);
+
+    // Relative order of hot vs cold survives the decay.
+    EXPECT_GT(sketch.Estimate(1), sketch.Estimate(2));
+}
+
+TEST(FreqSketchTest, AutomaticAgingAfterSamplePeriod)
+{
+    FreqSketch sketch(8, /*seed=*/9);  // sample period floors at 1024
+    ASSERT_EQ(sketch.sample_period(), 1024u);
+    for (std::uint64_t i = 0; i < 1023; ++i)
+        sketch.Add(i);
+    EXPECT_EQ(sketch.agings(), 0u);
+    sketch.Add(0);  // the 1024th sample closes the epoch
+    EXPECT_EQ(sketch.agings(), 1u);
+    // A fresh epoch starts counting from zero, not mid-way.
+    for (std::uint64_t i = 0; i < 1023; ++i)
+        sketch.Add(i);
+    EXPECT_EQ(sketch.agings(), 1u);
+}
+
+TEST(FreqSketchTest, DeterministicAcrossIdenticalSeeds)
+{
+    FreqSketch a(64, /*seed=*/77);
+    FreqSketch b(64, /*seed=*/77);
+    Rng rng(42);
+    std::vector<Key> stream(5000);
+    for (Key &k : stream) {
+        k = rng.NextBounded(512);
+        a.Add(k);
+        b.Add(k);
+    }
+    ASSERT_EQ(a.agings(), b.agings());
+    for (Key k = 0; k < 512; ++k)
+        ASSERT_EQ(a.Estimate(k), b.Estimate(k)) << "key " << k;
+}
+
+TEST(FreqSketchTest, ResetClearsCountsAndAgingClock)
+{
+    FreqSketch sketch(64, /*seed=*/1);
+    for (int i = 0; i < 10; ++i)
+        sketch.Add(5);
+    sketch.Age();
+    ASSERT_GT(sketch.Estimate(5), 0u);
+    sketch.Reset();
+    EXPECT_EQ(sketch.Estimate(5), 0u);
+    EXPECT_EQ(sketch.agings(), 0u);
+}
+
+TEST(FreqSketchTest, SizingIsPowerOfTwoAndAccounted)
+{
+    FreqSketch sketch(100, /*seed=*/1);
+    // ≥ 2× expected keys, rounded up to a power of two.
+    EXPECT_EQ(sketch.width(), 256u);
+    EXPECT_EQ(sketch.width() & (sketch.width() - 1), 0u);
+    // 4 rows × width nibbles, two per byte.
+    EXPECT_EQ(sketch.MemoryBytes(),
+              FreqSketch::kRows * sketch.width() / 2);
+}
+
+}  // namespace
+}  // namespace frugal
