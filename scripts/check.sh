@@ -4,6 +4,10 @@
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --static   # static checks only (no builds)
+#   scripts/check.sh --sarif    # also write build/frugal_analyze.sarif
+#
+# --sarif makes the frugal_analyze stage additionally emit a SARIF
+# 2.1.0 report for code-scanning upload; it composes with --static.
 #
 # clang-format / clang-tidy steps are skipped (with a notice) when the
 # binaries are not installed — the configs (.clang-format, .clang-tidy)
@@ -13,7 +17,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STATIC_ONLY=0
-[[ "${1:-}" == "--static" ]] && STATIC_ONLY=1
+SARIF_OUT=0
+for arg in "$@"; do
+    case "$arg" in
+        --static) STATIC_ONLY=1 ;;
+        --sarif)  SARIF_OUT=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 failures=0
 
@@ -80,6 +91,14 @@ if ! command -v clang++ >/dev/null 2>&1; then
 fi
 if ! python3 scripts/frugal_analyze -q; then
     failures=$((failures + 1))
+fi
+if [[ "$SARIF_OUT" == 1 ]]; then
+    mkdir -p build
+    # Exit code already accounted for above; the SARIF pass is for the
+    # report artifact (code-scanning upload), not a second gate.
+    python3 scripts/frugal_analyze --format=sarif \
+        > build/frugal_analyze.sarif || true
+    echo "-- wrote build/frugal_analyze.sarif"
 fi
 
 if [[ "$STATIC_ONLY" == 1 ]]; then

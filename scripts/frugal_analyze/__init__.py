@@ -1,10 +1,17 @@
 """frugal_analyze: project-specific static analysis for the Frugal repo.
 
-Eight checks over the C++ sources (see `python3 scripts/frugal_analyze
+Eleven checks over the C++ sources (see `python3 scripts/frugal_analyze
 --list-checks`):
 
   layering        module DAG from #include edges (no back-edges)
   lock-rank       static lock-rank inversions in nested guard scopes
+  lock-rank-deep  rank inversions through arbitrarily deep call chains,
+                  with the full call path in the diagnostic
+  spin-blocking   blocking (CV wait, sleep, file I/O, mutex acquisition)
+                  or allocation reached while a Spinlock is held (or
+                  `spin-block-ok:`)
+  atomic-publish  release stores pair with an acquire load somewhere;
+                  relaxed stores read cross-class are flagged
   tsa-coverage    GUARDED_BY coverage of members in lock-owning classes
   atomics-relaxed every memory_order_relaxed justified by a `relaxed:` tag
   atomics-raw     raw std::atomic in model-checked dirs needs
@@ -14,6 +21,12 @@ Eight checks over the C++ sources (see `python3 scripts/frugal_analyze
                   `retry-exempt:`)
   hotpath-alloc   hot-list functions are allocation-free (or `alloc-ok:`)
 
+v2 lifts the engine from per-function facts to whole-program analysis:
+a call graph over ProjectFacts with receiver-type-aware resolution, and
+per-function fixpoint summaries (ranks/blocking/allocs transitively
+reached, SCC-condensed so recursion is safe) that the deep checks probe.
+See summaries.py and DESIGN.md §11.
+
 Two frontends share one facts model: `clang` drives
 `clang++ -Xclang -ast-dump=json` over compile_commands.json when the
 compiler is available; `internal` is a dependency-free lexer-based
@@ -21,8 +34,8 @@ extractor that runs anywhere Python does. `--frontend auto` (the
 default) picks clang when it can and falls back with a notice.
 """
 
-__version__ = "1.0"
+__version__ = "2.0"
 
 # Bump whenever the facts schema or frontend extraction changes, so stale
 # incremental-cache entries (keyed by content hash + schema) are ignored.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7

@@ -1,9 +1,15 @@
 """Per-file incremental caching of extracted facts.
 
-Keyed by sha256(content) + schema version + frontend name, so edits to a
-file (or to the extractor itself) invalidate exactly that file's entry.
-Checks are cheap and cross-file, so they re-run on every invocation over
-the assembled facts; only the extraction is cached.
+Keyed by sha256(content) + schema version + frontend name + an
+*include-closure salt*, so edits to a file (or to the extractor itself)
+invalidate that file's entry, and edits to a header invalidate every
+file whose transitive quoted-include closure contains it. The salt is
+what makes the key contract honest: clang-frontend facts (and the
+serialized whole-program summaries) genuinely depend on header content,
+and a key over the file's own bytes alone under-invalidates.
+
+Checks are cheap and re-run on every invocation over the assembled
+facts; extraction and the call-graph summary fixpoint are cached.
 """
 
 from __future__ import annotations
@@ -11,10 +17,64 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Optional
+import posixpath
+import re
+from typing import Dict, List, Optional
 
 from . import SCHEMA_VERSION
-from .facts import FileFacts
+from .facts import FileFacts, FunctionSummary
+
+_INCLUDE_RE = re.compile(rb'#\s*include\s+"([^"]+)"')
+
+
+def include_closure_salts(contents: Dict[str, bytes]) -> Dict[str, str]:
+    """{rel: digest of rel's transitive quoted-include closure}.
+
+    Only targets present in `contents` participate (system headers and
+    out-of-corpus files cannot change between runs we can see). Targets
+    resolve src-root-relative first, then relative to the including
+    file. Cycles are harmless: the closure is a set."""
+    own = {rel: hashlib.sha256(data).hexdigest()
+           for rel, data in contents.items()}
+    deps: Dict[str, List[str]] = {}
+    for rel, data in contents.items():
+        targets = []
+        for m in _INCLUDE_RE.finditer(data):
+            t = m.group(1).decode("utf-8", "replace")
+            if t in contents:
+                targets.append(t)
+            else:
+                alt = posixpath.normpath(
+                    posixpath.join(posixpath.dirname(rel), t))
+                if alt in contents:
+                    targets.append(alt)
+        deps[rel] = targets
+    salts = {}
+    for rel in contents:
+        seen = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(deps.get(cur, []))
+        h = hashlib.sha256()
+        for dep in sorted(seen - {rel}):
+            h.update(f"{dep}={own[dep]};".encode())
+        salts[rel] = h.hexdigest()[:16]
+    return salts
+
+
+def project_digest(frontend: str, contents: Dict[str, bytes]) -> str:
+    """Whole-corpus digest keying the serialized summary fixpoint."""
+    h = hashlib.sha256()
+    h.update(f"v{SCHEMA_VERSION}:{frontend}:".encode())
+    for rel in sorted(contents):
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(hashlib.sha256(contents[rel]).digest())
+    return h.hexdigest()
 
 
 class FactsCache:
@@ -26,19 +86,19 @@ class FactsCache:
         if self.dir:
             os.makedirs(self.dir, exist_ok=True)
 
-    def _key(self, content: bytes) -> str:
+    def _key(self, content: bytes, salt: str) -> str:
         h = hashlib.sha256()
-        h.update(f"v{SCHEMA_VERSION}:{self.frontend}:".encode())
+        h.update(f"v{SCHEMA_VERSION}:{self.frontend}:{salt}:".encode())
         h.update(content)
         return h.hexdigest()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.dir, key[:2], key + ".json")
 
-    def get(self, content: bytes) -> Optional[FileFacts]:
+    def get(self, content: bytes, salt: str = "") -> Optional[FileFacts]:
         if not self.dir:
             return None
-        p = self._path(self._key(content))
+        p = self._path(self._key(content, salt))
         try:
             with open(p, encoding="utf-8") as f:
                 facts = FileFacts.from_dict(json.load(f))
@@ -47,16 +107,43 @@ class FactsCache:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def put(self, content: bytes, facts: FileFacts) -> None:
+    def put(self, content: bytes, facts: FileFacts,
+            salt: str = "") -> None:
         if not self.dir:
             return
         self.misses += 1
-        p = self._path(self._key(content))
+        p = self._path(self._key(content, salt))
+        self._write(p, facts.to_dict())
+
+    # -- whole-program summary fixpoint ---------------------------------
+
+    def get_summaries(self, digest: str) \
+            -> Optional[Dict[str, FunctionSummary]]:
+        if not self.dir or not digest:
+            return None
+        p = os.path.join(self.dir, f"summaries-{digest}.json")
+        try:
+            with open(p, encoding="utf-8") as f:
+                raw = json.load(f)
+            return {k: FunctionSummary.from_dict(v)
+                    for k, v in raw.items()}
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError):
+            return None
+
+    def put_summaries(self, digest: str,
+                      summaries: Dict[str, FunctionSummary]) -> None:
+        if not self.dir or not digest:
+            return
+        p = os.path.join(self.dir, f"summaries-{digest}.json")
+        self._write(p, {k: s.to_dict() for k, s in summaries.items()})
+
+    def _write(self, p: str, obj) -> None:
         os.makedirs(os.path.dirname(p), exist_ok=True)
         tmp = p + f".tmp{os.getpid()}"
         try:
             with open(tmp, "w", encoding="utf-8") as f:
-                json.dump(facts.to_dict(), f, separators=(",", ":"))
+                json.dump(obj, f, separators=(",", ":"))
             os.replace(tmp, p)
         except OSError:
             try:

@@ -7,14 +7,16 @@ produce a false diagnostic — see frontend_internal's contract).
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from .diagnostics import Diagnostic, token_for_line
-from .facts import FunctionFacts, ProjectFacts
+from .facts import FunctionFacts, FunctionSummary, ProjectFacts
 from .project import (HOT_FUNCTIONS, LOCK_RANKS, MODEL_CHECKED_DIRS,
                       MODULE_RANK, module_of)
+from .summaries import (MUTEX_LOCK_TYPES, Registry, Resolver,
+                        SPIN_LOCK_TYPES, build_registry, build_summaries,
+                        fn_key, resolve_lock_type, resolve_rank)
 
 EXPLAIN = {
     "layering": """\
@@ -71,6 +73,32 @@ PickVictimLocked), the row kernels) must not allocate directly or via a
 directly-called function. Amortized growth of a thread_local or
 pre-reserved buffer may be exempted with `// alloc-ok: <why>` on the
 allocating (or calling) line.""",
+    "lock-rank-deep": """\
+Transitive lock-rank inversion: a call chain starting under a held lock
+reaches — through any number of frames — the acquisition of a lock
+whose LockRank is <= the held rank. The diagnostic prints the full call
+path (one `note:` per frame), computed from whole-program call-graph
+summaries (SCC-condensed, so recursion is handled). Fix by reordering
+acquisitions, narrowing the outer critical section, or hoisting the
+inner acquisition out of the called code. Direct same-scope inversions
+are reported by `lock-rank`.""",
+    "spin-blocking": """\
+Blocking under a spinlock: while a Spinlock/StripedLocks guard is held,
+the code (directly or through any call chain) blocks — a CV wait, a
+sleep, file I/O, or acquiring a Mutex — or allocates. Spinlock holds
+must stay bounded: a blocked holder spins every other contender, which
+is exactly the PR 7 degraded-mode livelock shape. Move the blocking
+operation outside the critical section, or tag the site
+`// spin-block-ok: <why>` when the operation is provably bounded.""",
+    "atomic-publish": """\
+Atomic publication pairing: a `store(..., memory_order_release)` on an
+atomic member must be observed by an acquire/seq_cst (or cmpxchg) load
+of the same member somewhere in the program — an unpaired release store
+means the pairing load exists but is too weak, or the flag is dead. A
+relaxed store to a member that another class loads with a non-relaxed
+order is the announce-before-publish bug class (PR 1): the writer
+publishes nothing even though the reader synchronizes. Strengthen the
+store to release, or relax the reader if no data is published.""",
 }
 
 CHECK_IDS = tuple(EXPLAIN)
@@ -88,118 +116,7 @@ class CheckConfig:
 
 
 # ---------------------------------------------------------------------------
-# Cross-file registries
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class Registry:
-    # class -> lock member -> rank name (None when not statically known)
-    class_locks: Dict[str, Dict[str, Optional[str]]] = field(
-        default_factory=dict)
-    # member name -> set of rank names across all classes
-    member_ranks: Dict[str, Set[str]] = field(default_factory=dict)
-    # (class, method) -> lock member it returns (RETURN_CAPABILITY)
-    returns_lock: Dict[Tuple[str, str], str] = field(default_factory=dict)
-    # method name -> set of ranks its RETURN_CAPABILITY target can have
-    method_ranks: Dict[str, Set[str]] = field(default_factory=dict)
-    # function lookup: qualified and (if unique) bare name
-    functions: Dict[str, Tuple[str, FunctionFacts]] = field(
-        default_factory=dict)
-    ambiguous: Set[str] = field(default_factory=set)
-
-
-def build_registry(project: ProjectFacts) -> Registry:
-    reg = Registry()
-    global_ctor_ranks: Dict[str, Dict[str, str]] = {}
-    for ff in project.files.values():
-        for cls, ranks in ff.ctor_ranks.items():
-            global_ctor_ranks.setdefault(cls, {}).update(ranks)
-    for ff, cf in project.all_classes():
-        locks = reg.class_locks.setdefault(cf.name, {})
-        for mem in cf.members:
-            if mem.lock_type:
-                rank = (mem.lock_rank or cf.ctor_ranks.get(mem.name) or
-                        global_ctor_ranks.get(cf.name,
-                                              {}).get(mem.name))
-                locks[mem.name] = rank
-                if rank:
-                    reg.member_ranks.setdefault(mem.name,
-                                                set()).add(rank)
-        for method, target in cf.returns_lock.items():
-            reg.returns_lock[(cf.name, method)] = target
-            rank = locks.get(target)
-            if rank:
-                reg.method_ranks.setdefault(method, set()).add(rank)
-    for ff, fn in project.all_functions():
-        for key in (fn.qualified(), fn.name):
-            if key in reg.ambiguous:
-                continue
-            if key in reg.functions and \
-                    reg.functions[key][1] is not fn:
-                del reg.functions[key]
-                reg.ambiguous.add(key)
-            else:
-                reg.functions[key] = (ff.path, fn)
-    return reg
-
-
-def _unique(ranks: Optional[Set[str]]) -> Optional[str]:
-    if ranks and len(ranks) == 1:
-        return next(iter(ranks))
-    return None
-
-
-def resolve_rank(expr: str, fn: FunctionFacts, reg: Registry) \
-        -> Optional[str]:
-    """Best-effort LockRank of a guard expression, or None."""
-    expr = expr.strip().lstrip("*&").strip()
-    if not expr:
-        return None
-    # Striped lock: locks_.For(h) / x->row_locks_.For(h)
-    sm = re.match(r"(.+?)(?:\.|->)For\s*\(", expr)
-    if sm:
-        return resolve_rank(sm.group(1), fn, reg)
-    # Method call returning a capability: entry->lock()
-    cm = re.match(r"(.+?)(?:\.|->)(\w+)\s*\(\s*\)$", expr)
-    if cm:
-        recv, method = cm.group(1), cm.group(2)
-        rtype = _receiver_type(recv, fn)
-        if rtype and (rtype, method) in reg.returns_lock:
-            member = reg.returns_lock[(rtype, method)]
-            return reg.class_locks.get(rtype, {}).get(member)
-        return _unique(reg.method_ranks.get(method))
-    if expr.endswith("()"):  # bare capability-returning call: lock()
-        method = expr[:-2].strip()
-        if fn.cls and (fn.cls, method) in reg.returns_lock:
-            member = reg.returns_lock[(fn.cls, method)]
-            return reg.class_locks.get(fn.cls, {}).get(member)
-        return _unique(reg.method_ranks.get(method))
-    # Member access: shard.lock / slot->lock / this->lock_
-    mm = re.match(r"(.+?)(?:\.|->)(\w+)$", expr)
-    if mm:
-        recv, member = mm.group(1), mm.group(2)
-        if recv == "this" and fn.cls:
-            return reg.class_locks.get(fn.cls, {}).get(member)
-        rtype = _receiver_type(recv, fn)
-        if rtype and rtype in reg.class_locks:
-            return reg.class_locks[rtype].get(member)
-        return _unique(reg.member_ranks.get(member))
-    # Bare identifier: member of the enclosing class, else unique name.
-    if fn.cls and expr in reg.class_locks.get(fn.cls, {}):
-        return reg.class_locks[fn.cls].get(expr)
-    return _unique(reg.member_ranks.get(expr))
-
-
-def _receiver_type(recv: str, fn: FunctionFacts) -> Optional[str]:
-    recv = recv.strip().lstrip("*&").strip()
-    if not re.fullmatch(r"[A-Za-z_]\w*", recv):
-        return None
-    return fn.params.get(recv) or fn.locals.get(recv)
-
-
-# ---------------------------------------------------------------------------
-# Checks
+# Checks (cross-file registries and call resolution live in summaries.py)
 # ---------------------------------------------------------------------------
 
 
@@ -246,46 +163,264 @@ def check_lock_rank(project: ProjectFacts, reg: Registry,
                                 f"(LockRank::{outer}); ranks must "
                                 f"strictly increase inward",
                         token=f"{fn.qualified()}:{inner}<={outer}"))
-        # one level of call propagation
-        for call in fn.calls:
-            if not call.held:
-                continue
-            held_ranks = [(e, resolve_rank(e, fn, reg))
-                          for e in call.held]
-            held_ranks = [(e, r) for e, r in held_ranks
-                          if r in LOCK_RANKS]
-            if not held_ranks:
-                continue
-            callee = _lookup_callee(call.name, reg)
-            if callee is None or callee[1] is fn:
-                continue
-            callee_path, callee_fn = callee
-            for i, expr in enumerate(callee_fn.guards):
-                acq = resolve_rank(expr, callee_fn, reg)
-                if acq is None or acq not in LOCK_RANKS:
-                    continue
-                for held_expr, held in held_ranks:
-                    if LOCK_RANKS[acq] <= LOCK_RANKS[held]:
-                        diags.append(Diagnostic(
-                            path=ff.path, line=call.line,
-                            check="lock-rank",
-                            message=f"calls {call.name} (which acquires "
-                                    f"LockRank::{acq} at {callee_path}:"
-                                    f"{callee_fn.guard_lines[i]}) while "
-                                    f"holding {held_expr} (LockRank::"
-                                    f"{held})",
-                            token=f"{fn.qualified()}->"
-                                  f"{callee_fn.qualified()}:"
-                                  f"{acq}<={held}"))
     return diags
 
 
-def _lookup_callee(chain: str, reg: Registry):
-    last = re.split(r"\.|->", chain)[-1]
-    for key in (chain, last):
-        if key in reg.functions:
-            return reg.functions[key]
+def _trace_notes(trace) -> Tuple[str, ...]:
+    """Renders a summary trace ([file, line, label] hops, outermost
+    first) as diagnostic continuation lines."""
+    return tuple(f"at {hop[0]}:{hop[1]}: {hop[2]}" for hop in trace)
+
+
+def _held_ranks(exprs, fn: FunctionFacts, reg: Registry):
+    out = []
+    for e in exprs:
+        r = resolve_rank(e, fn, reg)
+        if r in LOCK_RANKS:
+            out.append((e, r))
+    return out
+
+
+def check_lock_rank_deep(project: ProjectFacts, reg: Registry,
+                         resolver: Resolver,
+                         summaries: Dict[str, FunctionSummary],
+                         cfg: CheckConfig) -> List[Diagnostic]:
+    """Rank inversions through arbitrarily deep call chains: summaries
+    carry every rank a callee transitively acquires plus one example
+    trace, so each held-lock call site is a dictionary probe."""
+    diags = []
+    for ff, fn in project.all_functions():
+        for call in fn.calls:
+            if not call.held:
+                continue
+            held = _held_ranks(call.held, fn, reg)
+            if not held:
+                continue
+            for cpath, cfn in resolver.resolve_call(
+                    ff.path, fn, call.line, call.name):
+                if cfn is fn:
+                    continue
+                summ = summaries.get(fn_key(cpath, cfn))
+                if summ is None:
+                    continue
+                for acq, trace in sorted(summ.ranks.items()):
+                    if acq not in LOCK_RANKS:
+                        continue
+                    for held_expr, held_rank in held:
+                        if LOCK_RANKS[acq] > LOCK_RANKS[held_rank]:
+                            continue
+                        head = (f"calls {call.name} while holding "
+                                f"{held_expr} (LockRank::{held_rank})")
+                        diags.append(Diagnostic(
+                            path=ff.path, line=call.line,
+                            check="lock-rank-deep",
+                            message=f"call chain acquires LockRank::"
+                                    f"{acq} ({len(trace)} frame(s) "
+                                    f"deep) while holding {held_expr} "
+                                    f"(LockRank::{held_rank}); ranks "
+                                    f"must strictly increase inward",
+                            token=f"{fn.qualified()}->"
+                                  f"{cfn.qualified()}:"
+                                  f"{acq}<={held_rank}",
+                            notes=(head,) + _trace_notes(trace)))
+    return diags
+
+
+def _spin_held(exprs, fn: FunctionFacts, reg: Registry) \
+        -> Optional[str]:
+    """First held guard expression that resolves to a spin lock."""
+    for e in exprs:
+        if resolve_lock_type(e, fn, reg) in SPIN_LOCK_TYPES:
+            return e
     return None
+
+
+_SPIN_TAG_WINDOW = 3
+
+
+def check_spin_blocking(project: ProjectFacts, reg: Registry,
+                        resolver: Resolver,
+                        summaries: Dict[str, FunctionSummary],
+                        cfg: CheckConfig) -> List[Diagnostic]:
+    """Any blocking primitive or allocation reached — directly or
+    through the call graph — while a Spinlock is held."""
+    diags = []
+    for ff, fn in project.all_functions():
+        qual = fn.qualified()
+        for b in fn.blocking:
+            spin = _spin_held(b.held, fn, reg)
+            if spin is None or b.tagged:
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=b.line, check="spin-blocking",
+                message=f"{b.what} while holding Spinlock {spin}; "
+                        f"spinlock holds must stay bounded (tag "
+                        f"`spin-block-ok:` if provably bounded)",
+                token=f"{qual}:{b.what}"))
+        for a in fn.allocs:
+            spin = _spin_held(a.held, fn, reg)
+            if spin is None or a.tagged:
+                continue
+            if ff.has_tag_near(a.line, "spin-block-ok:",
+                               window=_SPIN_TAG_WINDOW):
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=a.line, check="spin-blocking",
+                message=f"allocates ({a.what}) while holding Spinlock "
+                        f"{spin}; allocation may take the allocator "
+                        f"lock or fault (tag `spin-block-ok:` if "
+                        f"provably bounded)",
+                token=f"{qual}:alloc:{a.what}"))
+        for nest in fn.nests:
+            if resolve_lock_type(nest.inner, fn, reg) \
+                    not in MUTEX_LOCK_TYPES:
+                continue
+            spin = _spin_held(nest.outers, fn, reg)
+            if spin is None:
+                continue
+            if ff.has_tag_near(nest.line, "spin-block-ok:",
+                               window=_SPIN_TAG_WINDOW):
+                continue
+            diags.append(Diagnostic(
+                path=ff.path, line=nest.line, check="spin-blocking",
+                message=f"acquires mutex {nest.inner} while holding "
+                        f"Spinlock {spin}; a blocked holder spins "
+                        f"every other contender",
+                token=f"{qual}:mutex-under-spin"))
+        for call in fn.calls:
+            spin = _spin_held(call.held, fn, reg)
+            if spin is None:
+                continue
+            if ff.has_tag_near(call.line, "spin-block-ok:",
+                               window=_SPIN_TAG_WINDOW):
+                continue
+            for cpath, cfn in resolver.resolve_call(
+                    ff.path, fn, call.line, call.name):
+                if cfn is fn:
+                    continue
+                summ = summaries.get(fn_key(cpath, cfn))
+                if summ is None:
+                    continue
+                head = (f"calls {call.name} while holding Spinlock "
+                        f"{spin}")
+                for what, trace in sorted(summ.blocking.items()):
+                    diags.append(Diagnostic(
+                        path=ff.path, line=call.line,
+                        check="spin-blocking",
+                        message=f"call chain reaches {what} "
+                                f"({len(trace)} frame(s) deep) while "
+                                f"holding Spinlock {spin}",
+                        token=f"{qual}->{cfn.qualified()}:{what}",
+                        notes=(head,) + _trace_notes(trace)))
+                for what, trace in sorted(summ.allocs.items()):
+                    diags.append(Diagnostic(
+                        path=ff.path, line=call.line,
+                        check="spin-blocking",
+                        message=f"call chain allocates ({what}, "
+                                f"{len(trace)} frame(s) deep) while "
+                                f"holding Spinlock {spin}",
+                        token=f"{qual}->{cfn.qualified()}:"
+                              f"alloc:{what}",
+                        notes=(head,) + _trace_notes(trace)))
+    return diags
+
+
+# Ops that constitute a read of the published value. A cmpxchg's order
+# fact records its success order.
+_ATOMIC_READ_OPS = ("load", "exchange", "fetch_add", "fetch_sub",
+                    "fetch_and", "fetch_or", "fetch_xor",
+                    "compare_exchange_weak", "compare_exchange_strong")
+# Orders strong enough to pair with a release store (None = defaulted
+# seq_cst).
+_ACQUIRING_ORDERS = (None, "consume", "acquire", "acq_rel", "seq_cst")
+
+
+def check_atomic_publish(project: ProjectFacts, reg: Registry,
+                         cfg: CheckConfig) -> List[Diagnostic]:
+    """Publication pairing over all atomic member ops in the program."""
+    owners_of: Dict[str, set] = {}
+    for cls, members in reg.atomic_members.items():
+        for m in members:
+            owners_of.setdefault(m, set()).add(cls)
+    stores: Dict[Tuple[str, str], List] = {}
+    reads: Dict[Tuple[str, str], List] = {}
+    for path, ff in sorted(project.files.items()):
+        for site in ff.atomic_ops:
+            if site.owner == "<local>":
+                continue
+            if site.owner:
+                if site.member not in reg.atomic_members.get(site.owner,
+                                                             ()):
+                    continue       # mis-resolved or not atomic: skip
+                cls = site.owner
+            else:
+                owners = owners_of.get(site.member, set())
+                if len(owners) != 1:
+                    continue
+                cls = next(iter(owners))
+            key = (cls, site.member)
+            if site.op == "store":
+                stores.setdefault(key, []).append((path, site))
+            if site.op in _ATOMIC_READ_OPS:
+                reads.setdefault(key, []).append((path, site))
+    diags = []
+    for key in sorted(stores):
+        cls, member = key
+        sts = stores[key]
+        rel = [(p, s) for p, s in sts if s.order == "release"]
+        if rel:
+            paired = [(p, s) for p, s in reads.get(key, [])
+                      if s.order in _ACQUIRING_ORDERS]
+            if not paired:
+                path, site = rel[0]
+                weak = reads.get(key, [])
+                notes = tuple(
+                    f"at {p}:{s.line}: {s.op} with memory_order_"
+                    f"{s.order} does not synchronize"
+                    for p, s in weak[:3])
+                diags.append(Diagnostic(
+                    path=path, line=site.line, check="atomic-publish",
+                    message=f"release store to {cls}::{member} has no "
+                            f"acquire/seq_cst load anywhere in the "
+                            f"program; the publication is unobservable"
+                            + ("" if weak else
+                               " (no load of this member at all)"),
+                    token=f"{cls}::{member}:unpaired-release",
+                    notes=notes))
+        for spath, ssite in [(p, s) for p, s in sts
+                             if s.order == "relaxed"]:
+            cross = [(p, s) for p, s in reads.get(key, [])
+                     if s.cls != ssite.cls and s.cls != cls and
+                     s.order in _ACQUIRING_ORDERS]
+            if not cross:
+                continue
+            rpath, rsite = cross[0]
+            diags.append(Diagnostic(
+                path=spath, line=ssite.line, check="atomic-publish",
+                message=f"relaxed store to {cls}::{member} is read "
+                        f"with memory_order_"
+                        f"{rsite.order or 'seq_cst'} from "
+                        f"'{rsite.cls or '<free>'}'; the reader "
+                        f"synchronizes with nothing (publish with "
+                        f"release, or relax the reader)",
+                token=f"{cls}::{member}:relaxed-cross-class",
+                notes=(f"at {rpath}:{rsite.line}: {rsite.op} by "
+                       f"'{rsite.cls or '<free>'}'",)))
+            break
+    return diags
+
+
+def ambiguity_diags(resolver: Resolver) -> List[Diagnostic]:
+    """Info-severity notices for calls resolved only by last-segment
+    fallback (printed with --verbose; never affect the exit code)."""
+    return [Diagnostic(
+        path=p, line=line, check="analyzer-ambiguous",
+        severity="info",
+        message=f"call '{chain}' resolved only by last-segment "
+                f"fallback to '{target}'; type the receiver or "
+                f"qualify the call",
+        token=f"{chain}->{target}")
+        for p, line, chain, target in resolver.fallbacks]
 
 
 _EXEMPT_MEMBER_TYPES = ("condition_variable",)
@@ -394,6 +529,7 @@ def _line_text(project: ProjectFacts, path: str, line: int) -> str:
 
 
 def check_hotpath_alloc(project: ProjectFacts, reg: Registry,
+                        resolver: Resolver,
                         cfg: CheckConfig) -> List[Diagnostic]:
     hot = set(cfg.hot)
     diags = []
@@ -410,35 +546,63 @@ def check_hotpath_alloc(project: ProjectFacts, reg: Registry,
                         f"`alloc-ok:`",
                 token=f"{fn.qualified()}:{site.what}"))
         for call in fn.calls:
-            callee = _lookup_callee(call.name, reg)
-            if callee is None or callee[1] is fn:
-                continue
-            callee_path, callee_fn = callee
-            if callee_fn.qualified() in hot or callee_fn.name in hot:
-                continue  # reported on the callee itself
-            bad = [a for a in callee_fn.allocs if not a.tagged]
-            if not bad:
-                continue
-            if ff.has_tag_near(call.line, "alloc-ok:", window=3):
-                continue
-            diags.append(Diagnostic(
-                path=ff.path, line=call.line, check="hotpath-alloc",
-                message=f"hot-path function '{fn.qualified()}' calls "
-                        f"'{callee_fn.qualified()}' which allocates "
-                        f"({bad[0].what} at {callee_path}:"
-                        f"{bad[0].line}); tag `alloc-ok:` or hoist",
-                token=f"{fn.qualified()}->{callee_fn.qualified()}"))
+            for callee_path, callee_fn in resolver.resolve_call(
+                    ff.path, fn, call.line, call.name):
+                if callee_fn is fn:
+                    continue
+                if callee_fn.qualified() in hot or \
+                        callee_fn.name in hot:
+                    continue  # reported on the callee itself
+                bad = [a for a in callee_fn.allocs if not a.tagged]
+                if not bad:
+                    continue
+                if ff.has_tag_near(call.line, "alloc-ok:", window=3):
+                    continue
+                diags.append(Diagnostic(
+                    path=ff.path, line=call.line, check="hotpath-alloc",
+                    message=f"hot-path function '{fn.qualified()}' "
+                            f"calls '{callee_fn.qualified()}' which "
+                            f"allocates ({bad[0].what} at "
+                            f"{callee_path}:{bad[0].line}); tag "
+                            f"`alloc-ok:` or hoist",
+                    token=f"{fn.qualified()}->"
+                          f"{callee_fn.qualified()}"))
     return diags
 
 
-def run_checks(project: ProjectFacts, cfg: CheckConfig) \
-        -> List[Diagnostic]:
+def run_checks(project: ProjectFacts, cfg: CheckConfig,
+               stats_out: Optional[Dict[str, int]] = None,
+               summary_cache=None) -> List[Diagnostic]:
+    """Runs the configured checks. Info-severity diagnostics
+    (analyzer-ambiguous) ride along in the returned list; callers that
+    gate exit codes filter on `severity`. When `stats_out` is given it
+    receives the call-resolution kind counts. `summary_cache` is an
+    optional (FactsCache, project_digest) pair holding the serialized
+    summary fixpoint; resolution stats then cover only check-driven
+    resolutions, since the fixpoint's own resolutions are skipped."""
     reg = build_registry(project)
+    resolver = Resolver(reg)
+    summaries = None
+    if summary_cache is not None:
+        cache, digest = summary_cache
+        summaries = cache.get_summaries(digest)
+    if summaries is None:
+        summaries = build_summaries(project, reg, resolver)
+        if summary_cache is not None:
+            cache.put_summaries(digest, summaries)
     diags: List[Diagnostic] = []
     if "layering" in cfg.checks:
         diags += check_layering(project, cfg)
     if "lock-rank" in cfg.checks:
         diags += check_lock_rank(project, reg, cfg)
+    if "lock-rank-deep" in cfg.checks:
+        diags += check_lock_rank_deep(project, reg, resolver,
+                                      summaries, cfg)
+    if "spin-blocking" in cfg.checks:
+        diags += check_spin_blocking(project, reg, resolver,
+                                     summaries, cfg)
+    if "atomic-publish" in cfg.checks:
+        diags += check_atomic_publish(project, reg, cfg)
     if "tsa-coverage" in cfg.checks:
         diags += check_tsa_coverage(project, cfg)
     if {"atomics-relaxed", "atomics-raw",
@@ -448,7 +612,10 @@ def run_checks(project: ProjectFacts, cfg: CheckConfig) \
     if "retry-loop" in cfg.checks:
         diags += check_retry_loop(project, cfg)
     if "hotpath-alloc" in cfg.checks:
-        diags += check_hotpath_alloc(project, reg, cfg)
+        diags += check_hotpath_alloc(project, reg, resolver, cfg)
+    diags += ambiguity_diags(resolver)
+    if stats_out is not None:
+        stats_out.update(resolver.stats)
     seen = set()
     unique = []
     for d in sorted(diags, key=lambda d: (d.path, d.line, d.check)):

@@ -3,26 +3,31 @@
     python3 scripts/frugal_analyze [paths...]          # analyze src/
     python3 scripts/frugal_analyze --explain lock-rank
     python3 scripts/frugal_analyze --list-checks
+    python3 scripts/frugal_analyze --format=sarif > findings.sarif
 
 Exit codes: 0 clean (or suppressed-only), 1 unsuppressed diagnostics,
-2 usage / infrastructure error.
+2 usage / infrastructure error. Info-severity diagnostics
+(analyzer-ambiguous) print only with --verbose and never affect the
+exit code or the baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List, Optional
 
 from . import __version__
-from .cache import FactsCache
+from .cache import FactsCache, include_closure_salts, project_digest
 from .checks import CHECK_IDS, EXPLAIN, CheckConfig, run_checks
-from .diagnostics import Baseline
+from .diagnostics import Baseline, Diagnostic
 from .facts import FileFacts, ProjectFacts
 from . import frontend_clang
 from .frontend_internal import parse_file
 from .project import HOT_FUNCTIONS
+from .summaries import RESOLUTION_KINDS
 
 SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -67,8 +72,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--explain", metavar="CHECK-ID",
                     help="describe a check and how to fix/exempt it")
     ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--format", choices=("text", "sarif"),
+                    default="text",
+                    help="findings output format (default text; sarif "
+                         "emits a SARIF 2.1.0 document on stdout)")
     ap.add_argument("--stats", action="store_true",
                     help="print cache and corpus statistics")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="also print info-severity diagnostics "
+                         "(analyzer-ambiguous) and call-resolution "
+                         "statistics")
     ap.add_argument("-q", "--quiet", action="store_true")
     ap.add_argument("--version", action="version",
                     version=f"frugal_analyze {__version__}")
@@ -101,24 +114,68 @@ def _add_source(out: Dict[str, str], abs_path: str,
     out[rel.replace(os.sep, "/")] = abs_path
 
 
-def _analyze_internal(sources: Dict[str, str],
-                      cache: FactsCache) -> ProjectFacts:
-    project = ProjectFacts()
+def _read_contents(sources: Dict[str, str]) -> Dict[str, bytes]:
+    contents: Dict[str, bytes] = {}
     for rel, abs_path in sources.items():
         try:
             with open(abs_path, "rb") as f:
-                content = f.read()
+                contents[rel] = f.read()
         except OSError as e:
             print(f"frugal_analyze: cannot read {abs_path}: {e}",
                   file=sys.stderr)
-            continue
-        facts = cache.get(content)
+    return contents
+
+
+def _analyze_internal(contents: Dict[str, bytes],
+                      cache: FactsCache) -> ProjectFacts:
+    salts = include_closure_salts(contents)
+    project = ProjectFacts()
+    for rel, content in contents.items():
+        facts = cache.get(content, salt=salts[rel])
         if facts is None or facts.path != rel:
             facts = parse_file(rel, content.decode("utf-8",
                                                    errors="replace"))
-            cache.put(content, facts)
+            cache.put(content, facts, salt=salts[rel])
         project.files[rel] = facts
     return project
+
+
+def _sarif_doc(diags: List[Diagnostic]) -> dict:
+    """SARIF 2.1.0 document over the given diagnostics."""
+    rules = [{"id": cid,
+              "shortDescription": {
+                  "text": EXPLAIN[cid].splitlines()[0]},
+              "fullDescription": {"text": EXPLAIN[cid]}}
+             for cid in CHECK_IDS]
+    results = []
+    for d in diags:
+        text = d.message
+        if d.notes:
+            text += "".join(f"\n  note: {n}" for n in d.notes)
+        results.append({
+            "ruleId": d.check,
+            "level": "note" if d.severity == "info" else "error",
+            "message": {"text": text},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d.path},
+                    "region": {"startLine": max(1, d.line)},
+                },
+            }],
+            "partialFingerprints": {"frugalAnalyzeKey/v1": d.key()},
+        })
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "frugal_analyze",
+                                "version": __version__,
+                                "informationUri":
+                                    "DESIGN.md#11-static-analysis",
+                                "rules": rules}},
+            "results": results,
+        }],
+    }
 
 
 def _analyze_clang(sources: Dict[str, str], cache: FactsCache,
@@ -205,6 +262,7 @@ def main(argv: List[str]) -> int:
 
     frontend = args.frontend
     project = None
+    summary_cache = None
     if frontend in ("auto", "clang"):
         cache = FactsCache(cache_dir, "clang")
         project = _analyze_clang(sources, cache, compile_commands,
@@ -220,9 +278,15 @@ def main(argv: List[str]) -> int:
                       "unavailable; using the internal frontend",
                       file=sys.stderr)
             frontend = "internal"
+        else:
+            frontend = "clang"
     if project is None:
         cache = FactsCache(cache_dir, "internal")
-        project = _analyze_internal(sources, cache)
+        contents = _read_contents(sources)
+        project = _analyze_internal(contents, cache)
+        if cache.dir:
+            summary_cache = (cache,
+                             project_digest("internal", contents))
 
     checks = tuple(c.strip() for c in args.checks.split(",")) \
         if args.checks else CHECK_IDS
@@ -234,7 +298,11 @@ def main(argv: List[str]) -> int:
     cfg = CheckConfig(window=args.window,
                       hot=tuple(args.hot) if args.hot else HOT_FUNCTIONS,
                       checks=checks)
-    diags = run_checks(project, cfg)
+    stats: Dict[str, int] = {}
+    diags = run_checks(project, cfg, stats_out=stats,
+                       summary_cache=summary_cache)
+    errors = [d for d in diags if d.severity != "info"]
+    infos = [d for d in diags if d.severity == "info"]
 
     if args.write_baseline:
         with open(baseline_path, "w", encoding="utf-8") as f:
@@ -242,17 +310,26 @@ def main(argv: List[str]) -> int:
                     "# One `path:check-id:token` per line; every entry "
                     "must carry a\n# justifying comment. The goal state "
                     "is an empty file.\n")
-            for d in diags:
+            for d in errors:
                 f.write(d.key() + "\n")
-        print(f"wrote {len(diags)} baseline entries to {baseline_path}")
+        print(f"wrote {len(errors)} baseline entries to "
+              f"{baseline_path}")
         return 0
 
     baseline = Baseline() if args.no_baseline \
         else Baseline.load(baseline_path)
-    unsuppressed, suppressed, stale = baseline.split(diags)
+    unsuppressed, suppressed, stale = baseline.split(errors)
 
-    for d in unsuppressed:
-        print(d.render())
+    if args.format == "sarif":
+        shown = unsuppressed + (infos if args.verbose else [])
+        json.dump(_sarif_doc(shown), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for d in unsuppressed:
+            print(d.render())
+        if args.verbose:
+            for d in infos:
+                print(d.render())
     if stale and not args.quiet:
         for key in stale:
             print(f"frugal_analyze: stale baseline entry: {key}",
@@ -261,9 +338,17 @@ def main(argv: List[str]) -> int:
         print(f"frugal_analyze: {len(sources)} files, frontend="
               f"{frontend}, cache hits={cache.hits} "
               f"misses={cache.misses}", file=sys.stderr)
+    if args.verbose:
+        counts = " ".join(f"{k}={stats.get(k, 0)}"
+                          for k in RESOLUTION_KINDS)
+        print(f"frugal_analyze: call resolutions: {counts}",
+              file=sys.stderr)
     if not args.quiet:
         msg = f"frugal_analyze: {len(unsuppressed)} finding(s)"
         if suppressed:
             msg += f", {len(suppressed)} baseline-suppressed"
+        if infos and not args.verbose:
+            msg += (f" ({len(infos)} ambiguous resolution(s); "
+                    f"--verbose to list)")
         print(msg, file=sys.stderr)
     return 1 if unsuppressed else 0

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import List, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -19,13 +19,22 @@ class Diagnostic:
     check: str
     message: str
     token: str         # stable symbol for baseline matching
+    severity: str = "error"        # "error" | "info"
+    # Call-path (or cross-reference) continuation lines. Rendered
+    # indented under the main line so the `path:line: check:` grammar
+    # stays one-finding-per-line for tools that parse the output.
+    notes: Tuple[str, ...] = ()
 
     def key(self) -> str:
         return f"{self.path}:{self.check}:{self.token}"
 
     def render(self, prefix: str = "") -> str:
-        return f"{prefix}{self.path}:{self.line}: {self.check}: " \
+        head = f"{prefix}{self.path}:{self.line}: {self.check}: " \
                f"{self.message}"
+        if not self.notes:
+            return head
+        return "\n".join([head] + [f"{prefix}    note: {n}"
+                                   for n in self.notes])
 
 
 def token_for_line(code: str) -> str:

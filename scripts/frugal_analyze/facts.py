@@ -60,6 +60,39 @@ class AllocSite:
     line: int
     what: str                      # "new", "make_unique", ".push_back", ...
     tagged: bool = False           # has an `alloc-ok:` tag
+    held: List[str] = field(default_factory=list)  # active guard exprs
+
+
+@dataclass
+class BlockingSite:
+    """A directly-blocking primitive: a CV wait, a sleep, file I/O.
+
+    Higher-level blocking operations (BlockingQueue::PopFor, Mutex
+    acquisition, RetryWithBackoff) are *not* recorded here — they reach
+    the checks transitively through call-graph summaries, which keeps
+    the primitive vocabulary tiny and both frontends in agreement."""
+
+    line: int
+    what: str                      # "cv-wait" | "sleep" | "file-io"
+    tagged: bool = False           # has a `spin-block-ok:` tag
+    held: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AtomicOpSite:
+    """One explicit atomic member operation (store/load/RMW/cmpxchg).
+
+    `owner` is the best-effort class owning the member ("" when only the
+    member name is known — the checks fall back to project-unique member
+    names; "<local>" marks an op on a local/parameter atomic, which the
+    publication-pairing check skips entirely)."""
+
+    line: int
+    op: str                        # "store", "load", "exchange", ...
+    member: str                    # last segment of the object expression
+    owner: str = ""                # owning class, "" unknown, "<local>"
+    order: Optional[str] = None    # memory-order token, None = default
+    cls: str = ""                  # class enclosing the *use* site
 
 
 @dataclass
@@ -72,6 +105,7 @@ class FunctionFacts:
     nests: List[GuardNest] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
     allocs: List[AllocSite] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
     params: Dict[str, str] = field(default_factory=dict)   # name -> type
     locals: Dict[str, str] = field(default_factory=dict)   # name -> type
 
@@ -96,6 +130,7 @@ class FileFacts:
     raw_atomic_lines: List[int] = field(default_factory=list)
     sleep_lines: List[int] = field(default_factory=list)
     cmpxchg: List[CmpxchgSite] = field(default_factory=list)
+    atomic_ops: List[AtomicOpSite] = field(default_factory=list)
     # tag -> lines carrying it (copied from the lexer so cached facts
     # stay self-contained)
     tag_lines: Dict[str, List[int]] = field(default_factory=dict)
@@ -124,6 +159,8 @@ class FileFacts:
             fn.nests = [GuardNest(**n) for n in f.get("nests", [])]
             fn.calls = [CallSite(**cs) for cs in f.get("calls", [])]
             fn.allocs = [AllocSite(**a) for a in f.get("allocs", [])]
+            fn.blocking = [BlockingSite(**b)
+                           for b in f.get("blocking", [])]
             fn.params = dict(f.get("params", {}))
             fn.locals = dict(f.get("locals", {}))
             ff.functions.append(fn)
@@ -131,6 +168,8 @@ class FileFacts:
         ff.raw_atomic_lines = list(d.get("raw_atomic_lines", []))
         ff.sleep_lines = list(d.get("sleep_lines", []))
         ff.cmpxchg = [CmpxchgSite(**c) for c in d.get("cmpxchg", [])]
+        ff.atomic_ops = [AtomicOpSite(**a)
+                         for a in d.get("atomic_ops", [])]
         ff.tag_lines = {k: list(v) for k, v in d.get("tag_lines",
                                                      {}).items()}
         ff.ctor_ranks = {k: dict(v)
@@ -160,3 +199,41 @@ class ProjectFacts:
         for ff in self.files.values():
             for fn in ff.functions:
                 yield ff, fn
+
+
+# A trace is one example path from a function to an effect it reaches
+# transitively: a list of [file, line, label] hops, outermost first,
+# ending at the line of the primitive effect itself.
+Trace = List[List]
+
+
+@dataclass
+class FunctionSummary:
+    """Whole-program fixpoint summary of one function (summaries.py).
+
+    Each map sends an effect key to *one* example trace showing how the
+    function reaches it — enough for a diagnostic to print the full call
+    path without storing every path through the call graph.
+
+      ranks     LockRank name -> trace to the acquiring guard
+      blocking  kind ("cv-wait", "sleep", "file-io", "mutex-acquire")
+                -> trace to the blocking primitive
+      allocs    allocation kind ("new", ".push_back", ...) -> trace to
+                the (untagged) allocation site
+    """
+
+    ranks: Dict[str, Trace] = field(default_factory=dict)
+    blocking: Dict[str, Trace] = field(default_factory=dict)
+    allocs: Dict[str, Trace] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: dict) -> "FunctionSummary":
+        s = FunctionSummary()
+        for attr in ("ranks", "blocking", "allocs"):
+            got = d.get(attr, {})
+            setattr(s, attr, {k: [list(hop) for hop in trace]
+                              for k, trace in got.items()})
+        return s

@@ -24,9 +24,13 @@ import shutil
 import subprocess
 from typing import Dict, List, Optional
 
-from .facts import (AllocSite, CallSite, ClassFacts, CmpxchgSite,
-                    FileFacts, FunctionFacts, GuardNest, Member)
-from .frontend_internal import GUARD_TYPES, LOCK_TYPES, parse_file
+from .facts import (AllocSite, AtomicOpSite, BlockingSite, CallSite,
+                    ClassFacts, CmpxchgSite, FileFacts, FunctionFacts,
+                    GuardNest, Member)
+from .frontend_internal import (ALLOC_TAG_WINDOW, ATOMIC_OP_METHODS,
+                                BLOCKING_METHODS, FILE_IO_FNS,
+                                GUARD_TYPES, LOCK_TYPES, SLEEP_FNS,
+                                SPIN_BLOCK_TAG_WINDOW, parse_file)
 from .lexer import lex
 
 _ORDERS = ("relaxed", "consume", "acquire", "release", "acq_rel",
@@ -232,20 +236,36 @@ class _Walk:
         kind = node.get("kind", "")
         line = self.line(node)
         if kind == "CXXNewExpr":
-            fn.allocs.append(AllocSite(line=line, what="new"))
+            fn.allocs.append(AllocSite(line=line, what="new",
+                                       held=list(active)))
         elif kind in ("CallExpr", "CXXMemberCallExpr"):
             name = _callee_name(node)
+            member_call = kind == "CXXMemberCallExpr"
             if name:
                 if name.startswith("compare_exchange_"):
                     self._cmpxchg(node, line)
+                    self._atomic_op(node, name, line, fn)
+                elif member_call and name in ATOMIC_OP_METHODS:
+                    self._atomic_op(node, name, line, fn)
+                elif member_call and name in BLOCKING_METHODS:
+                    fn.blocking.append(BlockingSite(
+                        line=line, what="cv-wait", held=list(active)))
+                elif name in SLEEP_FNS:
+                    fn.blocking.append(BlockingSite(
+                        line=line, what="sleep", held=list(active)))
+                elif name in FILE_IO_FNS:
+                    fn.blocking.append(BlockingSite(
+                        line=line, what="file-io", held=list(active)))
                 elif name in ("push_back", "emplace_back", "resize",
                               "reserve", "insert", "emplace",
                               "try_emplace", "assign", "append"):
                     fn.allocs.append(AllocSite(line=line,
-                                               what="." + name))
+                                               what="." + name,
+                                               held=list(active)))
                 elif name in ("make_unique", "make_shared", "malloc",
                               "calloc", "realloc", "to_string"):
-                    fn.allocs.append(AllocSite(line=line, what=name))
+                    fn.allocs.append(AllocSite(line=line, what=name,
+                                               held=list(active)))
                 else:
                     fn.calls.append(CallSite(line=line, name=name,
                                              held=list(active)))
@@ -269,6 +289,19 @@ class _Walk:
             site.success = orders[0]
         if self.cur_file:
             self.facts(self.cur_file).cmpxchg.append(site)
+
+    def _atomic_op(self, node: dict, op: str, line: int,
+                   fn: FunctionFacts) -> None:
+        """Records one explicit atomic member op (facts.AtomicOpSite)."""
+        if self.cur_file is None:
+            return
+        member, owner = _atomic_receiver(node, fn)
+        if not member:
+            return
+        orders = _collect_orders(node)
+        self.facts(self.cur_file).atomic_ops.append(AtomicOpSite(
+            line=line, op=op, member=member, owner=owner,
+            order=orders[0] if orders else None, cls=fn.cls))
 
 
 def _has_body(node: dict) -> bool:
@@ -341,6 +374,61 @@ def _callee_name(node: dict) -> str:
     return ""
 
 
+def _obj_node(node: dict) -> Optional[dict]:
+    """First MemberExpr/DeclRefExpr/CXXThisExpr under `node`, skipping
+    implicit casts and parens."""
+    for c in node.get("inner", []) or []:
+        k = c.get("kind", "")
+        if k in ("MemberExpr", "DeclRefExpr", "CXXThisExpr"):
+            return c
+        got = _obj_node(c)
+        if got is not None:
+            return got
+    return None
+
+
+def _node_name(node: dict) -> str:
+    return node.get("name") or \
+        (node.get("referencedDecl") or {}).get("name", "")
+
+
+def _atomic_receiver(node: dict, fn: FunctionFacts):
+    """(member, owner) of an atomic member call's receiver.
+
+    The callee MemberExpr names the op; its first inner object node is
+    the atomic itself. A MemberExpr receiver rooted at `this` (or with
+    no visible base) owns to the enclosing class; one rooted at a typed
+    param/local owns to that type; a bare DeclRefExpr receiver is a
+    local/param atomic ("<local>"), which the pairing check skips."""
+    callee = None
+    for c in node.get("inner", []) or []:
+        if c.get("kind") == "MemberExpr":
+            callee = c
+            break
+    if callee is None:
+        return "", ""
+    obj = _obj_node(callee)
+    if obj is None:
+        return "", fn.cls
+    kind = obj.get("kind", "")
+    if kind == "MemberExpr":
+        member = _node_name(obj)
+        base = _obj_node(obj)
+        if base is None or base.get("kind") == "CXXThisExpr":
+            return member, fn.cls
+        if base.get("kind") == "DeclRefExpr":
+            bname = _node_name(base)
+            typ = fn.params.get(bname) or fn.locals.get(bname) or ""
+            return member, typ.split("::")[-1]
+        return member, ""
+    if kind == "DeclRefExpr":
+        name = _node_name(obj)
+        if name in fn.params or name in fn.locals:
+            return name, "<local>"
+        return name, ""
+    return "", fn.cls
+
+
 def collect_from_ast(ast: dict, want_file) -> Dict[str, FileFacts]:
     """Walks one TU's AST JSON. `want_file(abs_path)` maps an absolute
     file path to its src-root-relative path (or None to skip)."""
@@ -363,4 +451,14 @@ def merge_lexer_facts(ast_facts: FileFacts, path: str,
     ast_facts.sleep_lines = lx.sleep_lines
     if not ast_facts.cmpxchg:
         ast_facts.cmpxchg = lx.cmpxchg
+    if not ast_facts.atomic_ops:
+        ast_facts.atomic_ops = lx.atomic_ops
+    # Exempt tags live in comments, which the AST dump never sees.
+    for fn in ast_facts.functions:
+        for al in fn.allocs:
+            al.tagged = ast_facts.has_tag_near(
+                al.line, "alloc-ok:", window=ALLOC_TAG_WINDOW)
+        for bl in fn.blocking:
+            bl.tagged = ast_facts.has_tag_near(
+                bl.line, "spin-block-ok:", window=SPIN_BLOCK_TAG_WINDOW)
     return ast_facts

@@ -14,8 +14,9 @@ from __future__ import annotations
 import re
 from typing import List, Optional
 
-from .facts import (AllocSite, CallSite, ClassFacts, CmpxchgSite,
-                    FileFacts, FunctionFacts, GuardNest, Member)
+from .facts import (AllocSite, AtomicOpSite, BlockingSite, CallSite,
+                    ClassFacts, CmpxchgSite, FileFacts, FunctionFacts,
+                    GuardNest, Member)
 from .lexer import SourceFile, lex
 
 INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
@@ -58,8 +59,30 @@ ALLOC_FREE_FNS = ("make_unique", "make_shared", "malloc", "calloc",
 NEW_RE = re.compile(r"(?:^|[^\w.])new\b(?!\s*\()")  # excludes `.new`, none
 MEMORD_RE = re.compile(r"\bmemory_order(?:::|_)(\w+)")
 
+# Directly-blocking primitives (facts.BlockingSite). Everything
+# higher-level (PopFor, Mutex acquisition, RetryWithBackoff) reaches the
+# checks transitively through call-graph summaries.
+BLOCKING_METHODS = ("wait", "wait_for", "wait_until")     # receiver form
+SLEEP_FNS = ("sleep_for", "sleep_until")
+FILE_IO_FNS = ("fopen", "fread", "fwrite", "fclose", "fflush", "fsync",
+               "fdatasync")
+
+# Explicit atomic member operations (facts.AtomicOpSite). Extracted at
+# statement level so a memory-order argument on a continuation line is
+# still seen; excluded from the call graph.
+ATOMIC_OP_METHODS = ("compare_exchange_weak", "compare_exchange_strong",
+                     "store", "load", "exchange", "fetch_add",
+                     "fetch_sub", "fetch_and", "fetch_or", "fetch_xor")
+ATOMIC_OP_RE = re.compile(
+    r"([A-Za-z_]\w*(?:\s*\[[^\]]*\])?"
+    r"(?:(?:\.|->|::)[A-Za-z_]\w*(?:\s*\[[^\]]*\])?)*?)\s*"
+    r"(?:\.|->)\s*(" + "|".join(ATOMIC_OP_METHODS) + r")\s*\(")
+ATOMIC_RECV_RE = re.compile(
+    r"^(.*)(?:\.|->)\s*([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$", re.S)
+
 # `alloc-ok:` may sit at the top of a short justifying comment block.
 ALLOC_TAG_WINDOW = 3
+SPIN_BLOCK_TAG_WINDOW = 3
 
 ACCESS_LABEL_RE = re.compile(r"\b(?:public|private|protected)\s*:")
 CASE_LABEL_RE = re.compile(r"^\s*(?:case\b[^:]*|default\s*)\s*:\s*")
@@ -221,6 +244,7 @@ class Parser:
             if self.cur_function() is not None:
                 # `if (x.compare_exchange_...(...))` style headers
                 self._scan_cmpxchg(header, line)
+                self._scan_atomic_ops(header, line)
             self.depth += 1
             self._push_frame(kind, header, line)
             self.stmt = []
@@ -398,6 +422,7 @@ class Parser:
             fn.guard_lines.append(end)
             return
         self._scan_cmpxchg(stmt, end)
+        self._scan_atomic_ops(stmt, end)
         # simple local declarations feed guard-expression resolution
         dm = re.match(
             r"(?:const\s+)?(auto|[\w:]+(?:\s*<[^;=]*>)?)\s*[&*\s]+"
@@ -451,6 +476,59 @@ class Parser:
                 so = MEMORD_RE.search(parts[2])
                 site.success = so.group(1) if so else None
             self.ff.cmpxchg.append(site)
+
+    def _scan_atomic_ops(self, stmt: str, line: int) -> None:
+        """Statement-level atomic member-op extraction.
+
+        Runs on whole statements (and brace headers) so a memory-order
+        argument pushed to a continuation line is still attributed to
+        the op. Owner resolution is best effort: "<local>" for ops on
+        params/locals, the enclosing class for bare members, the
+        receiver's declared type otherwise, "" when unknown."""
+        fn_frame = self.cur_function()
+        fn: Optional[FunctionFacts] = fn_frame.obj if fn_frame else None
+        enclosing = (fn.cls if fn and fn.cls
+                     else self.enclosing_class_name())
+        for m in ATOMIC_OP_RE.finditer(stmt):
+            obj, op = m.group(1), m.group(2)
+            args = _extract_args(stmt, m.end() - 1)
+            order = None
+            if args:
+                for part in _split_top_commas(args):
+                    om = MEMORD_RE.search(part)
+                    if om:
+                        order = om.group(1)
+                        break
+            rm = ATOMIC_RECV_RE.match(obj)
+            if rm:
+                recv, member = rm.group(1).strip(), rm.group(2)
+            else:
+                recv = ""
+                bm = re.match(r"([A-Za-z_]\w*)", obj)
+                member = bm.group(1) if bm else obj
+            owner = ""
+            if recv in ("", "this"):
+                if not recv and fn is not None and \
+                        (member in fn.params or member in fn.locals):
+                    owner = "<local>"
+                else:
+                    owner = enclosing
+            else:
+                bm = re.match(r"[&*(\s]*([A-Za-z_]\w*)", recv)
+                base = bm.group(1) if bm else ""
+                if base == "this":
+                    owner = enclosing
+                elif fn is not None and base in fn.params:
+                    owner = fn.params[base].split("::")[-1]
+                elif fn is not None and base in fn.locals:
+                    owner = fn.locals[base].split("::")[-1]
+                else:
+                    resolved = self._elem_or_member_type(recv)
+                    if resolved:
+                        owner = resolved.split("::")[-1]
+            self.ff.atomic_ops.append(AtomicOpSite(
+                line=line, op=op, member=member, owner=owner,
+                order=order, cls=enclosing))
 
     def _member_statement(self, stmt: str, line: int,
                           cf: ClassFacts) -> None:
@@ -516,9 +594,11 @@ class Parser:
         held = [g[0] for g in frame.active_guards]
         tagged = self.sf.has_tag_near(line, "alloc-ok:",
                                       window=ALLOC_TAG_WINDOW)
+        spin_ok = self.sf.has_tag_near(line, "spin-block-ok:",
+                                       window=SPIN_BLOCK_TAG_WINDOW)
         if NEW_RE.search(code):
             fn.allocs.append(AllocSite(line=line, what="new",
-                                       tagged=tagged))
+                                       tagged=tagged, held=list(held)))
         for m in CALL_RE.finditer(code):
             chain = m.group(1)
             last = re.split(r"\.|->|::", chain)[-1]
@@ -528,11 +608,35 @@ class Parser:
                 continue
             if last in ALLOC_METHODS and ("." in chain or "->" in chain):
                 fn.allocs.append(AllocSite(line=line, what="." + last,
-                                           tagged=tagged))
+                                           tagged=tagged,
+                                           held=list(held)))
                 continue
             if last in ALLOC_FREE_FNS:
                 fn.allocs.append(AllocSite(line=line, what=last,
-                                           tagged=tagged))
+                                           tagged=tagged,
+                                           held=list(held)))
+                continue
+            if last in BLOCKING_METHODS and ("." in chain or
+                                             "->" in chain):
+                fn.blocking.append(BlockingSite(
+                    line=line, what="cv-wait", tagged=spin_ok,
+                    held=list(held)))
+                continue
+            if last in SLEEP_FNS:
+                fn.blocking.append(BlockingSite(
+                    line=line, what="sleep", tagged=spin_ok,
+                    held=list(held)))
+                continue
+            if last in FILE_IO_FNS:
+                fn.blocking.append(BlockingSite(
+                    line=line, what="file-io", tagged=spin_ok,
+                    held=list(held)))
+                continue
+            if last in ATOMIC_OP_METHODS:
+                # Statement-level AtomicOpSite, not a call-graph edge.
+                # Bare forms too: `x[i].fetch_add(...)` degenerates to a
+                # bare `fetch_add` chain because CALL_RE cannot span the
+                # index expression.
                 continue
             fn.calls.append(CallSite(line=line, name=chain,
                                      held=list(held)))

@@ -16,7 +16,7 @@ from typing import Dict, List, Set
 
 # The project's exemption-tag vocabulary (DESIGN.md §11).
 KNOWN_TAGS = ("relaxed:", "modelcheck-exempt:", "tsa-exempt:", "alloc-ok:",
-              "retry-exempt:")
+              "retry-exempt:", "spin-block-ok:")
 
 
 @dataclass

@@ -355,6 +355,8 @@ class FlatMap
                              (new_capacity & (new_capacity - 1)) == 0,
                          "FlatMap capacity must be a power of two");
         std::vector<Slot> old = std::move(slots_);
+        // alloc-ok: doubling growth; amortized O(1) per insert and the
+        // table stops growing once a shard reaches its working-set size.
         slots_.assign(new_capacity, Slot{});
         mask_ = new_capacity - 1;
         shift_ = 64;

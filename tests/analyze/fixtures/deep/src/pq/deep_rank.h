@@ -1,0 +1,64 @@
+// Known-bad whole-program fixture: a lock-rank inversion three calls
+// below the holding frame. Each hop lives in its own class, so the
+// per-scope lock-rank check sees nothing; only the v2 call-graph
+// summaries can connect the holder to the bottom acquisition. The
+// driver asserts the diagnostic anchors on the top call site and
+// carries the full call path as note lines.
+//
+// Fixture TUs are never compiled — the analyzer reads them lexically,
+// so the Spinlock/SpinGuard vocabulary needs no includes here.
+
+namespace frugal {
+
+class DeepBottom
+{
+  public:
+    void AcquireEntry()
+    {
+        SpinGuard entry(entry_lock_);
+    }
+
+  private:
+    Spinlock entry_lock_{LockRank::kGEntry};
+};
+
+class DeepMidTwo
+{
+  public:
+    void HopTwo()
+    {
+        bottom_.AcquireEntry();
+    }
+
+  private:
+    DeepBottom bottom_;
+};
+
+class DeepMidOne
+{
+  public:
+    void HopOne()
+    {
+        mid_.HopTwo();
+    }
+
+  private:
+    DeepMidTwo mid_;
+};
+
+class DeepTop
+{
+  public:
+    void CallsDownHoldingRow()
+    {
+        SpinGuard row(row_lock_);
+        mid_.HopOne();  // EXPECT:lock-rank-deep
+    }
+
+  private:
+    Spinlock row_lock_{LockRank::kTableRow};
+    // tsa-exempt: fixture wiring; touched only under row_lock_.
+    DeepMidOne mid_;
+};
+
+}  // namespace frugal

@@ -1,0 +1,35 @@
+// Cycle fixtures: direct recursion and a two-function mutual
+// recursion, one of them allocating. The summary fixpoint condenses
+// both cycles into SCCs and must converge without hanging; neither
+// function runs under a lock, so the analyzer must report nothing
+// here. (DeepPong calls DeepPing before its definition: fixtures are
+// read lexically, never compiled, so no forward declaration is
+// needed.)
+
+namespace frugal {
+
+inline unsigned long DeepCountdown(unsigned long n)
+{
+    if (n == 0)
+        return 0;
+    return DeepCountdown(n - 1);
+}
+
+inline unsigned long DeepPong(std::vector<unsigned long> &buf,
+                              unsigned long n)
+{
+    if (n == 0)
+        return 0;
+    buf.push_back(n);
+    return DeepPing(buf, n - 1);
+}
+
+inline unsigned long DeepPing(std::vector<unsigned long> &buf,
+                              unsigned long n)
+{
+    if (n == 0)
+        return 1;
+    return DeepPong(buf, n - 1);
+}
+
+}  // namespace frugal

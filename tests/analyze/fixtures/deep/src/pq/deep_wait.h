@@ -1,0 +1,48 @@
+// Known-bad whole-program fixture: a condition-variable wait two
+// frames below a Spinlock section. A blocked CV wait parks the thread
+// while every other contender on the spinlock burns a core; the
+// summary propagation must surface the wait at the top call site with
+// the chain as notes.
+
+namespace frugal {
+
+class WaitBottom
+{
+  public:
+    void BlockOnCv(std::unique_lock<std::mutex> &lk)
+    {
+        cv_.wait(lk);
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+class WaitMid
+{
+  public:
+    void HopToWait(std::unique_lock<std::mutex> &lk)
+    {
+        bottom_.BlockOnCv(lk);
+    }
+
+  private:
+    WaitBottom bottom_;
+};
+
+class WaitTop
+{
+  public:
+    void WaitUnderSpin(std::unique_lock<std::mutex> &lk)
+    {
+        SpinGuard entry(entry_lock_);
+        mid_.HopToWait(lk);  // EXPECT:spin-blocking
+    }
+
+  private:
+    Spinlock entry_lock_{LockRank::kGEntry};
+    // tsa-exempt: fixture wiring; touched only under entry_lock_.
+    WaitMid mid_;
+};
+
+}  // namespace frugal

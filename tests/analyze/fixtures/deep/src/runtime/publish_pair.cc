@@ -1,0 +1,46 @@
+// Known-bad atomic-publication fixtures. SilentPublisher's release
+// store has no acquire-side load anywhere in the program, so the
+// publication is unobservable. SeqWriter's relaxed store is read with
+// memory_order_acquire from a different class: the reader looks like
+// it synchronizes but pairs with nothing.
+
+namespace frugal {
+
+class SilentPublisher
+{
+  public:
+    void MarkReady()
+    {
+        ready_.store(1, std::memory_order_release);  // EXPECT:atomic-publish
+    }
+
+  private:
+    std::atomic<int> ready_{0};
+};
+
+class SeqWriter
+{
+  public:
+    void Advance(unsigned v)
+    {
+        // relaxed: fixture deliberately publishes without ordering.
+        seq_.store(v, std::memory_order_relaxed);  // EXPECT:atomic-publish
+    }
+
+  private:
+    std::atomic<unsigned> seq_{0};
+};
+
+class SeqReader
+{
+  public:
+    unsigned Sample()
+    {
+        return writer_.seq_.load(std::memory_order_acquire);
+    }
+
+  private:
+    SeqWriter writer_;
+};
+
+}  // namespace frugal

@@ -1,0 +1,31 @@
+// All-clean publication pairing: the release store in PairedPublisher
+// is observed by PairedConsumer's acquire load, so atomic-publish must
+// treat the pair as synchronized and stay silent.
+
+namespace frugal {
+
+class PairedPublisher
+{
+  public:
+    void MarkReady()
+    {
+        ready_.store(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<int> ready_{0};
+};
+
+class PairedConsumer
+{
+  public:
+    bool Poll()
+    {
+        return pub_.ready_.load(std::memory_order_acquire) != 0;
+    }
+
+  private:
+    PairedPublisher pub_;
+};
+
+}  // namespace frugal

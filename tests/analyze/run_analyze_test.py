@@ -1,28 +1,39 @@
 #!/usr/bin/env python3
 """Test driver for scripts/frugal_analyze (ctest label: analyze).
 
-Four suites:
+Seven suites:
 
 1. Fixture TUs under tests/analyze/fixtures/: one known-bad snippet per
-   check plus an all-clean tree. Expected findings are written *in* the
+   check plus all-clean trees. Expected findings are written *in* the
    fixtures as `// EXPECT:<check-id>` markers on the exact line the
    diagnostic must anchor to; the driver asserts the analyzer's finding
    set equals the marker set (nothing missing, nothing extra) and that
-   the eight check ids are collectively covered.
-2. A synthetic clang -ast-dump=json walk through
+   the eleven check ids are collectively covered. The `deep` /
+   `deepclean` trees exercise the v2 call-graph summaries: transitive
+   rank inversion, CV wait below a Spinlock section, publication
+   pairing, and recursion cycles the fixpoint must survive.
+2. Call-path notes: the deep findings must carry the full chain as
+   `note:` continuation lines down to the bottom frame.
+3. A synthetic clang -ast-dump=json walk through
    frontend_clang.collect_from_ast — the clang frontend's extraction is
    unit-tested even on hosts without clang++ (this repo's CI container),
    and the extracted facts are pushed through run_checks end to end.
-3. The LOCK_RANKS table in frugal_analyze.project cross-checked against
+4. The LOCK_RANKS table in frugal_analyze.project cross-checked against
    the enumerators in src/common/lock_rank.h.
-4. The scripts/lint_atomics.py shim: fires on the bad fixtures, stays
+5. Incremental-cache invalidation: mutating a header re-extracts every
+   file whose quoted-include closure contains it, not just the header.
+6. `--format=sarif` emits valid SARIF 2.1.0 with one result per finding.
+7. The scripts/lint_atomics.py shim: fires on the bad fixtures, stays
    quiet on the clean tree, and keeps its CLI exit semantics.
 """
 
+import json
 import os
 import re
+import shutil
 import subprocess
 import sys
+import tempfile
 
 TESTS = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(os.path.dirname(TESTS))
@@ -85,7 +96,9 @@ def test_fixtures():
     for name, extra, want_exit in (
             ("layering", (), 1),
             ("bad", ("--hot", "FixtureHotLoop"), 1),
-            ("clean", ("--hot", "FixtureHotLoop"), 0)):
+            ("clean", ("--hot", "FixtureHotLoop"), 0),
+            ("deep", (), 1),
+            ("deepclean", (), 0)):
         src = os.path.join(FIXTURES, name, "src")
         proc = run_analyzer(src, *extra)
         want = expected_findings(src)
@@ -103,11 +116,107 @@ def test_fixtures():
           f"fixtures cover every check id ({', '.join(sorted(covered))})")
 
 
+def test_deep_call_path():
+    """The transitive findings must carry the full chain as notes."""
+    print("== deep-chain call paths ==")
+    proc = run_analyzer(os.path.join(FIXTURES, "deep", "src"))
+    out = proc.stdout
+    check("note: calls mid_.HopOne while holding row_lock_" in out,
+          "lock-rank-deep head note names the held lock")
+    for hop in ("note: at pq/deep_rank.h:42: calls mid_.HopTwo",
+                "note: at pq/deep_rank.h:30: calls bottom_.AcquireEntry",
+                "note: at pq/deep_rank.h:18: "
+                "acquires entry_lock_ (LockRank::kGEntry)"):
+        check(hop in out, f"lock-rank-deep trace hop: {hop[9:]}")
+    check("3 frame(s) deep" in out,
+          "lock-rank-deep reports the chain depth")
+    check("note: at pq/deep_wait.h:14: cv-wait" in out,
+          "spin-blocking trace bottoms out at the CV wait")
+    check("note: at runtime/publish_pair.cc:39: load by 'SeqReader'"
+          in out, "atomic-publish names the mispaired reader")
+
+
+def _run_cached(src_root, cache_dir):
+    cmd = [sys.executable, os.path.join(SCRIPTS, "frugal_analyze"),
+           "--frontend", "internal", "--no-baseline", "--stats",
+           "--cache-dir", cache_dir, "--src-root", src_root, src_root]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    m = re.search(r"cache hits=(\d+) misses=(\d+)", proc.stderr)
+    return proc, (int(m.group(1)), int(m.group(2))) if m else None
+
+
+def test_cache_invalidation():
+    """Editing a header must re-extract every includer (the cache key
+    folds in the quoted-include closure, not just the file's bytes)."""
+    print("== incremental-cache include-closure invalidation ==")
+    tmp = tempfile.mkdtemp(prefix="frugal_analyze_cache_")
+    try:
+        src = os.path.join(tmp, "src")
+        cache = os.path.join(tmp, "cache")
+        os.makedirs(os.path.join(src, "common"))
+        os.makedirs(os.path.join(src, "pq"))
+        header = os.path.join(src, "common", "dep_header.h")
+        with open(header, "w", encoding="utf-8") as f:
+            f.write("namespace frugal {\n"
+                    "inline unsigned DepHelper(unsigned n)\n"
+                    "{\n    return n + 1;\n}\n"
+                    "}  // namespace frugal\n")
+        with open(os.path.join(src, "pq", "user.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write('#include "common/dep_header.h"\n\n'
+                    "namespace frugal {\n"
+                    "inline unsigned UseDep(unsigned n)\n"
+                    "{\n    return DepHelper(n);\n}\n"
+                    "}  // namespace frugal\n")
+        _, s1 = _run_cached(src, cache)
+        check(s1 == (0, 2), f"cold run extracts both files {s1}")
+        _, s2 = _run_cached(src, cache)
+        check(s2 == (2, 0), f"warm run hits both files {s2}")
+        with open(header, "a", encoding="utf-8") as f:
+            f.write("// comment edit invalidating the closure\n")
+        _, s3 = _run_cached(src, cache)
+        check(s3 == (0, 2),
+              f"header edit re-extracts header AND includer {s3}")
+        _, s4 = _run_cached(src, cache)
+        check(s4 == (2, 0), f"stable again after the edit {s4}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_sarif_output():
+    print("== SARIF output ==")
+    src = os.path.join(FIXTURES, "bad", "src")
+    proc = run_analyzer(src, "--hot", "FixtureHotLoop",
+                        "--format", "sarif")
+    check(proc.returncode == 1, "sarif run keeps the exit code")
+    try:
+        doc = json.loads(proc.stdout)
+    except ValueError:
+        doc = None
+    check(doc is not None, "sarif output parses as JSON")
+    if doc is None:
+        return
+    check(doc.get("version") == "2.1.0", "sarif version 2.1.0")
+    runs = doc.get("runs") or [{}]
+    results = runs[0].get("results", [])
+    want = expected_findings(src)
+    check(len(results) == len(want),
+          f"one sarif result per finding ({len(results)})")
+    rules = {r["id"] for r in
+             runs[0].get("tool", {}).get("driver", {}).get("rules", [])}
+    check(set(CHECK_IDS) <= rules, "sarif rules table covers all checks")
+    check(all(r.get("ruleId") in rules and
+              r.get("partialFingerprints", {}).get("frugalAnalyzeKey/v1")
+              for r in results),
+          "results carry ruleIds and stable fingerprints")
+
+
 # A hand-written miniature of `clang++ -Xclang -ast-dump=json` output:
 # one record with a ranked lock pair, a guarded member, an unguarded
 # member, and a method whose body nests guards in inverted order, calls
 # compare_exchange with a forbidden failure order, uses a relaxed load,
-# and allocates with `new`.
+# allocates with `new`, release-stores an atomic member nobody loads,
+# and waits on a CV while both guards are still active.
 _FIXTURE_TU = "/ast/pq/fixture.cc"
 _AST = {
     "kind": "TranslationUnitDecl",
@@ -167,7 +276,27 @@ _AST = {
                       {"kind": "DeclRefExpr",
                        "referencedDecl":
                            {"name": "memory_order_release"}}]},
+                 {"kind": "CXXMemberCallExpr",
+                  "range": {"begin": {"line": 15}},
+                  "inner": [
+                      {"kind": "MemberExpr", "name": "store",
+                       "inner": [
+                           {"kind": "MemberExpr", "name": "ready_",
+                            "inner": [{"kind": "CXXThisExpr"}]}]},
+                      {"kind": "DeclRefExpr",
+                       "referencedDecl":
+                           {"name": "memory_order_release"}}]},
+                 {"kind": "CXXMemberCallExpr",
+                  "range": {"begin": {"line": 16}},
+                  "inner": [
+                      {"kind": "MemberExpr", "name": "wait",
+                       "inner": [
+                           {"kind": "MemberExpr", "name": "cv_",
+                            "inner": [{"kind": "CXXThisExpr"}]}]}]},
              ]}]},
+            {"kind": "FieldDecl", "name": "ready_",
+             "loc": {"line": 14},
+             "type": {"qualType": "std::atomic<int>"}},
         ],
     }],
 }
@@ -205,13 +334,23 @@ def test_clang_ast_walk():
           ff.cmpxchg[0].failure == "release" and
           ff.cmpxchg[0].line == 13,
           "compare_exchange orders extracted")
+    check(fn is not None and
+          any(s.op == "store" and s.member == "ready_" and
+              s.owner == "AstFixture" and s.order == "release" and
+              s.line == 15 for s in ff.atomic_ops),
+          "atomic member store -> AtomicOpSite with owner and order")
+    check(fn is not None and
+          any(b.what == "cv-wait" and b.line == 16 and
+              "row_lock_" in b.held for b in fn.blocking),
+          "CV wait -> BlockingSite with the active guards held")
 
     # The AST-sourced facts must drive the same checks end to end.
     project = ProjectFacts()
     project.files[rel] = ff
     got = {(d.check, d.line) for d in run_checks(project, CheckConfig())}
     for want in (("lock-rank", 10), ("tsa-coverage", 7),
-                 ("atomics-relaxed", 12), ("atomics-cmpxchg", 13)):
+                 ("atomics-relaxed", 12), ("atomics-cmpxchg", 13),
+                 ("atomic-publish", 15), ("spin-blocking", 16)):
         check(want in got, f"run_checks on AST facts reports {want}")
 
 
@@ -272,8 +411,11 @@ def test_cli_surface():
 
 def main():
     test_fixtures()
+    test_deep_call_path()
     test_clang_ast_walk()
     test_lock_ranks_in_sync()
+    test_cache_invalidation()
+    test_sarif_output()
     test_lint_atomics_shim()
     test_cli_surface()
     if failures:
